@@ -1,0 +1,568 @@
+package repro
+
+// One benchmark per table and figure of the paper, plus the ablations called
+// out in DESIGN.md §6 and micro-benchmarks of the substrates. The benches
+// also publish the headline series values through b.ReportMetric so
+// `go test -bench` output doubles as a numeric record (EXPERIMENTS.md).
+
+import (
+	"bytes"
+	"os"
+
+	"fmt"
+
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/fusion"
+	"repro/internal/fuzzy"
+	"repro/internal/hierarchy"
+	"repro/internal/kanon"
+	"repro/internal/linkage"
+	"repro/internal/metrics"
+	"repro/internal/microagg"
+	"repro/internal/mondrian"
+	"repro/internal/perturb"
+	"repro/internal/web"
+)
+
+// benchScenario builds the standard 40-faculty scenario once per benchmark.
+func benchScenario(b *testing.B) *Scenario {
+	b.Helper()
+	sc, err := UniversityScenario(ScenarioOptions{Seed: 42, N: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// --- Tables I-IV -----------------------------------------------------------
+
+// BenchmarkTableI builds the Table I sensitive database.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if datagen.TableI().NumRows() != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTableII builds the Table II enterprise data.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if datagen.TableII().NumRows() != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTableIII produces the anonymized enterprise release via
+// full-domain generalization, the paper's Table III step.
+func BenchmarkTableIII(b *testing.B) {
+	p := datagen.TableII()
+	gens := make(map[string]hierarchy.Generalizer)
+	for _, name := range []string{"InvstVol", "InvstAmt", "Valuation"} {
+		l, err := hierarchy.NewLadder(0, 10, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gens[name] = l
+	}
+	a := kanon.New(gens)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Anonymize(p, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIV runs the adversary's collection step: search the web
+// corpus by identifier, extract, link — producing Table IV.
+func BenchmarkTableIV(b *testing.B) {
+	corpus, err := web.BuildCorpus(datagen.TableIIProfiles(), web.GenOptions{Seed: 2008, Distractors: 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"Alice", "Bob", "Christine", "Robert"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := web.Gather(corpus, names, web.CorporateLadder, linkage.DefaultMatcher())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if q.NumRows() != 4 {
+			b.Fatal("bad gather")
+		}
+	}
+}
+
+// --- Figures 4-8 -----------------------------------------------------------
+
+// sweepOnce runs the Figures 4-7 level sweep and reports headline values.
+func sweepOnce(b *testing.B, sc *Scenario) []core.LevelResult {
+	b.Helper()
+	levels, err := sc.Sweep(2, 16, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return levels
+}
+
+// BenchmarkFig4BeforeFusion regenerates the (P∘P') series.
+func BenchmarkFig4BeforeFusion(b *testing.B) {
+	sc := benchScenario(b)
+	var levels []core.LevelResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		levels = sweepOnce(b, sc)
+	}
+	b.ReportMetric(levels[0].Before, "before@k=2")
+	b.ReportMetric(levels[len(levels)-1].Before, "before@k=16")
+}
+
+// BenchmarkFig5AfterFusion regenerates the (P∘P̂) series.
+func BenchmarkFig5AfterFusion(b *testing.B) {
+	sc := benchScenario(b)
+	var levels []core.LevelResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		levels = sweepOnce(b, sc)
+	}
+	b.ReportMetric(levels[0].After, "after@k=2")
+	b.ReportMetric(levels[len(levels)-1].After, "after@k=16")
+}
+
+// BenchmarkFig6InformationGain regenerates the G series.
+func BenchmarkFig6InformationGain(b *testing.B) {
+	sc := benchScenario(b)
+	var levels []core.LevelResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		levels = sweepOnce(b, sc)
+	}
+	b.ReportMetric(levels[0].Gain, "gain@k=2")
+	b.ReportMetric(levels[len(levels)-1].Gain, "gain@k=16")
+}
+
+// BenchmarkFig7Utility regenerates the U_k series.
+func BenchmarkFig7Utility(b *testing.B) {
+	sc := benchScenario(b)
+	var levels []core.LevelResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		levels = sweepOnce(b, sc)
+	}
+	b.ReportMetric(levels[0].Utility*1e3, "mU@k=2")
+	b.ReportMetric(levels[len(levels)-1].Utility*1e3, "mU@k=16")
+}
+
+// BenchmarkFig8WeightedSum runs full FRED with auto-calibrated thresholds
+// and reports the optimum of Figure 8.
+func BenchmarkFig8WeightedSum(b *testing.B) {
+	sc := benchScenario(b)
+	var res *core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sc.RunFRED(FREDOptions{MaxK: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.OptimalK), "optimal-k")
+	b.ReportMetric(res.Hmax, "Hmax")
+}
+
+// --- Ablations (DESIGN.md §6) ----------------------------------------------
+
+// BenchmarkAblationSchemes re-runs the sweep under each partitioning scheme,
+// checking the paper's "other solutions produce similar results" claim.
+func BenchmarkAblationSchemes(b *testing.B) {
+	sc := benchScenario(b)
+	for _, anon := range []core.Anonymizer{microagg.New(), mondrian.New()} {
+		b.Run(anon.Name(), func(b *testing.B) {
+			var levels []core.LevelResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				levels, err = sc.Sweep(2, 16, anon, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(levels[0].After, "after@k=2")
+			b.ReportMetric(levels[len(levels)-1].After, "after@kmax")
+		})
+	}
+}
+
+// BenchmarkAblationFusion compares fusion engines: how much of the breach is
+// the fuzzy machinery versus any fusion at all.
+func BenchmarkAblationFusion(b *testing.B) {
+	sc := benchScenario(b)
+	release, err := sc.Release(6, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, est := range []fusion.Estimator{
+		fusion.Midpoint{}, fusion.Rank{}, sc.Estimator(),
+	} {
+		b.Run(est.Name(), func(b *testing.B) {
+			var after float64
+			for i := 0; i < b.N; i++ {
+				_, _, a, err := sc.Attack(release, est)
+				if err != nil {
+					b.Fatal(err)
+				}
+				after = a
+			}
+			b.ReportMetric(after, "after@k=6")
+		})
+	}
+}
+
+// BenchmarkAblationHNormalization compares the H scalings of DESIGN.md §6.
+func BenchmarkAblationHNormalization(b *testing.B) {
+	sc := benchScenario(b)
+	levels := sweepOnce(b, sc)
+	dis := make([]float64, len(levels))
+	utl := make([]float64, len(levels))
+	for i, lr := range levels {
+		dis[i], utl[i] = lr.After, lr.Utility
+	}
+	for _, norm := range []metrics.HNormalization{
+		metrics.NormalizeByMax, metrics.NormalizeNone, metrics.NormalizeMinMax,
+	} {
+		b.Run(norm.String(), func(b *testing.B) {
+			var best int
+			for i := 0; i < b.N; i++ {
+				h, err := metrics.HSeries(dis, utl, metrics.HOptions{W1: 0.5, W2: 0.5, Normalize: norm})
+				if err != nil {
+					b.Fatal(err)
+				}
+				best, _, err = metrics.ArgMax(h)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(levels[best].K), "argmax-k")
+		})
+	}
+}
+
+// BenchmarkAblationLiteralLoop measures the pseudocode's literal stopping
+// rule against the prose rule.
+func BenchmarkAblationLiteralLoop(b *testing.B) {
+	sc := benchScenario(b)
+	for _, literal := range []bool{false, true} {
+		name := "prose-loop"
+		if literal {
+			name = "literal-loop"
+		}
+		b.Run(name, func(b *testing.B) {
+			var levels int
+			for i := 0; i < b.N; i++ {
+				res, err := sc.RunFRED(FREDOptions{MaxK: 16, LiteralPaperLoop: literal, Tp: 1, Tu: 1e-9})
+				if err != nil {
+					b.Fatal(err)
+				}
+				levels = len(res.Levels)
+			}
+			b.ReportMetric(float64(levels), "levels-swept")
+		})
+	}
+}
+
+// BenchmarkAblationWebNoise sweeps the attack under increasing web noise.
+func BenchmarkAblationWebNoise(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opts web.GenOptions
+	}{
+		{"clean", web.GenOptions{}},
+		{"missing30", web.GenOptions{MissingProperty: 0.3, MissingEmployment: 0.3}},
+		{"typos50", web.GenOptions{NameTypoProb: 0.5}},
+		{"noisy", web.GenOptions{MissingProperty: 0.3, NameTypoProb: 0.3, PropertyNoise: 0.3}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			sc, err := UniversityScenario(ScenarioOptions{Seed: 42, N: 40, Web: tc.opts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			release, err := sc.Release(6, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var after float64
+			for i := 0; i < b.N; i++ {
+				_, _, a, err := sc.Attack(release, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				after = a
+			}
+			b.ReportMetric(after, "after@k=6")
+		})
+	}
+}
+
+// BenchmarkAblationPerturbation attacks a Laplace-perturbed release — the
+// paper's other anonymization family (Section 1's taxonomy). The breach
+// persists: release-side noise does not touch the auxiliary channel.
+func BenchmarkAblationPerturbation(b *testing.B) {
+	sc := benchScenario(b)
+	for _, k := range []int{2, 8} {
+		b.Run(fmt.Sprintf("laplace-k%d", k), func(b *testing.B) {
+			lap := perturb.New(42)
+			var after float64
+			for i := 0; i < b.N; i++ {
+				anon, err := lap.Anonymize(sc.P, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				release := anon.Clone()
+				release.SuppressColumn(release.Schema().MustLookup("Salary"))
+				_, _, a, err := sc.Attack(release, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				after = a
+			}
+			b.ReportMetric(after, "after")
+		})
+	}
+}
+
+// BenchmarkAblationMicroaggVariants compares MDAV against V-MDAV and the
+// optimal univariate DP on within-group SSE (information loss).
+func BenchmarkAblationMicroaggVariants(b *testing.B) {
+	sc := benchScenario(b)
+	variants := []struct {
+		name   string
+		assign func(k int) ([][]int, error)
+	}{
+		{"mdav", func(k int) ([][]int, error) { return microagg.New().Assign(sc.P, k) }},
+		{"v-mdav", func(k int) ([][]int, error) { return microagg.NewVMDAV().Assign(sc.P, k) }},
+		{"optimal-1d", func(k int) ([][]int, error) {
+			return (&microagg.OptimalUnivariate{Column: "Research"}).Assign(sc.P, k)
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var sse float64
+			for i := 0; i < b.N; i++ {
+				groups, err := v.assign(5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sse = microagg.SSE(sc.P, groups)
+			}
+			b.ReportMetric(sse, "sse@k=5")
+		})
+	}
+}
+
+// BenchmarkAdaptiveDefense measures the adaptive per-record defense and its
+// residual exposure — the follow-up paper's [11] prototype.
+func BenchmarkAdaptiveDefense(b *testing.B) {
+	sc := benchScenario(b)
+	var res *core.AdaptiveResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sc.RunAdaptive(4, 0.10, 0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ExposedBefore, "exposed-before")
+	b.ReportMetric(res.ExposedAfter, "exposed-after")
+	b.ReportMetric(float64(len(res.Suppressed)), "suppressed")
+}
+
+// BenchmarkRiskAssessment measures the record-level disclosure report.
+func BenchmarkRiskAssessment(b *testing.B) {
+	sc := benchScenario(b)
+	release, err := sc.Release(6, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var breach float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := sc.Assess(release, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		breach = a.Breach10
+	}
+	b.ReportMetric(breach, "breach10@k=6")
+}
+
+// BenchmarkAblationHandAuthoredFIS attacks with the hand-written compound
+// rule base of testdata/university.fis — the "adversary with domain
+// knowledge" of Section 3.B. It breaches far harder than the auto-generated
+// single-antecedent rules (see EXPERIMENTS.md).
+func BenchmarkAblationHandAuthoredFIS(b *testing.B) {
+	sc := benchScenario(b)
+	release, err := sc.Release(6, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := os.ReadFile("testdata/university.fis")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := fuzzy.ParseFIS(bytes.NewReader(raw), fuzzy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, names, err := fusion.Features(release, sc.Q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := &fusion.FIS{System: sys, FeatureNames: names}
+	b.ResetTimer()
+	var after float64
+	for i := 0; i < b.N; i++ {
+		_, _, a, err := sc.Attack(release, est)
+		if err != nil {
+			b.Fatal(err)
+		}
+		after = a
+	}
+	b.ReportMetric(after, "after@k=6")
+}
+
+// BenchmarkScalingCohort measures the full attack at growing cohort sizes —
+// the scaling picture the paper leaves out.
+func BenchmarkScalingCohort(b *testing.B) {
+	for _, n := range []int{40, 100, 250} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			sc, err := UniversityScenario(ScenarioOptions{Seed: 42, N: n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			release, err := sc.Release(6, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var after float64
+			for i := 0; i < b.N; i++ {
+				_, _, a, err := sc.Attack(release, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				after = a
+			}
+			b.ReportMetric(after, "after@k=6")
+		})
+	}
+}
+
+// BenchmarkSweepParallel compares the sequential and concurrent sweeps.
+func BenchmarkSweepParallel(b *testing.B) {
+	sc := benchScenario(b)
+	atk := core.AttackConfig{Aux: sc.Q, Estimator: sc.Estimator(), SensitiveRange: sc.SensitiveRange}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Sweep(sc.P, microagg.New(), atk, 2, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SweepParallel(sc.P, microagg.New(), atk, 2, 16, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Substrate micro-benchmarks ---------------------------------------------
+
+// BenchmarkMDAV measures microaggregation on the standard cohort.
+func BenchmarkMDAV(b *testing.B) {
+	sc := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microagg.New().Anonymize(sc.P, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMondrian measures Mondrian partitioning on the standard cohort.
+func BenchmarkMondrian(b *testing.B) {
+	sc := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mondrian.New().Anonymize(sc.P, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFuzzyFuse measures one full F(P', Q) evaluation.
+func BenchmarkFuzzyFuse(b *testing.B) {
+	sc := benchScenario(b)
+	release, err := sc.Release(6, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := sc.Estimator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fusion.Fuse(release, sc.Q, est, sc.SensitiveRange); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWebSearch measures corpus search by identifier.
+func BenchmarkWebSearch(b *testing.B) {
+	sc := benchScenario(b)
+	names := sc.P.ColumnStrings(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sc.Corpus.Search(names[i%len(names)], 3) == nil {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+// BenchmarkDissimilarity measures Definition 1 on the cohort matrices.
+func BenchmarkDissimilarity(b *testing.B) {
+	sc := benchScenario(b)
+	cols := []string{"Teaching", "Research", "Service", "Salary"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.TableDissimilarity(sc.P, sc.P, cols, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSVRoundTrip measures table serialization.
+func BenchmarkCSVRoundTrip(b *testing.B) {
+	sc := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if err := dataset.WriteCSV(&buf, sc.P); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type writeCounter struct{ n int }
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

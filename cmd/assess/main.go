@@ -1,0 +1,78 @@
+// Command assess inspects tables and attack outcomes: it prints per-column
+// summaries of any CSV table, the re-identification risk of a release, and
+// (given the ground truth and an estimate) the record-level disclosure
+// report.
+//
+// Usage:
+//
+//	assess -in table.csv                     # column summary + re-id risk
+//	assess -in p.csv -est phat.csv -lo L -hi H [-markdown]
+//	                                          # disclosure risk of an estimate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/report"
+	"repro/internal/risk"
+)
+
+func main() {
+	log.SetFlags(0)
+	in := flag.String("in", "", "table CSV (ground truth when -est is given)")
+	est := flag.String("est", "", "estimate CSV (P̂) to assess against -in")
+	lo := flag.Float64("lo", 0, "public lower bound of the sensitive attribute")
+	hi := flag.Float64("hi", 0, "public upper bound of the sensitive attribute")
+	markdown := flag.Bool("markdown", false, "emit Markdown")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	t, err := readCSV(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *est == "" {
+		fmt.Print(dataset.FormatSummary(t))
+		mean, max, err := risk.ReidentificationRisk(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("re-identification risk: mean %.4f, max %.4f\n", mean, max)
+		return
+	}
+
+	if *hi <= *lo {
+		log.Fatal("assess: -lo and -hi must bound the sensitive attribute")
+	}
+	phat, err := readCSV(*est)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sens := t.Schema().NamesOf(dataset.Sensitive)
+	if len(sens) != 1 {
+		log.Fatalf("assess: ground truth needs exactly one sensitive column, found %d", len(sens))
+	}
+	a, err := risk.Assess(t, phat, sens[0], *lo, *hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.WriteAssessment(os.Stdout, a, report.Options{Markdown: *markdown}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func readCSV(path string) (*dataset.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}

@@ -1,0 +1,60 @@
+// Adaptive demonstrates the defense side beyond Algorithm 1: the adaptive
+// per-record anonymization the paper cites as its companion work [11]. It
+// first quantifies record-level disclosure with the risk report, then runs
+// the tighten-and-reattack loop and shows what residual exposure remains —
+// the paper's closing point that fusion attacks can be mitigated but not
+// entirely prevented.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 42, "scenario seed")
+	k := flag.Int("k", 4, "base anonymization level")
+	tol := flag.Float64("tol", 0.10, "relative error defining an exposed record")
+	target := flag.Float64("target", 0.10, "acceptable exposed fraction")
+	flag.Parse()
+
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	release, err := sc.Release(*k, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := sc.Assess(release, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Static k=%d release under the fusion attack:\n  %s\n\n", *k, report)
+
+	res, err := sc.RunAdaptive(*k, *tol, *target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Adaptive defense (tol ±%.0f%%, target ≤%.0f%% exposed):\n", *tol*100, *target*100)
+	fmt.Printf("  exposure %.0f%% → %.0f%% after %d rounds, %d records suppressed\n",
+		100*res.ExposedBefore, 100*res.ExposedAfter, res.Rounds, len(res.Suppressed))
+	fmt.Printf("  release utility at k=%d: %.5f\n", *k, res.Utility)
+	if res.Exhausted {
+		fmt.Println("  loop exhausted: the remaining exposed records are estimated from")
+		fmt.Println("  web data alone — suppressing their release cells cannot help.")
+		fmt.Println("  (This is the paper's conclusion: fusion attacks can be mitigated,")
+		fmt.Println("  not entirely prevented.)")
+	}
+
+	adaptiveReport, err := sc.Assess(res.Release, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAdaptive release under the same attack:\n  %s\n", adaptiveReport)
+}

@@ -1,0 +1,71 @@
+// Composition demonstrates the sequential-release attack from the paper's
+// related work ([16]-[18]): two honest k-anonymous releases of the same
+// enterprise data, each safe on its own, intersect into something tighter
+// than either — because enterprise releases keep the identifiers, the
+// per-person join is exact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/composition"
+	"repro/internal/dataset"
+	"repro/internal/microagg"
+)
+
+func main() {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 42, "scenario seed")
+	k1 := flag.Int("k1", 4, "level of the first release")
+	k2 := flag.Int("k2", 6, "level of the second release")
+	flag.Parse()
+
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func(k int) *dataset.Table {
+		a := &microagg.Anonymizer{Opts: microagg.Options{Standardize: true, CentroidAsInterval: true}}
+		rel, err := a.Anonymize(sc.P, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range rel.Schema().IndicesOf(dataset.Sensitive) {
+			rel.SuppressColumn(c)
+		}
+		return rel
+	}
+	r1, r2 := mk(*k1), mk(*k2)
+
+	merged, err := composition.Intersect(r1, r2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ratio, err := composition.Narrowing(merged, r1, r2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Two releases of the same cohort: k=%d and k=%d.\n", *k1, *k2)
+	fmt.Printf("After intersection the quasi-identifier cells are on average\n")
+	fmt.Printf("%.0f%% the width of the tightest single release (100%% = no leak).\n\n", 100*ratio)
+
+	show := func(name string, rel *dataset.Table) {
+		_, _, after, err := sc.Attack(rel, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := sc.Assess(rel, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s P∘P̂ = %.4g   ±10%% breach %.0f%%\n", name, after, 100*a.Breach10)
+	}
+	show(fmt.Sprintf("release k=%d alone:", *k1), r1)
+	show(fmt.Sprintf("release k=%d alone:", *k2), r2)
+	show("intersected releases:", merged)
+	fmt.Println("\nRepublishing the same data at a different level is itself a leak —")
+	fmt.Println("FRED therefore picks ONE level and sticks to it.")
+}

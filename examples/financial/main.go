@@ -1,0 +1,90 @@
+// Financial walks the paper's Section 1 worked example end to end with the
+// actual machinery (not hand-waving): Table II → generalized Table III via
+// full-domain k-anonymity → Table IV gathered from the simulated web →
+// fuzzy-fused income estimates, including the paper's Robert anecdote
+// (estimated ≈ $95,000 against a true $98,230).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/internal/fusion"
+	"repro/internal/hierarchy"
+	"repro/internal/kanon"
+	"repro/internal/linkage"
+	"repro/internal/web"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p := datagen.TableII()
+	fmt.Println("Table II — enterprise data:")
+	fmt.Println(p)
+
+	// Table III: generalize the 1-10 investment indexes through interval
+	// ladders ([0-5], [5-10], ...) and suppress income.
+	gens := make(map[string]hierarchy.Generalizer)
+	for _, name := range []string{"InvstVol", "InvstAmt", "Valuation"} {
+		l, err := hierarchy.NewLadder(0, 10, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gens[name] = l
+	}
+	anon := kanon.New(gens)
+	res, err := anon.AnonymizeDetail(p, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	release := res.Table
+	release.SuppressColumn(release.Schema().MustLookup("Income"))
+	fmt.Println("Table III — anonymized release (income suppressed, names kept):")
+	fmt.Println(release)
+	fmt.Printf("Chosen generalization levels: %v\n\n", res.Levels)
+
+	// Table IV: the insider uses the names to search the (simulated) web.
+	corpus, err := web.BuildCorpus(datagen.TableIIProfiles(), web.GenOptions{Seed: 2008, Distractors: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := release.ColumnStrings(0)
+	q, err := web.Gather(corpus, names, web.CorporateLadder, linkage.DefaultMatcher())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table IV — auxiliary data collected by the adversary:")
+	fmt.Println(q)
+
+	// Fuse: the Figure 2 system estimates each customer's income.
+	incomeRange := fusion.Range{Lo: 40000, Hi: 100000}
+	phat, err := fusion.Fuse(release, q, fusion.NewFuzzy(), incomeRange)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("P̂ — fused income estimates:")
+	fmt.Println(phat)
+
+	inc := p.Schema().MustLookup("Income")
+	incHat := phat.Schema().MustLookup("Income")
+	fmt.Println("Per-customer breach:")
+	for i := 0; i < p.NumRows(); i++ {
+		name, _ := p.Cell(i, 0).Text()
+		truth := p.Cell(i, inc).MustFloat()
+		est := phat.Cell(i, incHat).MustFloat()
+		fmt.Printf("  %-10s true $%6.0f  estimated $%6.0f  error $%6.0f (%.1f%%)\n",
+			name, truth, est, est-truth, 100*abs(est-truth)/truth)
+	}
+	fmt.Println("\nThe paper's anecdote: Robert, valuation in the top band plus CEO title")
+	fmt.Println("and the largest property holdings, is pushed into the high income class —")
+	fmt.Println("the release alone would have said only 'somewhere in [$40k, $100k]'.")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

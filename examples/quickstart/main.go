@@ -1,0 +1,53 @@
+// Quickstart: anonymize an enterprise table, simulate the web-based
+// information-fusion attack against it, and print how much the adversary
+// gained — the paper's storyline in thirty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/web"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's Table II scenario: four customers, investment indexes as
+	// quasi-identifiers, income sensitive, and a simulated web holding the
+	// Table IV facts (employment, property holdings).
+	sc, err := repro.TableIIScenario(web.GenOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Private enterprise data P (Table II):")
+	fmt.Println(sc.P)
+
+	// Internal release: 2-anonymize the quasi-identifiers, suppress income,
+	// keep the customer names (the enterprise requirement of Section 1).
+	release, err := sc.Release(2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Anonymized internal release P' (Table III):")
+	fmt.Println(release)
+
+	fmt.Println("Auxiliary data Q gathered from the web (Table IV):")
+	fmt.Println(sc.Q)
+
+	// The attack: fuse P' with Q through the fuzzy inference system.
+	phat, before, after, err := sc.Attack(release, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Adversary's estimate P̂ = F(P', Q):")
+	fmt.Println(phat)
+
+	fmt.Printf("Dissimilarity before fusion (P∘P'): %.4g\n", before)
+	fmt.Printf("Dissimilarity after  fusion (P∘P̂): %.4g\n", after)
+	fmt.Printf("Information gain G:                 %.4g\n", before-after)
+	if after < before {
+		fmt.Println("→ the fusion attack moved the adversary closer to the private data.")
+	}
+}

@@ -1,0 +1,175 @@
+package composition
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/microagg"
+	"repro/internal/mondrian"
+)
+
+func release(t *testing.T, names []string, ages []dataset.Value) *dataset.Table {
+	t.Helper()
+	tb := dataset.New(dataset.MustSchema(
+		dataset.Column{Name: "Name", Class: dataset.Identifier, Kind: dataset.Text},
+		dataset.Column{Name: "Age", Class: dataset.QuasiIdentifier, Kind: dataset.Number},
+		dataset.Column{Name: "Income", Class: dataset.Sensitive, Kind: dataset.Number},
+	))
+	for i := range names {
+		tb.MustAppendRow(dataset.Str(names[i]), ages[i], dataset.NullValue())
+	}
+	return tb
+}
+
+func TestIntersectTightensCells(t *testing.T) {
+	r1 := release(t, []string{"a", "b"}, []dataset.Value{dataset.Span(20, 40), dataset.Span(30, 50)})
+	r2 := release(t, []string{"b", "a"}, []dataset.Value{dataset.Span(25, 35), dataset.Span(30, 60)})
+	merged, err := Intersect(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: [20,40] ∩ [30,60] = [30,40]; b: [30,50] ∩ [25,35] = [30,35].
+	if got := merged.Cell(0, 1).String(); got != "[30-40]" {
+		t.Errorf("a = %s", got)
+	}
+	if got := merged.Cell(1, 1).String(); got != "[30-35]" {
+		t.Errorf("b = %s", got)
+	}
+}
+
+func TestIntersectPointAndNull(t *testing.T) {
+	r1 := release(t, []string{"a", "b", "c"}, []dataset.Value{
+		dataset.Span(20, 40), dataset.NullValue(), dataset.Span(10, 20),
+	})
+	r2 := release(t, []string{"a", "b", "c"}, []dataset.Value{
+		dataset.Num(30), dataset.Span(5, 9), dataset.NullValue(),
+	})
+	merged, err := Intersect(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point inside interval → point.
+	if got := merged.Cell(0, 1); !got.Equal(dataset.Num(30)) {
+		t.Errorf("a = %v", got)
+	}
+	// Null in r1 constrains nothing → r2's cell.
+	if got := merged.Cell(1, 1); !got.Equal(dataset.Span(5, 9)) {
+		t.Errorf("b = %v", got)
+	}
+	// Null in r2 keeps r1's cell.
+	if got := merged.Cell(2, 1); !got.Equal(dataset.Span(10, 20)) {
+		t.Errorf("c = %v", got)
+	}
+}
+
+func TestIntersectDisjointKeepsNarrower(t *testing.T) {
+	r1 := release(t, []string{"a"}, []dataset.Value{dataset.Span(0, 10)})
+	r2 := release(t, []string{"a"}, []dataset.Value{dataset.Span(20, 25)})
+	merged, err := Intersect(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Cell(0, 1); !got.Equal(dataset.Span(20, 25)) {
+		t.Errorf("disjoint = %v", got)
+	}
+}
+
+func TestIntersectMissingIndividual(t *testing.T) {
+	r1 := release(t, []string{"a", "b"}, []dataset.Value{dataset.Span(0, 10), dataset.Span(0, 10)})
+	r2 := release(t, []string{"a"}, []dataset.Value{dataset.Span(3, 5)})
+	merged, err := Intersect(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Cell(0, 1); !got.Equal(dataset.Span(3, 5)) {
+		t.Errorf("a = %v", got)
+	}
+	if got := merged.Cell(1, 1); !got.Equal(dataset.Span(0, 10)) {
+		t.Errorf("b untouched = %v", got)
+	}
+}
+
+func TestIntersectErrors(t *testing.T) {
+	if _, err := Intersect(); err == nil {
+		t.Error("no releases accepted")
+	}
+	noID := dataset.New(dataset.MustSchema(
+		dataset.Column{Name: "Age", Class: dataset.QuasiIdentifier, Kind: dataset.Number}))
+	if _, err := Intersect(noID); err == nil {
+		t.Error("identifier-less release accepted")
+	}
+	r1 := release(t, []string{"a"}, []dataset.Value{dataset.Num(1)})
+	if _, err := Intersect(r1, noID); err == nil {
+		t.Error("identifier-less second release accepted")
+	}
+}
+
+func TestNarrowing(t *testing.T) {
+	r1 := release(t, []string{"a"}, []dataset.Value{dataset.Span(0, 10)})
+	r2 := release(t, []string{"a"}, []dataset.Value{dataset.Span(5, 15)})
+	merged, err := Intersect(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// merged = [5,10], min single width = 10, ratio = 0.5.
+	ratio, err := Narrowing(merged, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 0.5 {
+		t.Errorf("ratio = %g, want 0.5", ratio)
+	}
+	if _, err := Narrowing(merged); err == nil {
+		t.Error("no releases accepted")
+	}
+	short := release(t, []string{"a", "b"}, []dataset.Value{dataset.Num(1), dataset.Num(2)})
+	if _, err := Narrowing(merged, short); err == nil {
+		t.Error("row mismatch accepted")
+	}
+}
+
+// TestSequentialReleaseLeak is the integration check: two honest k-anonymous
+// releases of the same cohort (different schemes) compose into something
+// strictly tighter than either — the attack of refs [16]-[18].
+func TestSequentialReleaseLeak(t *testing.T) {
+	// A spread of individuals so the two schemes cut differently.
+	names := make([]string, 12)
+	ages := make([]dataset.Value, 12)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		ages[i] = dataset.Num(float64(20 + 5*i))
+	}
+	p := release(t, names, ages)
+
+	m1 := &microagg.Anonymizer{Opts: microagg.Options{Standardize: true, CentroidAsInterval: true}}
+	r1, err := m1.Anonymize(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mondrian.New().Anonymize(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Intersect(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := Narrowing(merged, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 1 {
+		t.Errorf("composition widened cells: ratio %g", ratio)
+	}
+	if ratio == 1 {
+		t.Log("composition did not tighten this pair (schemes cut identically)")
+	}
+	// The merged cells still cover the truth.
+	for i := 0; i < p.NumRows(); i++ {
+		truth := p.Cell(i, 1).MustFloat()
+		cell := merged.Cell(i, 1)
+		if !cell.Contains(truth) {
+			t.Errorf("row %d: merged cell %v does not cover %g", i, cell, truth)
+		}
+	}
+}

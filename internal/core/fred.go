@@ -1,0 +1,351 @@
+// Package core implements the paper's primary contribution: the Web-Based
+// Information-Fusion Attack simulation (Section 3) and FRED Anonymization —
+// Fusion Resilient Enterprise Data Anonymization, Algorithm 1 (Section 5).
+//
+// FRED sweeps anonymization levels, simulates the fusion attack at each
+// level, filters candidates by the protection threshold Tp, stops when
+// release utility drops below Tu, and returns the level maximizing the
+// weighted objective H = W1·(P ∘ P̂) + W2·U.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/fusion"
+	"repro/internal/metrics"
+)
+
+// Anonymizer is the Basic_Anonymization contract of Algorithm 1: any
+// k-anonymization scheme (internal/microagg, internal/kanon,
+// internal/mondrian all satisfy it).
+type Anonymizer interface {
+	Name() string
+	Anonymize(t *dataset.Table, k int) (*dataset.Table, error)
+}
+
+// AttackConfig describes the simulated adversary.
+type AttackConfig struct {
+	// Aux is the web-gathered auxiliary table Q, row-aligned with P (build
+	// it with web.Gather over the release identifiers). Nil simulates an
+	// adversary without web access.
+	Aux *dataset.Table
+	// Estimator is the fusion system F; nil defaults to the paper's fuzzy
+	// system.
+	Estimator fusion.Estimator
+	// SensitiveRange is the publicly known range of the sensitive
+	// attribute.
+	SensitiveRange fusion.Range
+}
+
+// Config parameterizes a FRED run.
+type Config struct {
+	// Anonymizer is Basic_Anonymization. Required.
+	Anonymizer Anonymizer
+	// Attack is the simulated fusion adversary. Required.
+	Attack AttackConfig
+	// Tp is the protection threshold: a level is a candidate only if
+	// (P ∘ P̂) ≥ Tp.
+	Tp float64
+	// Tu is the utility threshold: the sweep stops when U_k < Tu.
+	Tu float64
+	// HOpts weighs protection and utility (paper: W1 = W2 = 0.5, terms
+	// normalized; see metrics.DefaultHOptions).
+	HOpts metrics.HOptions
+	// MinK is the first anonymization level; 0 means the paper's minimal
+	// k = 2.
+	MinK int
+	// MaxK caps the sweep; 0 means "until utility falls below Tu or the
+	// anonymizer runs out of records".
+	MaxK int
+	// LiteralPaperLoop reproduces the pseudocode's literal stopping rule
+	// ("repeat … until U_level ≥ Tu"), which halts as soon as a release is
+	// useful — almost certainly a typo for the prose rule. Kept for the
+	// ablation bench (DESIGN.md §6).
+	LiteralPaperLoop bool
+}
+
+// LevelResult records one sweep iteration — one point on each of the
+// paper's Figures 4–8.
+type LevelResult struct {
+	K int
+	// Release is P'_k with the sensitive column suppressed.
+	Release *dataset.Table
+	// Phat is the adversary's fused estimate P̂_k.
+	Phat *dataset.Table
+	// Before is (P ∘ P') — the pre-fusion dissimilarity of Figure 4.
+	Before float64
+	// After is (P ∘ P̂) — the post-fusion dissimilarity of Figure 5.
+	After float64
+	// Gain is G = Before − After (Figure 6).
+	Gain float64
+	// Utility is U_k = 1/C_DM(k) (Figure 7).
+	Utility float64
+	// Candidate reports After ≥ Tp.
+	Candidate bool
+}
+
+// Result is the outcome of a FRED run.
+type Result struct {
+	// Levels holds every swept level in order.
+	Levels []LevelResult
+	// H holds the objective per candidate level, aligned with Candidates.
+	H []float64
+	// Candidates indexes Levels entries that passed Tp.
+	Candidates []int
+	// OptimalK is the chosen anonymization level (Figure 8's argmax).
+	OptimalK int
+	// Hmax is the objective at OptimalK.
+	Hmax float64
+	// Optimal is the fusion-resilient release P'_opt.
+	Optimal *dataset.Table
+}
+
+// ErrNoCandidate is returned when no level passes both thresholds.
+var ErrNoCandidate = errors.New("core: no anonymization level satisfies the thresholds")
+
+// Attack simulates the Web-Based Information-Fusion Attack against one
+// release: it fuses the release with the auxiliary data and reports the
+// adversary's estimate and its dissimilarity from the truth.
+//
+// The returned before/after pair quantifies the information gain of
+// Section 6.B: before is the no-fusion (midpoint) estimate's dissimilarity,
+// after the fused estimate's.
+func Attack(p, release *dataset.Table, atk AttackConfig) (phat *dataset.Table, before, after float64, err error) {
+	if p.NumRows() != release.NumRows() {
+		return nil, 0, 0, fmt.Errorf("core: private data has %d rows, release has %d", p.NumRows(), release.NumRows())
+	}
+	est := atk.Estimator
+	if est == nil {
+		est = fusion.NewFuzzy()
+	}
+	// Pre-fusion: the adversary holds only the release; the suppressed
+	// sensitive column reads as the public-range midpoint.
+	pmid, err := fusion.Fuse(release, nil, fusion.Midpoint{}, atk.SensitiveRange)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: pre-fusion baseline: %w", err)
+	}
+	phat, err = fusion.Fuse(release, atk.Aux, est, atk.SensitiveRange)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: fusion attack: %w", err)
+	}
+	cols := comparisonColumns(p)
+	before, err = metrics.TableDissimilarity(p, pmid, cols, atk.SensitiveRange.Mid())
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	after, err = metrics.TableDissimilarity(p, phat, cols, atk.SensitiveRange.Mid())
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return phat, before, after, nil
+}
+
+// comparisonColumns returns the numeric quasi-identifier and sensitive
+// columns of P — the attributes Definition 1 compares.
+func comparisonColumns(p *dataset.Table) []string {
+	var cols []string
+	for i := 0; i < p.NumCols(); i++ {
+		c := p.Schema().Column(i)
+		if c.Kind != dataset.Number {
+			continue
+		}
+		if c.Class == dataset.QuasiIdentifier || c.Class == dataset.Sensitive {
+			cols = append(cols, c.Name)
+		}
+	}
+	return cols
+}
+
+// Run executes FRED Anonymization (Algorithm 1) on the private table p.
+func Run(p *dataset.Table, cfg Config) (*Result, error) {
+	if cfg.Anonymizer == nil {
+		return nil, errors.New("core: config needs an anonymizer")
+	}
+	if p == nil || p.NumRows() == 0 {
+		return nil, errors.New("core: empty private table")
+	}
+	if cfg.HOpts.W1 == 0 && cfg.HOpts.W2 == 0 {
+		cfg.HOpts = metrics.DefaultHOptions()
+	}
+	minK := cfg.MinK
+	if minK == 0 {
+		minK = 2
+	}
+	if minK < 2 {
+		return nil, fmt.Errorf("core: MinK must be ≥ 2, got %d", minK)
+	}
+	maxK := cfg.MaxK
+	if maxK == 0 {
+		maxK = p.NumRows()
+	}
+	if maxK < minK {
+		return nil, fmt.Errorf("core: MaxK %d below MinK %d", maxK, minK)
+	}
+
+	res := &Result{}
+	for k := minK; k <= maxK; k++ {
+		lr, err := runLevel(p, cfg.Anonymizer, cfg.Attack, k, cfg.Tp)
+		if err != nil {
+			// The anonymizer legitimately runs out of records (k > n);
+			// treat that as the end of the sweep rather than a failure.
+			if k > minK && isTooFewRecords(err) {
+				break
+			}
+			return nil, fmt.Errorf("core: level k=%d: %w", k, err)
+		}
+		res.Levels = append(res.Levels, lr)
+		if lr.Candidate {
+			res.Candidates = append(res.Candidates, len(res.Levels)-1)
+		}
+		if cfg.LiteralPaperLoop {
+			// Pseudocode line 20: "until U_level ≥ Tu".
+			if lr.Utility >= cfg.Tu {
+				break
+			}
+		} else if lr.Utility < cfg.Tu {
+			// Prose rule: sweep while the release stays useful.
+			break
+		}
+	}
+	if len(res.Candidates) == 0 {
+		return res, ErrNoCandidate
+	}
+	dis := make([]float64, len(res.Candidates))
+	utl := make([]float64, len(res.Candidates))
+	for i, li := range res.Candidates {
+		dis[i] = res.Levels[li].After
+		utl[i] = res.Levels[li].Utility
+	}
+	h, err := metrics.HSeries(dis, utl, cfg.HOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.H = h
+	best, hmax, err := metrics.ArgMax(h)
+	if err != nil {
+		return nil, err
+	}
+	opt := res.Levels[res.Candidates[best]]
+	res.OptimalK = opt.K
+	res.Hmax = hmax
+	res.Optimal = opt.Release
+	return res, nil
+}
+
+// Sweep evaluates every level in [minK, maxK] unconditionally — the series
+// behind Figures 4–7, which the paper plots for k = 2..16 regardless of
+// thresholds. A sweep that outgrows the table ends early rather than
+// failing.
+func Sweep(p *dataset.Table, anon Anonymizer, atk AttackConfig, minK, maxK int) ([]LevelResult, error) {
+	if anon == nil {
+		return nil, errors.New("core: sweep needs an anonymizer")
+	}
+	if minK < 2 || maxK < minK {
+		return nil, fmt.Errorf("core: invalid sweep range [%d, %d]", minK, maxK)
+	}
+	var out []LevelResult
+	for k := minK; k <= maxK; k++ {
+		lr, err := runLevel(p, anon, atk, k, 0)
+		if err != nil {
+			if k > minK && isTooFewRecords(err) {
+				break
+			}
+			return nil, fmt.Errorf("core: level k=%d: %w", k, err)
+		}
+		out = append(out, lr)
+	}
+	return out, nil
+}
+
+// SweepParallel is Sweep with the levels evaluated concurrently — they are
+// independent, so the sweep parallelizes perfectly. Results are identical to
+// Sweep's (same order, deterministic); only wall time changes. Workers
+// bounds the concurrency (0 means one worker per level).
+func SweepParallel(p *dataset.Table, anon Anonymizer, atk AttackConfig, minK, maxK, workers int) ([]LevelResult, error) {
+	if anon == nil {
+		return nil, errors.New("core: sweep needs an anonymizer")
+	}
+	if minK < 2 || maxK < minK {
+		return nil, fmt.Errorf("core: invalid sweep range [%d, %d]", minK, maxK)
+	}
+	n := maxK - minK + 1
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	type slot struct {
+		lr  LevelResult
+		err error
+	}
+	results := make([]slot, n)
+	ks := make(chan int, n)
+	for k := minK; k <= maxK; k++ {
+		ks <- k
+	}
+	close(ks)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range ks {
+				lr, err := runLevel(p, anon, atk, k, 0)
+				results[k-minK] = slot{lr, err}
+			}
+		}()
+	}
+	wg.Wait()
+	var out []LevelResult
+	for i, s := range results {
+		if s.err != nil {
+			// Same early-termination contract as Sweep: higher levels that
+			// outgrow the table end the series.
+			if i > 0 && isTooFewRecords(s.err) {
+				break
+			}
+			return nil, fmt.Errorf("core: level k=%d: %w", minK+i, s.err)
+		}
+		out = append(out, s.lr)
+	}
+	return out, nil
+}
+
+func runLevel(p *dataset.Table, anonymizer Anonymizer, atk AttackConfig, k int, tp float64) (LevelResult, error) {
+	anon, err := anonymizer.Anonymize(p, k)
+	if err != nil {
+		return LevelResult{}, err
+	}
+	release := anon.Clone()
+	for _, s := range release.Schema().IndicesOf(dataset.Sensitive) {
+		release.SuppressColumn(s)
+	}
+	phat, before, after, err := Attack(p, release, atk)
+	if err != nil {
+		return LevelResult{}, err
+	}
+	util, err := metrics.Utility(release, k)
+	if err != nil {
+		return LevelResult{}, err
+	}
+	return LevelResult{
+		K:         k,
+		Release:   release,
+		Phat:      phat,
+		Before:    before,
+		After:     after,
+		Gain:      metrics.InformationGain(before, after),
+		Utility:   util,
+		Candidate: after >= tp,
+	}, nil
+}
+
+// isTooFewRecords detects "k exceeds the table" errors from any anonymizer
+// without coupling to a specific sentinel (schemes word it differently, and
+// the Anonymizer contract is structural).
+func isTooFewRecords(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "fewer records") || strings.Contains(s, "cannot be")
+}

@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSV layout: two header lines, then data rows.
+//
+//	Name,Age,Income          ← column names
+//	id:text,qi:number,s:number  ← class:kind per column
+//	Alice,28,91250
+//	Bob,[25-30],*
+//
+// Cells use the Value.String encoding, so intervals and suppressed cells
+// round-trip. This self-describing layout lets the CLIs exchange the paper's
+// P, P' and Q tables as flat files.
+
+// WriteCSV writes the table in the two-header CSV layout.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	meta := make([]string, t.NumCols())
+	for i := 0; i < t.NumCols(); i++ {
+		c := t.Schema().Column(i)
+		meta[i] = classTag(c.Class) + ":" + kindTag(c.Kind)
+	}
+	if err := cw.Write(meta); err != nil {
+		return fmt.Errorf("dataset: write csv meta header: %w", err)
+	}
+	cells := make([]string, t.NumCols())
+	for i := 0; i < t.NumRows(); i++ {
+		for j := 0; j < t.NumCols(); j++ {
+			cells[j] = t.Cell(i, j).String()
+		}
+		if err := cw.Write(cells); err != nil {
+			return fmt.Errorf("dataset: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV reads a table in the two-header CSV layout.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	names, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	meta, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv meta header: %w", err)
+	}
+	if len(meta) != len(names) {
+		return nil, fmt.Errorf("dataset: csv meta header has %d fields, want %d", len(meta), len(names))
+	}
+	cols := make([]Column, len(names))
+	for i, m := range meta {
+		class, kind, err := parseMeta(m)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv column %q: %w", names[i], err)
+		}
+		cols[i] = Column{Name: names[i], Class: class, Kind: kind}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	t := New(schema)
+	for line := 3; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv line %d: %w", line, err)
+		}
+		if len(rec) != len(names) {
+			return nil, fmt.Errorf("dataset: csv line %d has %d fields, want %d", line, len(rec), len(names))
+		}
+		row := make([]Value, len(rec))
+		for j, s := range rec {
+			v, err := ParseValue(s)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d column %q: %w", line, names[j], err)
+			}
+			// Force plain tokens in declared-text columns to stay text even
+			// when they look numeric (e.g. a numeric employee code used as an
+			// identifier).
+			if cols[j].Kind == Text && v.Kind() == Number {
+				v = Str(strings.TrimSpace(s))
+			}
+			row[j] = v
+		}
+		if err := t.AppendRow(row); err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line, err)
+		}
+	}
+	return t, nil
+}
+
+func classTag(c AttrClass) string {
+	switch c {
+	case Identifier:
+		return "id"
+	case QuasiIdentifier:
+		return "qi"
+	case Sensitive:
+		return "s"
+	default:
+		return "qi"
+	}
+}
+
+func kindTag(k ValueKind) string {
+	if k == Text {
+		return "text"
+	}
+	return "number"
+}
+
+func parseMeta(m string) (AttrClass, ValueKind, error) {
+	parts := strings.SplitN(strings.TrimSpace(m), ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("malformed meta %q (want class:kind)", m)
+	}
+	class, err := ParseAttrClass(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	switch strings.ToLower(parts[1]) {
+	case "number", "num", "n":
+		return class, Number, nil
+	case "text", "str", "t":
+		return class, Text, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown kind %q", parts[1])
+	}
+}

@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := tableI(t)
+	// Mix in anonymized cells to exercise interval and null encodings.
+	if err := tb.SetCell(0, 3, Span(20, 30)); err != nil {
+		t.Fatal(err)
+	}
+	tb.SuppressColumn(5)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tb); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !got.Equal(tb) {
+		t.Errorf("round trip mismatch:\nwant:\n%s\ngot:\n%s", tb, got)
+	}
+}
+
+func TestCSVPreservesClasses(t *testing.T) {
+	tb := tableI(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.NumCols(); i++ {
+		want, have := tb.Schema().Column(i), got.Schema().Column(i)
+		if want != have {
+			t.Errorf("column %d: %+v != %+v", i, want, have)
+		}
+	}
+}
+
+func TestCSVNumericLookingIdentifiersStayText(t *testing.T) {
+	in := strings.Join([]string{
+		"EmpID,Salary",
+		"id:text,s:number",
+		"00421,50000",
+		"9,60000",
+	}, "\n")
+	tb, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tb.Cell(0, 0).Text(); !ok || got != "00421" {
+		t.Errorf("cell = %v, want text 00421", tb.Cell(0, 0))
+	}
+	if got, ok := tb.Cell(1, 0).Text(); !ok || got != "9" {
+		t.Errorf("cell = %v, want text 9", tb.Cell(1, 0))
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"missing meta", "A,B\n"},
+		{"meta width", "A,B\nqi:number\n"},
+		{"bad class", "A\nxx:number\n1\n"},
+		{"bad kind", "A\nqi:blob\n1\n"},
+		{"malformed meta", "A\nqinumber\n1\n"},
+		{"row width", "A,B\nqi:number,qi:number\n1\n"},
+		{"kind violation", "A\nqi:number\nhello\n"},
+		{"bad interval", "A\nqi:number\n[9-2]\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("ReadCSV accepted %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestCSVQuotedCells(t *testing.T) {
+	tb := New(MustSchema(
+		Column{Name: "Name", Class: Identifier, Kind: Text},
+		Column{Name: "Employment", Class: QuasiIdentifier, Kind: Text},
+	))
+	tb.MustAppendRow(Str("Alice"), Str("CEO, Deutsche Bank"))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Cell(0, 1).Text(); v != "CEO, Deutsche Bank" {
+		t.Errorf("quoted cell = %q", v)
+	}
+}
+
+func TestCSVEmptyTable(t *testing.T) {
+	tb := New(MustSchema(Column{Name: "A", Class: QuasiIdentifier, Kind: Number}))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 || got.NumCols() != 1 {
+		t.Errorf("shape = %dx%d", got.NumRows(), got.NumCols())
+	}
+}

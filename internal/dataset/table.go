@@ -1,0 +1,277 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is an in-memory relation: a schema plus rows of cells. Tables are
+// the universal currency of the reproduction — the private data P, candidate
+// releases P', web data Q and fused estimates P̂ are all Tables.
+//
+// A Table is not safe for concurrent mutation; concurrent reads are fine.
+type Table struct {
+	schema *Schema
+	rows   [][]Value
+}
+
+// ErrRowWidth is returned when a row's length does not match the schema.
+var ErrRowWidth = errors.New("dataset: row width does not match schema")
+
+// ErrKindMismatch is returned when a cell kind violates its column kind.
+var ErrKindMismatch = errors.New("dataset: cell kind does not match column")
+
+// New returns an empty table with the given schema.
+func New(schema *Schema) *Table {
+	return &Table{schema: schema}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return t.schema.Len() }
+
+// AppendRow validates and appends a row. The slice is copied.
+func (t *Table) AppendRow(row []Value) error {
+	if len(row) != t.schema.Len() {
+		return fmt.Errorf("%w: got %d cells, want %d", ErrRowWidth, len(row), t.schema.Len())
+	}
+	for i, v := range row {
+		if !t.schema.Column(i).accepts(v) {
+			return fmt.Errorf("%w: column %q (%s) cannot hold %s cell",
+				ErrKindMismatch, t.schema.Column(i).Name, t.schema.Column(i).Kind, v.Kind())
+		}
+	}
+	cp := make([]Value, len(row))
+	copy(cp, row)
+	t.rows = append(t.rows, cp)
+	return nil
+}
+
+// MustAppendRow is AppendRow that panics on error, for statically known rows.
+func (t *Table) MustAppendRow(row ...Value) {
+	if err := t.AppendRow(row); err != nil {
+		panic(err)
+	}
+}
+
+// Row returns the i'th row as a copy.
+func (t *Table) Row(i int) []Value {
+	cp := make([]Value, len(t.rows[i]))
+	copy(cp, t.rows[i])
+	return cp
+}
+
+// Cell returns the cell at (row, col).
+func (t *Table) Cell(row, col int) Value { return t.rows[row][col] }
+
+// CellByName returns the cell at (row, named column).
+func (t *Table) CellByName(row int, col string) (Value, error) {
+	i, err := t.schema.Lookup(col)
+	if err != nil {
+		return Value{}, err
+	}
+	return t.rows[row][i], nil
+}
+
+// SetCell overwrites the cell at (row, col) after kind validation.
+func (t *Table) SetCell(row, col int, v Value) error {
+	if !t.schema.Column(col).accepts(v) {
+		return fmt.Errorf("%w: column %q (%s) cannot hold %s cell",
+			ErrKindMismatch, t.schema.Column(col).Name, t.schema.Column(col).Kind, v.Kind())
+	}
+	t.rows[row][col] = v
+	return nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := &Table{schema: t.schema, rows: make([][]Value, len(t.rows))}
+	for i, r := range t.rows {
+		cp := make([]Value, len(r))
+		copy(cp, r)
+		out.rows[i] = cp
+	}
+	return out
+}
+
+// Project returns a new table with only the named columns.
+func (t *Table) Project(names ...string) (*Table, error) {
+	ps, err := t.schema.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(names))
+	for i, n := range names {
+		idx[i] = t.schema.MustLookup(n)
+	}
+	out := New(ps)
+	for _, r := range t.rows {
+		row := make([]Value, len(idx))
+		for i, j := range idx {
+			row[i] = r[j]
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+// Select returns a new table containing the rows for which keep returns true.
+func (t *Table) Select(keep func(row []Value) bool) *Table {
+	out := New(t.schema)
+	for _, r := range t.rows {
+		if keep(r) {
+			cp := make([]Value, len(r))
+			copy(cp, r)
+			out.rows = append(out.rows, cp)
+		}
+	}
+	return out
+}
+
+// SortByColumn stably sorts rows by the given column using Value.Compare.
+func (t *Table) SortByColumn(col int) {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		return t.rows[i][col].Compare(t.rows[j][col]) < 0
+	})
+}
+
+// ColumnFloats extracts a numeric column as a float slice. Cells without a
+// numeric reading (Null, Text) yield def.
+func (t *Table) ColumnFloats(col int, def float64) []float64 {
+	out := make([]float64, len(t.rows))
+	for i, r := range t.rows {
+		if f, ok := r[col].Float(); ok {
+			out[i] = f
+		} else {
+			out[i] = def
+		}
+	}
+	return out
+}
+
+// ColumnStrings extracts a text column; non-text cells yield "".
+func (t *Table) ColumnStrings(col int) []string {
+	out := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		if s, ok := r[col].Text(); ok {
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// Matrix extracts the given columns as a dense row-major float matrix, using
+// Value.Float (interval midpoints) and def for non-numeric cells. This is the
+// numeric view the dissimilarity metric of Definition 1 operates on.
+func (t *Table) Matrix(cols []int, def float64) [][]float64 {
+	out := make([][]float64, len(t.rows))
+	for i, r := range t.rows {
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			if f, ok := r[c].Float(); ok {
+				row[j] = f
+			} else {
+				row[j] = def
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// SuppressColumn nulls out an entire column — how the paper removes the
+// sensitive attribute from a release while keeping the column in the schema.
+func (t *Table) SuppressColumn(col int) {
+	for _, r := range t.rows {
+		r[col] = NullValue()
+	}
+}
+
+// Equal reports whether two tables have equal schemas and cellwise-equal rows.
+func (t *Table) Equal(u *Table) bool {
+	if !t.schema.Equal(u.schema) || len(t.rows) != len(u.rows) {
+		return false
+	}
+	for i := range t.rows {
+		for j := range t.rows[i] {
+			if !t.rows[i][j].Equal(u.rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GroupBy partitions row indices by the rendered values of the given columns.
+// It is the equivalence-class computation used by k-anonymity checks and the
+// discernibility metric: rows with identical (generalized) cells in cols fall
+// in one group. Group order is deterministic (lexicographic by key).
+func (t *Table) GroupBy(cols []int) [][]int {
+	groups := make(map[string][]int)
+	var keys []string
+	var b strings.Builder
+	for i, r := range t.rows {
+		b.Reset()
+		for _, c := range cols {
+			b.WriteString(r[c].String())
+			b.WriteByte('\x1f')
+		}
+		k := b.String()
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	sort.Strings(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// String renders the table in the aligned plain-text style of the paper's
+// tables, suitable for examples and CLI output.
+func (t *Table) String() string {
+	widths := make([]int, t.schema.Len())
+	header := t.schema.Names()
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	rendered := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		cells := make([]string, len(r))
+		for j, v := range r {
+			cells[j] = v.String()
+			if len(cells[j]) > widths[j] {
+				widths[j] = len(cells[j])
+			}
+		}
+		rendered[i] = cells
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for j, c := range cells {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[j]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, cells := range rendered {
+		writeRow(cells)
+	}
+	return b.String()
+}

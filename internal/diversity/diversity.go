@@ -1,0 +1,245 @@
+// Package diversity implements the partition-quality guards from the
+// paper's related work: l-diversity (Machanavajjhala et al. [4] — distinct,
+// entropy and recursive (c,l) variants) and t-closeness (Li et al. [7]).
+//
+// These criteria evaluate the distribution of the sensitive attribute within
+// each quasi-identifier equivalence class of an anonymized release. The
+// reproduction uses them in ablation benches: the paper argues such guards
+// still do not stop fusion attacks, because the breach flows through
+// identifier-keyed auxiliary data rather than through the released classes.
+package diversity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Report describes the worst equivalence class under a criterion.
+type Report struct {
+	// Satisfied is the overall verdict.
+	Satisfied bool
+	// Classes is the number of equivalence classes examined.
+	Classes int
+	// WorstClass is a row-index sample (first row) of the weakest class.
+	WorstClass int
+	// WorstValue is the weakest class's score: distinct count, entropy
+	// (in nats), recursive ratio, or distance, per criterion.
+	WorstValue float64
+}
+
+var errNoSensitive = errors.New("diversity: table needs exactly one sensitive column for these criteria")
+
+// sensitiveIndex returns the single sensitive column, erroring otherwise.
+func sensitiveIndex(t *dataset.Table) (int, error) {
+	s := t.Schema().IndicesOf(dataset.Sensitive)
+	if len(s) != 1 {
+		return 0, fmt.Errorf("%w: found %d", errNoSensitive, len(s))
+	}
+	return s[0], nil
+}
+
+func classes(t *dataset.Table) ([][]int, error) {
+	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
+	if len(qis) == 0 {
+		return nil, errors.New("diversity: table has no quasi-identifier columns")
+	}
+	g := t.GroupBy(qis)
+	if len(g) == 0 {
+		return nil, errors.New("diversity: table has no rows")
+	}
+	return g, nil
+}
+
+// classCounts tallies the sensitive values (rendered) within a class.
+func classCounts(t *dataset.Table, class []int, sCol int) map[string]int {
+	counts := make(map[string]int)
+	for _, i := range class {
+		counts[t.Cell(i, sCol).String()]++
+	}
+	return counts
+}
+
+// Distinct checks distinct l-diversity: every equivalence class contains at
+// least l distinct sensitive values.
+func Distinct(t *dataset.Table, l int) (Report, error) {
+	if l < 1 {
+		return Report{}, fmt.Errorf("diversity: l must be ≥ 1, got %d", l)
+	}
+	sCol, err := sensitiveIndex(t)
+	if err != nil {
+		return Report{}, err
+	}
+	groups, err := classes(t)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Satisfied: true, Classes: len(groups), WorstValue: math.Inf(1)}
+	for _, g := range groups {
+		n := float64(len(classCounts(t, g, sCol)))
+		if n < rep.WorstValue {
+			rep.WorstValue, rep.WorstClass = n, g[0]
+		}
+	}
+	rep.Satisfied = rep.WorstValue >= float64(l)
+	return rep, nil
+}
+
+// Entropy checks entropy l-diversity: the Shannon entropy of the sensitive
+// distribution in every class is at least log(l).
+func Entropy(t *dataset.Table, l int) (Report, error) {
+	if l < 1 {
+		return Report{}, fmt.Errorf("diversity: l must be ≥ 1, got %d", l)
+	}
+	sCol, err := sensitiveIndex(t)
+	if err != nil {
+		return Report{}, err
+	}
+	groups, err := classes(t)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Satisfied: true, Classes: len(groups), WorstValue: math.Inf(1)}
+	for _, g := range groups {
+		var h float64
+		total := float64(len(g))
+		for _, c := range classCounts(t, g, sCol) {
+			p := float64(c) / total
+			h -= p * math.Log(p)
+		}
+		if h < rep.WorstValue {
+			rep.WorstValue, rep.WorstClass = h, g[0]
+		}
+	}
+	rep.Satisfied = rep.WorstValue >= math.Log(float64(l))
+	return rep, nil
+}
+
+// Recursive checks recursive (c,l)-diversity: in every class, with sensitive
+// value counts r1 ≥ r2 ≥ …, the most frequent value satisfies
+// r1 < c·(r_l + r_{l+1} + … ). WorstValue reports the tightest ratio
+// r1 / Σ_{i≥l} r_i (smaller is more diverse).
+func Recursive(t *dataset.Table, c float64, l int) (Report, error) {
+	if l < 2 {
+		return Report{}, fmt.Errorf("diversity: recursive diversity needs l ≥ 2, got %d", l)
+	}
+	if c <= 0 {
+		return Report{}, fmt.Errorf("diversity: recursive diversity needs c > 0, got %g", c)
+	}
+	sCol, err := sensitiveIndex(t)
+	if err != nil {
+		return Report{}, err
+	}
+	groups, err := classes(t)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Satisfied: true, Classes: len(groups)}
+	for _, g := range groups {
+		counts := classCounts(t, g, sCol)
+		sorted := make([]int, 0, len(counts))
+		for _, n := range counts {
+			sorted = append(sorted, n)
+		}
+		// Descending selection sort: tiny value sets.
+		for i := range sorted {
+			best := i
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] > sorted[best] {
+					best = j
+				}
+			}
+			sorted[i], sorted[best] = sorted[best], sorted[i]
+		}
+		var tail int
+		for i := l - 1; i < len(sorted); i++ {
+			tail += sorted[i]
+		}
+		var ratio float64
+		if tail == 0 {
+			ratio = math.Inf(1) // fewer than l distinct values: fails
+		} else {
+			ratio = float64(sorted[0]) / float64(tail)
+		}
+		if ratio > rep.WorstValue {
+			rep.WorstValue, rep.WorstClass = ratio, g[0]
+		}
+	}
+	rep.Satisfied = rep.WorstValue < c
+	return rep, nil
+}
+
+// TCloseness checks t-closeness: the distance between each class's sensitive
+// distribution and the global one is at most threshold. Numeric sensitive
+// attributes use the normalized 1-Wasserstein distance over empirical
+// samples; categorical ones use total variation distance. WorstValue is the
+// largest observed distance.
+func TCloseness(t *dataset.Table, threshold float64) (Report, error) {
+	if threshold < 0 || threshold > 1 {
+		return Report{}, fmt.Errorf("diversity: t must be in [0,1], got %g", threshold)
+	}
+	sCol, err := sensitiveIndex(t)
+	if err != nil {
+		return Report{}, err
+	}
+	groups, err := classes(t)
+	if err != nil {
+		return Report{}, err
+	}
+	numeric := t.Schema().Column(sCol).Kind == dataset.Number
+	rep := Report{Satisfied: true, Classes: len(groups), WorstValue: -1}
+
+	if numeric {
+		global := t.ColumnFloats(sCol, 0)
+		for _, g := range groups {
+			sample := make([]float64, len(g))
+			for i, r := range g {
+				sample[i], _ = t.Cell(r, sCol).Float()
+			}
+			d, err := stats.EmpiricalCDFDistance(sample, global)
+			if err != nil {
+				return Report{}, fmt.Errorf("diversity: t-closeness distance: %w", err)
+			}
+			if d > rep.WorstValue {
+				rep.WorstValue, rep.WorstClass = d, g[0]
+			}
+		}
+	} else {
+		// Build the global support and distribution.
+		support := make(map[string]int)
+		for i := 0; i < t.NumRows(); i++ {
+			s := t.Cell(i, sCol).String()
+			if _, ok := support[s]; !ok {
+				support[s] = len(support)
+			}
+		}
+		globalP := make([]float64, len(support))
+		for i := 0; i < t.NumRows(); i++ {
+			globalP[support[t.Cell(i, sCol).String()]]++
+		}
+		for i := range globalP {
+			globalP[i] /= float64(t.NumRows())
+		}
+		for _, g := range groups {
+			p := make([]float64, len(support))
+			for _, r := range g {
+				p[support[t.Cell(r, sCol).String()]]++
+			}
+			for i := range p {
+				p[i] /= float64(len(g))
+			}
+			d, err := stats.TotalVariation(p, globalP)
+			if err != nil {
+				return Report{}, fmt.Errorf("diversity: t-closeness distance: %w", err)
+			}
+			if d > rep.WorstValue {
+				rep.WorstValue, rep.WorstClass = d, g[0]
+			}
+		}
+	}
+	rep.Satisfied = rep.WorstValue <= threshold
+	return rep, nil
+}

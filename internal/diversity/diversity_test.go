@@ -1,0 +1,225 @@
+package diversity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// build constructs a table with one generalized QI ("Group") and one
+// sensitive column, from parallel slices of group labels and sensitive
+// values.
+func build(t *testing.T, groups []string, sensitive []dataset.Value, sensKind dataset.ValueKind) *dataset.Table {
+	t.Helper()
+	tb := dataset.New(dataset.MustSchema(
+		dataset.Column{Name: "Group", Class: dataset.QuasiIdentifier, Kind: dataset.Text},
+		dataset.Column{Name: "S", Class: dataset.Sensitive, Kind: sensKind},
+	))
+	for i := range groups {
+		tb.MustAppendRow(dataset.Str(groups[i]), sensitive[i])
+	}
+	return tb
+}
+
+func TestDistinct(t *testing.T) {
+	tb := build(t,
+		[]string{"a", "a", "a", "b", "b", "b"},
+		[]dataset.Value{
+			dataset.Str("flu"), dataset.Str("cancer"), dataset.Str("aids"),
+			dataset.Str("flu"), dataset.Str("flu"), dataset.Str("cancer"),
+		}, dataset.Text)
+	rep, err := Distinct(tb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied || rep.Classes != 2 || rep.WorstValue != 2 {
+		t.Errorf("rep = %+v", rep)
+	}
+	rep, err = Distinct(tb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Error("3-diversity should fail: class b has 2 distinct values")
+	}
+	if _, err := Distinct(tb, 0); err == nil {
+		t.Error("l=0 accepted")
+	}
+}
+
+func TestDistinctHomogeneousClassFails(t *testing.T) {
+	// The classic homogeneity attack setup from [4]: one class all "cancer".
+	tb := build(t,
+		[]string{"a", "a", "b", "b"},
+		[]dataset.Value{
+			dataset.Str("cancer"), dataset.Str("cancer"),
+			dataset.Str("flu"), dataset.Str("aids"),
+		}, dataset.Text)
+	rep, err := Distinct(tb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Error("homogeneous class passed 2-diversity")
+	}
+	if rep.WorstValue != 1 || rep.WorstClass != 0 {
+		t.Errorf("worst = %+v", rep)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform over two values: entropy = ln 2 → satisfies l=2 exactly.
+	tb := build(t,
+		[]string{"a", "a", "a", "a"},
+		[]dataset.Value{dataset.Str("x"), dataset.Str("x"), dataset.Str("y"), dataset.Str("y")},
+		dataset.Text)
+	rep, err := Entropy(tb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied || math.Abs(rep.WorstValue-math.Log(2)) > 1e-12 {
+		t.Errorf("rep = %+v", rep)
+	}
+	// Skewed 3-1 over two values: entropy < ln 2 → fails l=2.
+	tb = build(t,
+		[]string{"a", "a", "a", "a"},
+		[]dataset.Value{dataset.Str("x"), dataset.Str("x"), dataset.Str("x"), dataset.Str("y")},
+		dataset.Text)
+	rep, err = Entropy(tb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Error("skewed class passed entropy 2-diversity")
+	}
+	if _, err := Entropy(tb, 0); err == nil {
+		t.Error("l=0 accepted")
+	}
+}
+
+func TestRecursive(t *testing.T) {
+	// Counts 3,2,1 with l=2: r1=3, tail=r2+r3=3, ratio 1. Satisfied iff c>1.
+	tb := build(t,
+		[]string{"a", "a", "a", "a", "a", "a"},
+		[]dataset.Value{
+			dataset.Str("x"), dataset.Str("x"), dataset.Str("x"),
+			dataset.Str("y"), dataset.Str("y"), dataset.Str("z"),
+		}, dataset.Text)
+	rep, err := Recursive(tb, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied || rep.WorstValue != 1 {
+		t.Errorf("rep = %+v", rep)
+	}
+	rep, err = Recursive(tb, 0.9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Error("c=0.9 should fail with ratio 1")
+	}
+	// Fewer than l distinct values: infinite ratio, always fails.
+	tb = build(t, []string{"a", "a"}, []dataset.Value{dataset.Str("x"), dataset.Str("x")}, dataset.Text)
+	rep, err = Recursive(tb, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Error("single-valued class passed recursive (c,2)-diversity")
+	}
+	if _, err := Recursive(tb, 1, 1); err == nil {
+		t.Error("l=1 accepted")
+	}
+	if _, err := Recursive(tb, 0, 2); err == nil {
+		t.Error("c=0 accepted")
+	}
+}
+
+func TestTClosenessNumeric(t *testing.T) {
+	// Class "a" holds the low half of salaries, class "b" the high half —
+	// far from the global distribution.
+	tb := build(t,
+		[]string{"a", "a", "b", "b"},
+		[]dataset.Value{dataset.Num(10), dataset.Num(20), dataset.Num(1000), dataset.Num(2000)},
+		dataset.Number)
+	rep, err := TCloseness(tb, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Errorf("skewed classes passed t=0.1 (worst %g)", rep.WorstValue)
+	}
+	// Perfectly mixed classes are close to the global distribution.
+	tb = build(t,
+		[]string{"a", "b", "a", "b"},
+		[]dataset.Value{dataset.Num(10), dataset.Num(10), dataset.Num(2000), dataset.Num(2000)},
+		dataset.Number)
+	rep, err = TCloseness(tb, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied {
+		t.Errorf("mixed classes failed t=0.1 (worst %g)", rep.WorstValue)
+	}
+}
+
+func TestTClosenessCategorical(t *testing.T) {
+	tb := build(t,
+		[]string{"a", "a", "b", "b"},
+		[]dataset.Value{dataset.Str("x"), dataset.Str("x"), dataset.Str("y"), dataset.Str("y")},
+		dataset.Text)
+	rep, err := TCloseness(tb, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each class is a point mass vs global 50/50 → TV = 0.5 > 0.4.
+	if rep.Satisfied || math.Abs(rep.WorstValue-0.5) > 1e-12 {
+		t.Errorf("rep = %+v", rep)
+	}
+	rep, err = TCloseness(tb, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied {
+		t.Error("t=0.5 should pass with worst distance exactly 0.5")
+	}
+	if _, err := TCloseness(tb, -0.1); err == nil {
+		t.Error("negative t accepted")
+	}
+	if _, err := TCloseness(tb, 1.1); err == nil {
+		t.Error("t > 1 accepted")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	// No sensitive column.
+	noS := dataset.New(dataset.MustSchema(
+		dataset.Column{Name: "Q", Class: dataset.QuasiIdentifier, Kind: dataset.Text}))
+	noS.MustAppendRow(dataset.Str("a"))
+	if _, err := Distinct(noS, 2); err == nil {
+		t.Error("no sensitive column accepted")
+	}
+	// Two sensitive columns.
+	twoS := dataset.New(dataset.MustSchema(
+		dataset.Column{Name: "Q", Class: dataset.QuasiIdentifier, Kind: dataset.Text},
+		dataset.Column{Name: "S1", Class: dataset.Sensitive, Kind: dataset.Text},
+		dataset.Column{Name: "S2", Class: dataset.Sensitive, Kind: dataset.Text}))
+	twoS.MustAppendRow(dataset.Str("a"), dataset.Str("x"), dataset.Str("y"))
+	if _, err := Entropy(twoS, 2); err == nil {
+		t.Error("two sensitive columns accepted")
+	}
+	// No QI columns.
+	noQ := dataset.New(dataset.MustSchema(
+		dataset.Column{Name: "S", Class: dataset.Sensitive, Kind: dataset.Text}))
+	noQ.MustAppendRow(dataset.Str("x"))
+	if _, err := TCloseness(noQ, 0.5); err == nil {
+		t.Error("no QI accepted")
+	}
+	// Empty table.
+	empty := build(t, nil, nil, dataset.Text)
+	if _, err := Distinct(empty, 2); err == nil {
+		t.Error("empty table accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package fusion
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fuzzy"
+	"repro/internal/stats"
+)
+
+// FIS adapts a hand-authored fuzzy inference system (typically loaded with
+// fuzzy.ParseFIS) into an Estimator. Unlike Fuzzy, which synthesizes
+// variables and rules from the data, FIS runs the system exactly as
+// authored — the workflow of the paper's adversary, who wrote the Figure 2
+// system by hand in the Matlab toolbox.
+type FIS struct {
+	// System is the complete authored system.
+	System *fuzzy.System
+	// FeatureNames maps feature columns to the system's input variables,
+	// in feature order. Every registered input must appear.
+	FeatureNames []string
+	// Sugeno evaluates with zero-order Sugeno inference instead of Mamdani
+	// (the output terms must then be singletons).
+	Sugeno bool
+}
+
+// Name implements Estimator.
+func (f *FIS) Name() string { return "fis" }
+
+// Estimate implements Estimator. Records on which no rule fires fall back
+// to the range midpoint, matching the Fuzzy estimator's convention.
+func (f *FIS) Estimate(features [][]float64, out Range) ([]float64, error) {
+	if f.System == nil {
+		return nil, errors.New("fusion: FIS estimator has no system")
+	}
+	if !out.valid() {
+		return nil, fmt.Errorf("fusion: empty range")
+	}
+	if len(features) == 0 {
+		return nil, errors.New("fusion: FIS estimator needs at least one record")
+	}
+	d := len(features[0])
+	if len(f.FeatureNames) != d {
+		return nil, fmt.Errorf("fusion: %d feature names for %d features", len(f.FeatureNames), d)
+	}
+	declared := make(map[string]bool, d)
+	for _, n := range f.FeatureNames {
+		declared[n] = true
+	}
+	for _, in := range f.System.Inputs() {
+		if !declared[in] {
+			return nil, fmt.Errorf("fusion: system input %q has no feature column", in)
+		}
+	}
+	est := make([]float64, len(features))
+	in := make(map[string]float64, d)
+	for i, row := range features {
+		if len(row) != d {
+			return nil, fmt.Errorf("fusion: ragged feature row %d", i)
+		}
+		for j, name := range f.FeatureNames {
+			in[name] = row[j]
+		}
+		var y float64
+		var err error
+		if f.Sugeno {
+			y, err = f.System.EvaluateSugeno(in)
+		} else {
+			y, err = f.System.Evaluate(in)
+		}
+		if errors.Is(err, fuzzy.ErrNoRuleFired) {
+			y = out.Mid()
+		} else if err != nil {
+			return nil, err
+		}
+		est[i] = stats.Clamp(y, out.Lo, out.Hi)
+	}
+	return est, nil
+}

@@ -1,0 +1,113 @@
+package fusion
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fuzzy"
+)
+
+const incomeFIS = `
+OUTPUT income 40000 160000
+TERM income low  trap -inf -inf 70000 100000
+TERM income med  tri 70000 100000 130000
+TERM income high trap 100000 130000 inf inf
+INPUT valuation 1 10
+TERM valuation low  trap -inf -inf 4 6
+TERM valuation high trap 4 6 inf inf
+RULE IF valuation IS low THEN income IS low
+RULE IF valuation IS high THEN income IS high
+`
+
+func loadFIS(t *testing.T) *fuzzy.System {
+	t.Helper()
+	sys, err := fuzzy.ParseFIS(strings.NewReader(incomeFIS), fuzzy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFISEstimator(t *testing.T) {
+	est := &FIS{System: loadFIS(t), FeatureNames: []string{"valuation"}}
+	got, err := est.Estimate([][]float64{{1}, {9}}, Range{40000, 160000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(got[0] < got[1]) {
+		t.Errorf("estimates unordered: %v", got)
+	}
+	if got[0] > 90000 || got[1] < 110000 {
+		t.Errorf("extremes not separated: %v", got)
+	}
+	if est.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestFISNoRuleFallsBackToMidpoint(t *testing.T) {
+	// Dead zone at valuation 5: both trapezoids are zero there.
+	est := &FIS{System: loadFIS(t), FeatureNames: []string{"valuation"}}
+	got, err := est.Estimate([][]float64{{5}}, Range{40000, 160000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 100000 {
+		t.Errorf("fallback = %g, want 100000", got[0])
+	}
+}
+
+func TestFISErrors(t *testing.T) {
+	sys := loadFIS(t)
+	if _, err := (&FIS{FeatureNames: []string{"x"}}).Estimate([][]float64{{1}}, Range{0, 1}); err == nil {
+		t.Error("nil system accepted")
+	}
+	if _, err := (&FIS{System: sys, FeatureNames: []string{"valuation"}}).Estimate(nil, Range{0, 1}); err == nil {
+		t.Error("no records accepted")
+	}
+	if _, err := (&FIS{System: sys, FeatureNames: []string{"a", "b"}}).Estimate([][]float64{{1}}, Range{0, 1}); err == nil {
+		t.Error("name width mismatch accepted")
+	}
+	if _, err := (&FIS{System: sys, FeatureNames: []string{"wrong"}}).Estimate([][]float64{{1}}, Range{40000, 160000}); err == nil {
+		t.Error("unmapped system input accepted")
+	}
+	if _, err := (&FIS{System: sys, FeatureNames: []string{"valuation"}}).Estimate([][]float64{{1}}, Range{5, 5}); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := (&FIS{System: sys, FeatureNames: []string{"valuation"}}).Estimate([][]float64{{1}, {1, 2}}, Range{0, 1}); err == nil {
+		t.Error("ragged features accepted")
+	}
+	// Sugeno over Mamdani terms fails.
+	sug := &FIS{System: sys, FeatureNames: []string{"valuation"}, Sugeno: true}
+	if _, err := sug.Estimate([][]float64{{9}}, Range{40000, 160000}); err == nil {
+		t.Error("Sugeno over non-singleton terms accepted")
+	}
+}
+
+func TestFISSugeno(t *testing.T) {
+	src := `
+OUTPUT income 0 100
+TERM income low singleton 20
+TERM income high singleton 80
+INPUT x 0 10
+TERM x low  trap -inf -inf 4 6
+TERM x high trap 4 6 inf inf
+RULE IF x IS low THEN income IS low
+RULE IF x IS high THEN income IS high
+`
+	sys, err := fuzzy.ParseFIS(strings.NewReader(src), fuzzy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := &FIS{System: sys, FeatureNames: []string{"x"}, Sugeno: true}
+	got, err := est.Estimate([][]float64{{0}, {10}, {5}}, Range{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 20 || got[1] != 80 {
+		t.Errorf("sugeno = %v", got)
+	}
+	if got[2] != 50 { // dead zone → midpoint
+		t.Errorf("dead zone = %g", got[2])
+	}
+}

@@ -1,0 +1,359 @@
+// Package fusion implements the paper's information fusion system F: given
+// the anonymized release P' and the web auxiliary data Q, it produces P̂, the
+// adversary's estimate of the private data P (Section 4, Figure 2).
+//
+// The primary estimator is the fuzzy inference system of Figure 2, built
+// automatically from the data's observed ranges with the paper's
+// "simplistic set of knowledge rules ... assigned uniform weights"
+// (Section 6.A). Comparison estimators — midpoint (no fusion), rank,
+// ordinary least squares and k-nearest-neighbours — support the ablation
+// benches.
+package fusion
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Range is the publicly known span of the sensitive attribute (the paper's
+// "income range for all the customers is [$40000 - $100000]").
+type Range struct{ Lo, Hi float64 }
+
+// Mid returns the range midpoint — the no-fusion estimate.
+func (r Range) Mid() float64 { return (r.Lo + r.Hi) / 2 }
+
+// valid reports whether the range is non-empty.
+func (r Range) valid() bool { return r.Hi > r.Lo }
+
+// Estimator maps per-record feature vectors to sensitive estimates within a
+// range.
+type Estimator interface {
+	// Name identifies the estimator in reports and benches.
+	Name() string
+	// Estimate returns one estimate per feature row, each inside [out.Lo,
+	// out.Hi].
+	Estimate(features [][]float64, out Range) ([]float64, error)
+}
+
+// ErrNoFeatures is returned when the release and auxiliary tables yield no
+// numeric features.
+var ErrNoFeatures = errors.New("fusion: no numeric features available")
+
+// Features assembles the adversary's input matrix: the numeric
+// quasi-identifiers of the release (generalized cells read at interval
+// midpoints) concatenated with the numeric quasi-identifiers of the aux
+// table, row-aligned. Missing cells (suppressed, unlinked web attributes)
+// are imputed with the column mean of the observed values. The returned
+// names parallel the feature columns.
+func Features(release, aux *dataset.Table) (features [][]float64, names []string, err error) {
+	if aux != nil && release.NumRows() != aux.NumRows() {
+		return nil, nil, fmt.Errorf("fusion: release has %d rows, aux has %d; align them first (web.Gather aligns by roster order)", release.NumRows(), aux.NumRows())
+	}
+	type col struct {
+		t    *dataset.Table
+		idx  int
+		name string
+	}
+	var cols []col
+	for _, i := range release.Schema().IndicesOf(dataset.QuasiIdentifier) {
+		if release.Schema().Column(i).Kind == dataset.Number {
+			cols = append(cols, col{release, i, release.Schema().Column(i).Name})
+		}
+	}
+	if aux != nil {
+		for _, i := range aux.Schema().IndicesOf(dataset.QuasiIdentifier) {
+			if aux.Schema().Column(i).Kind == dataset.Number {
+				cols = append(cols, col{aux, i, "aux." + aux.Schema().Column(i).Name})
+			}
+		}
+	}
+	if len(cols) == 0 {
+		return nil, nil, ErrNoFeatures
+	}
+	m := release.NumRows()
+	features = make([][]float64, m)
+	for r := range features {
+		features[r] = make([]float64, len(cols))
+	}
+	names = make([]string, len(cols))
+	for j, c := range cols {
+		names[j] = c.name
+		var sum float64
+		var seen int
+		vals := make([]float64, m)
+		present := make([]bool, m)
+		for r := 0; r < m; r++ {
+			if f, ok := c.t.Cell(r, c.idx).Float(); ok {
+				vals[r], present[r] = f, true
+				sum += f
+				seen++
+			}
+		}
+		mean := 0.0
+		if seen > 0 {
+			mean = sum / float64(seen)
+		}
+		for r := 0; r < m; r++ {
+			if present[r] {
+				features[r][j] = vals[r]
+			} else {
+				features[r][j] = mean
+			}
+		}
+	}
+	return features, names, nil
+}
+
+// Fuse runs the full F(P', Q) step: build features, estimate the sensitive
+// attribute, and return P̂ — a copy of the release whose (single, numeric)
+// sensitive column holds the estimates.
+func Fuse(release, aux *dataset.Table, est Estimator, out Range) (*dataset.Table, error) {
+	if est == nil {
+		return nil, errors.New("fusion: nil estimator")
+	}
+	if !out.valid() {
+		return nil, fmt.Errorf("fusion: empty sensitive range [%g, %g]", out.Lo, out.Hi)
+	}
+	sens := release.Schema().IndicesOf(dataset.Sensitive)
+	if len(sens) != 1 {
+		return nil, fmt.Errorf("fusion: release needs exactly one sensitive column, found %d", len(sens))
+	}
+	if release.Schema().Column(sens[0]).Kind != dataset.Number {
+		return nil, fmt.Errorf("fusion: sensitive column %q is not numeric", release.Schema().Column(sens[0]).Name)
+	}
+	features, _, err := Features(release, aux)
+	if err != nil {
+		return nil, err
+	}
+	est2, err := est.Estimate(features, out)
+	if err != nil {
+		return nil, err
+	}
+	if len(est2) != release.NumRows() {
+		return nil, fmt.Errorf("fusion: estimator %s returned %d estimates for %d rows", est.Name(), len(est2), release.NumRows())
+	}
+	phat := release.Clone()
+	for r, v := range est2 {
+		if err := phat.SetCell(r, sens[0], dataset.Num(stats.Clamp(v, out.Lo, out.Hi))); err != nil {
+			return nil, err
+		}
+	}
+	return phat, nil
+}
+
+// ---------------------------------------------------------------------------
+// Baseline estimators
+
+// Midpoint is the no-fusion adversary of Section 6.B: with the sensitive
+// column suppressed, the best k-independent guess is the middle of the
+// public range. (P ∘ P') in Figure 4 corresponds to this estimate.
+type Midpoint struct{}
+
+// Name implements Estimator.
+func (Midpoint) Name() string { return "midpoint" }
+
+// Estimate implements Estimator.
+func (Midpoint) Estimate(features [][]float64, out Range) ([]float64, error) {
+	if !out.valid() {
+		return nil, fmt.Errorf("fusion: empty range")
+	}
+	est := make([]float64, len(features))
+	for i := range est {
+		est[i] = out.Mid()
+	}
+	return est, nil
+}
+
+// Rank estimates by composite rank: records are scored by the mean of their
+// min-max-normalized features and the public range is spread across the
+// score order. It needs no calibration data — only the public range —
+// making it the weakest "real" fusion baseline.
+type Rank struct{}
+
+// Name implements Estimator.
+func (Rank) Name() string { return "rank" }
+
+// Estimate implements Estimator.
+func (Rank) Estimate(features [][]float64, out Range) ([]float64, error) {
+	if !out.valid() {
+		return nil, fmt.Errorf("fusion: empty range")
+	}
+	n := len(features)
+	if n == 0 {
+		return nil, errors.New("fusion: rank estimator needs at least one record")
+	}
+	d := len(features[0])
+	scores := make([]float64, n)
+	for j := 0; j < d; j++ {
+		colVals := make([]float64, n)
+		for i := range features {
+			colVals[i] = features[i][j]
+		}
+		norm := stats.Normalize(colVals)
+		for i := range scores {
+			scores[i] += norm[i] / float64(d)
+		}
+	}
+	// Rank by score (average ranks are unnecessary; stable order by index).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort on (score, index)
+		for j := i; j > 0 && (scores[order[j]] < scores[order[j-1]] ||
+			(scores[order[j]] == scores[order[j-1]] && order[j] < order[j-1])); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	est := make([]float64, n)
+	if n == 1 {
+		est[0] = out.Mid()
+		return est, nil
+	}
+	for rank, idx := range order {
+		est[idx] = out.Lo + float64(rank)/float64(n-1)*(out.Hi-out.Lo)
+	}
+	return est, nil
+}
+
+// Ensemble averages several estimators — a cautious adversary hedging
+// between fusion strategies. Weights default to uniform when nil.
+type Ensemble struct {
+	Members []Estimator
+	Weights []float64
+}
+
+// Name implements Estimator.
+func (e *Ensemble) Name() string { return "ensemble" }
+
+// Estimate implements Estimator.
+func (e *Ensemble) Estimate(features [][]float64, out Range) ([]float64, error) {
+	if len(e.Members) == 0 {
+		return nil, errors.New("fusion: ensemble has no members")
+	}
+	weights := e.Weights
+	if weights == nil {
+		weights = make([]float64, len(e.Members))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(e.Members) {
+		return nil, fmt.Errorf("fusion: ensemble has %d members and %d weights", len(e.Members), len(weights))
+	}
+	var totalW float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("fusion: negative ensemble weight %g", w)
+		}
+		totalW += w
+	}
+	if totalW == 0 {
+		return nil, errors.New("fusion: ensemble weights sum to zero")
+	}
+	acc := make([]float64, len(features))
+	for m, member := range e.Members {
+		est, err := member.Estimate(features, out)
+		if err != nil {
+			return nil, fmt.Errorf("fusion: ensemble member %s: %w", member.Name(), err)
+		}
+		if len(est) != len(features) {
+			return nil, fmt.Errorf("fusion: ensemble member %s returned %d estimates for %d rows", member.Name(), len(est), len(features))
+		}
+		for i, v := range est {
+			acc[i] += weights[m] * v
+		}
+	}
+	for i := range acc {
+		acc[i] = stats.Clamp(acc[i]/totalW, out.Lo, out.Hi)
+	}
+	return acc, nil
+}
+
+// Regression fits ordinary least squares on a leaked calibration subset —
+// records whose sensitive values the adversary already knows (e.g. salaries
+// disclosed in public records) — and predicts the rest.
+type Regression struct {
+	// CalibFeatures and CalibTargets are the adversary's labeled examples.
+	CalibFeatures [][]float64
+	CalibTargets  []float64
+}
+
+// Name implements Estimator.
+func (*Regression) Name() string { return "regression" }
+
+// Estimate implements Estimator.
+func (r *Regression) Estimate(features [][]float64, out Range) ([]float64, error) {
+	model, err := stats.FitOLS(r.CalibFeatures, r.CalibTargets)
+	if err != nil {
+		return nil, fmt.Errorf("fusion: regression calibration: %w", err)
+	}
+	est := make([]float64, len(features))
+	for i, f := range features {
+		est[i] = stats.Clamp(model.Predict(f), out.Lo, out.Hi)
+	}
+	return est, nil
+}
+
+// KNN averages the sensitive values of the K nearest calibration records in
+// feature space.
+type KNN struct {
+	K             int
+	CalibFeatures [][]float64
+	CalibTargets  []float64
+}
+
+// Name implements Estimator.
+func (*KNN) Name() string { return "knn" }
+
+// Estimate implements Estimator.
+func (k *KNN) Estimate(features [][]float64, out Range) ([]float64, error) {
+	if k.K < 1 {
+		return nil, fmt.Errorf("fusion: knn needs K ≥ 1, got %d", k.K)
+	}
+	if len(k.CalibFeatures) != len(k.CalibTargets) || len(k.CalibFeatures) == 0 {
+		return nil, errors.New("fusion: knn calibration features and targets must be non-empty and aligned")
+	}
+	kk := k.K
+	if kk > len(k.CalibFeatures) {
+		kk = len(k.CalibFeatures)
+	}
+	est := make([]float64, len(features))
+	type cand struct {
+		d float64
+		y float64
+	}
+	for i, f := range features {
+		cands := make([]cand, len(k.CalibFeatures))
+		for c, cf := range k.CalibFeatures {
+			if len(cf) != len(f) {
+				return nil, fmt.Errorf("fusion: knn calibration row %d has %d features, query has %d", c, len(cf), len(f))
+			}
+			var d float64
+			for j := range f {
+				diff := f[j] - cf[j]
+				d += diff * diff
+			}
+			cands[c] = cand{d, k.CalibTargets[c]}
+		}
+		// Partial selection of the kk nearest.
+		for s := 0; s < kk; s++ {
+			best := s
+			for j := s + 1; j < len(cands); j++ {
+				if cands[j].d < cands[best].d {
+					best = j
+				}
+			}
+			cands[s], cands[best] = cands[best], cands[s]
+		}
+		var sum float64
+		for s := 0; s < kk; s++ {
+			sum += cands[s].y
+		}
+		est[i] = stats.Clamp(sum/float64(kk), out.Lo, out.Hi)
+	}
+	return est, nil
+}

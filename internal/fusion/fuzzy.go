@@ -1,0 +1,191 @@
+package fusion
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fuzzy"
+	"repro/internal/stats"
+)
+
+// FuzzyOptions configures the automatically built Figure 2 system.
+type FuzzyOptions struct {
+	// Terms is the number of linguistic terms per variable (the paper's
+	// Figure 2 uses 3: Low/Med/High). Defaults to 3 when zero.
+	Terms int
+	// Engine passes through the inference options (norms, implication,
+	// defuzzifier, resolution).
+	Engine fuzzy.Options
+	// Rules optionally overrides the generated single-antecedent rule base
+	// with a hand-written one in the rule language. Input variables are
+	// named x0..x(d−1) unless FeatureNames is set; the output variable is
+	// named "out".
+	Rules string
+	// FeatureNames names the input variables for hand-written rules.
+	FeatureNames []string
+	// Domains fixes the input variable ranges from domain knowledge, one
+	// per feature — how the paper's Figure 2 defines its fuzzy sets ("Low
+	// [500-1000], Med [1000-2500], High [2500-6000]"). When nil, domains
+	// fall back to the observed feature ranges, which silently re-centers
+	// the system at every anonymization level and masks the degradation
+	// the paper reports; prefer fixed domains for attack studies.
+	Domains []Range
+}
+
+// Fuzzy is the paper's estimator: a Mamdani system whose input variables
+// partition each feature's observed range and whose rule base encodes the
+// monotone domain knowledge "higher indicators → higher income", one rule
+// per (feature, term) with uniform weights.
+type Fuzzy struct {
+	Opts FuzzyOptions
+}
+
+// NewFuzzy returns the estimator with the paper's defaults (3 terms,
+// min-AND, clipped implication, centroid defuzzification).
+func NewFuzzy() *Fuzzy { return &Fuzzy{} }
+
+// Name implements Estimator.
+func (f *Fuzzy) Name() string { return "fuzzy" }
+
+// termNames generates "t0".."t{n-1}" with the paper's familiar aliases for
+// three terms.
+func termNames(n int) []string {
+	if n == 3 {
+		return []string{"low", "med", "high"}
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("t%d", i)
+	}
+	return out
+}
+
+// Estimate implements Estimator. The system is rebuilt per call because the
+// input variable domains come from the observed feature ranges (which change
+// with the anonymization level, exactly as in the paper: coarser releases
+// feed the same rule base worse inputs).
+func (f *Fuzzy) Estimate(features [][]float64, out Range) ([]float64, error) {
+	if !out.valid() {
+		return nil, fmt.Errorf("fusion: empty range")
+	}
+	n := len(features)
+	if n == 0 {
+		return nil, errors.New("fusion: fuzzy estimator needs at least one record")
+	}
+	d := len(features[0])
+	if d == 0 {
+		return nil, ErrNoFeatures
+	}
+	terms := f.Opts.Terms
+	if terms == 0 {
+		terms = 3
+	}
+	if terms < 2 {
+		return nil, fmt.Errorf("fusion: fuzzy estimator needs ≥ 2 terms, got %d", terms)
+	}
+	names := f.Opts.FeatureNames
+	if names == nil {
+		names = make([]string, d)
+		for j := range names {
+			names[j] = fmt.Sprintf("x%d", j)
+		}
+	}
+	if len(names) != d {
+		return nil, fmt.Errorf("fusion: %d feature names for %d features", len(names), d)
+	}
+	tnames := termNames(terms)
+
+	output, err := fuzzy.NewVariable("out", out.Lo, out.Hi)
+	if err != nil {
+		return nil, err
+	}
+	if err := output.UniformTerms(tnames); err != nil {
+		return nil, err
+	}
+	sys, err := fuzzy.NewSystem(output, f.Opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if f.Opts.Domains != nil && len(f.Opts.Domains) != d {
+		return nil, fmt.Errorf("fusion: %d domains for %d features", len(f.Opts.Domains), d)
+	}
+	for j := 0; j < d; j++ {
+		col := make([]float64, n)
+		for i := range features {
+			if len(features[i]) != d {
+				return nil, fmt.Errorf("fusion: ragged feature row %d", i)
+			}
+			col[i] = features[i][j]
+		}
+		var lo, hi float64
+		if f.Opts.Domains != nil {
+			dom := f.Opts.Domains[j]
+			if !dom.valid() {
+				return nil, fmt.Errorf("fusion: empty domain [%g, %g] for feature %d", dom.Lo, dom.Hi, j)
+			}
+			lo, hi = dom.Lo, dom.Hi
+		} else {
+			var err error
+			lo, hi, err = stats.MinMax(col)
+			if err != nil {
+				return nil, err
+			}
+			if hi == lo {
+				// Degenerate feature (fully generalized release at high k):
+				// widen artificially so the variable stays valid; every
+				// record then fires the middle terms equally.
+				lo, hi = lo-0.5, hi+0.5
+			}
+		}
+		v, err := fuzzy.NewVariable(names[j], lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		if err := v.UniformTerms(tnames); err != nil {
+			return nil, err
+		}
+		if err := sys.AddInput(v); err != nil {
+			return nil, err
+		}
+	}
+	if f.Opts.Rules != "" {
+		rules, err := fuzzy.ParseRules(f.Opts.Rules)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rules {
+			if err := sys.AddRule(r); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// The paper's simplistic monotone knowledge rules, uniform weights:
+		// IF xj IS term_i THEN out IS term_i.
+		for j := 0; j < d; j++ {
+			for _, t := range tnames {
+				rule := fmt.Sprintf("IF %s IS %s THEN out IS %s", names[j], t, t)
+				if err := sys.AddRuleText(rule); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	est := make([]float64, n)
+	in := make(map[string]float64, d)
+	for i, row := range features {
+		for j, name := range names {
+			in[name] = row[j]
+		}
+		y, err := sys.Evaluate(in)
+		if errors.Is(err, fuzzy.ErrNoRuleFired) {
+			// Possible only with hand-written sparse rule bases; fall back
+			// to the no-fusion estimate for that record.
+			y = out.Mid()
+		} else if err != nil {
+			return nil, err
+		}
+		est[i] = stats.Clamp(y, out.Lo, out.Hi)
+	}
+	return est, nil
+}

@@ -1,0 +1,200 @@
+package fusion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fuzzy"
+)
+
+func TestFuzzyMonotone(t *testing.T) {
+	features := [][]float64{{1, 500}, {5, 2500}, {9, 5500}}
+	est, err := NewFuzzy().Estimate(features, Range{40000, 160000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(est[0] < est[1] && est[1] < est[2]) {
+		t.Errorf("not monotone: %v", est)
+	}
+}
+
+func TestFuzzyBeatsMidpointOnCorrelatedData(t *testing.T) {
+	// Truth: y proportional to x. Fuzzy fusion must reduce squared error vs
+	// the midpoint estimate — the paper's central information-gain claim.
+	var features [][]float64
+	var truth []float64
+	for i := 0; i < 30; i++ {
+		x := float64(i) / 29 // 0..1
+		features = append(features, []float64{x * 10})
+		truth = append(truth, 40000+x*120000)
+	}
+	r := Range{40000, 160000}
+	fz, err := NewFuzzy().Estimate(features, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Midpoint{}.Estimate(features, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := func(est []float64) float64 {
+		var s float64
+		for i := range est {
+			d := est[i] - truth[i]
+			s += d * d
+		}
+		return s
+	}
+	if sq(fz) >= sq(mid) {
+		t.Errorf("fuzzy SSE %g not better than midpoint %g", sq(fz), sq(mid))
+	}
+}
+
+func TestFuzzyDegenerateFeature(t *testing.T) {
+	// Fully generalized release: every record identical. The estimator must
+	// not fail; estimates collapse to a single central value.
+	features := [][]float64{{5}, {5}, {5}}
+	est, err := NewFuzzy().Estimate(features, Range{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est[0] != est[1] || est[1] != est[2] {
+		t.Errorf("estimates differ on identical inputs: %v", est)
+	}
+	if est[0] < 0 || est[0] > 100 {
+		t.Errorf("estimate %g escapes range", est[0])
+	}
+}
+
+func TestFuzzyTermCountVariants(t *testing.T) {
+	features := [][]float64{{1}, {3}, {5}, {7}, {9}}
+	for _, terms := range []int{2, 3, 5, 7} {
+		f := &Fuzzy{Opts: FuzzyOptions{Terms: terms}}
+		est, err := f.Estimate(features, Range{0, 100})
+		if err != nil {
+			t.Fatalf("terms=%d: %v", terms, err)
+		}
+		for i := 1; i < len(est); i++ {
+			if est[i] < est[i-1] {
+				t.Errorf("terms=%d: non-monotone %v", terms, est)
+			}
+		}
+	}
+	bad := &Fuzzy{Opts: FuzzyOptions{Terms: 1}}
+	if _, err := bad.Estimate(features, Range{0, 100}); err == nil {
+		t.Error("terms=1 accepted")
+	}
+}
+
+func TestFuzzyCustomRules(t *testing.T) {
+	f := &Fuzzy{Opts: FuzzyOptions{
+		FeatureNames: []string{"valuation", "property"},
+		Rules: `
+# Figure 2 style hand-written knowledge.
+IF valuation IS high AND property IS high THEN out IS high
+IF valuation IS low  OR  property IS low  THEN out IS low
+IF valuation IS med THEN out IS med
+`,
+	}}
+	features := [][]float64{{1, 500}, {5, 2500}, {9, 5500}}
+	est, err := f.Estimate(features, Range{40000, 160000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(est[0] < est[2]) {
+		t.Errorf("custom rules not ordering extremes: %v", est)
+	}
+	// Sparse rules that never fire fall back to the midpoint.
+	sparse := &Fuzzy{Opts: FuzzyOptions{
+		FeatureNames: []string{"v"},
+		Rules:        "IF v IS high THEN out IS high",
+	}}
+	est, err = sparse.Estimate([][]float64{{0}, {10}}, Range{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est[0] != 50 {
+		t.Errorf("no-fire fallback = %g, want midpoint 50", est[0])
+	}
+	// Broken custom rules error.
+	broken := &Fuzzy{Opts: FuzzyOptions{Rules: "IF nonsense"}}
+	if _, err := broken.Estimate([][]float64{{1}}, Range{0, 1}); err == nil {
+		t.Error("broken rules accepted")
+	}
+	// Rule referencing unknown variable errors.
+	unknown := &Fuzzy{Opts: FuzzyOptions{Rules: "IF zz IS high THEN out IS high"}}
+	if _, err := unknown.Estimate([][]float64{{1}, {2}}, Range{0, 1}); err == nil {
+		t.Error("unknown variable accepted")
+	}
+}
+
+func TestFuzzyEngineVariants(t *testing.T) {
+	features := [][]float64{{1, 500}, {5, 2500}, {9, 5500}}
+	r := Range{40000, 160000}
+	variants := []fuzzy.Options{
+		{},
+		{Norms: fuzzy.Norms{ProductAND: true}},
+		{ProductImplication: true},
+		{Defuzz: fuzzy.Bisector},
+		{Defuzz: fuzzy.MeanOfMaxima},
+		{Resolution: 1001},
+	}
+	for i, opts := range variants {
+		f := &Fuzzy{Opts: FuzzyOptions{Engine: opts}}
+		est, err := f.Estimate(features, r)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if !(est[0] < est[2]) {
+			t.Errorf("variant %d: extremes unordered: %v", i, est)
+		}
+	}
+}
+
+func TestFuzzyErrors(t *testing.T) {
+	if _, err := NewFuzzy().Estimate(nil, Range{0, 1}); err == nil {
+		t.Error("no records accepted")
+	}
+	if _, err := NewFuzzy().Estimate([][]float64{{}}, Range{0, 1}); err == nil {
+		t.Error("zero-width features accepted")
+	}
+	if _, err := NewFuzzy().Estimate([][]float64{{1}}, Range{3, 3}); err == nil {
+		t.Error("empty range accepted")
+	}
+	f := &Fuzzy{Opts: FuzzyOptions{FeatureNames: []string{"a", "b"}}}
+	if _, err := f.Estimate([][]float64{{1}}, Range{0, 1}); err == nil {
+		t.Error("name/width mismatch accepted")
+	}
+	if _, err := NewFuzzy().Estimate([][]float64{{1}, {1, 2}}, Range{0, 1}); err == nil {
+		t.Error("ragged features accepted")
+	}
+}
+
+// Property: fuzzy estimates always stay inside the sensitive range.
+func TestFuzzyRangeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		features := make([][]float64, len(raw))
+		for i, b := range raw {
+			features[i] = []float64{float64(b)}
+		}
+		est, err := NewFuzzy().Estimate(features, Range{40000, 160000})
+		if err != nil {
+			return false
+		}
+		for _, v := range est {
+			if v < 40000 || v > 160000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,329 @@
+package fuzzy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Defuzzifier selects the crisp-output strategy for Mamdani inference.
+type Defuzzifier int
+
+// The five standard defuzzifiers.
+const (
+	// Centroid is the center of gravity of the aggregated surface — the
+	// default, and what the paper's Figure 2 "DE-FUZZIFIER" box computes.
+	Centroid Defuzzifier = iota
+	// Bisector splits the aggregated area in half.
+	Bisector
+	// MeanOfMaxima averages the points of maximal membership.
+	MeanOfMaxima
+	// SmallestOfMaxima takes the smallest point of maximal membership.
+	SmallestOfMaxima
+	// LargestOfMaxima takes the largest point of maximal membership.
+	LargestOfMaxima
+)
+
+// String returns the defuzzifier name.
+func (d Defuzzifier) String() string {
+	switch d {
+	case Centroid:
+		return "centroid"
+	case Bisector:
+		return "bisector"
+	case MeanOfMaxima:
+		return "mom"
+	case SmallestOfMaxima:
+		return "som"
+	case LargestOfMaxima:
+		return "lom"
+	default:
+		return fmt.Sprintf("Defuzzifier(%d)", int(d))
+	}
+}
+
+// Options configures inference.
+type Options struct {
+	// Norms selects the AND connective (min or product).
+	Norms Norms
+	// ProductImplication scales consequents by firing strength instead of
+	// clipping them (Larsen vs Mamdani implication).
+	ProductImplication bool
+	// Defuzz selects the output strategy.
+	Defuzz Defuzzifier
+	// Resolution is the number of samples across the output domain used by
+	// the numeric defuzzifiers. Defaults to 201 when zero.
+	Resolution int
+}
+
+// System is a complete fuzzy inference system: input variables, one output
+// variable and a rule base, mirroring the structure of the paper's Figure 2.
+type System struct {
+	inputs map[string]*Variable
+	output *Variable
+	rules  []Rule
+	opts   Options
+}
+
+// NewSystem creates a system with the given output variable and options.
+func NewSystem(output *Variable, opts Options) (*System, error) {
+	if output == nil {
+		return nil, errors.New("fuzzy: system needs an output variable")
+	}
+	if len(output.Terms()) == 0 {
+		return nil, fmt.Errorf("fuzzy: output variable %q has no terms", output.Name)
+	}
+	if opts.Resolution == 0 {
+		opts.Resolution = 201
+	}
+	if opts.Resolution < 2 {
+		return nil, fmt.Errorf("fuzzy: resolution %d too small", opts.Resolution)
+	}
+	return &System{
+		inputs: make(map[string]*Variable),
+		output: output,
+		opts:   opts,
+	}, nil
+}
+
+// AddInput registers an input variable.
+func (s *System) AddInput(v *Variable) error {
+	if v == nil {
+		return errors.New("fuzzy: nil input variable")
+	}
+	if v.Name == s.output.Name {
+		return fmt.Errorf("fuzzy: input %q collides with the output variable", v.Name)
+	}
+	if _, dup := s.inputs[v.Name]; dup {
+		return fmt.Errorf("fuzzy: duplicate input variable %q", v.Name)
+	}
+	if len(v.Terms()) == 0 {
+		return fmt.Errorf("fuzzy: input variable %q has no terms", v.Name)
+	}
+	s.inputs[v.Name] = v
+	return nil
+}
+
+// AddRule validates a rule against the registered variables and appends it.
+func (s *System) AddRule(r Rule) error {
+	if r.Antecedent == nil {
+		return errors.New("fuzzy: rule has no antecedent")
+	}
+	if r.outputVar != "" && r.outputVar != s.output.Name {
+		return fmt.Errorf("fuzzy: rule %q concludes on %q; system output is %q", r.Text, r.outputVar, s.output.Name)
+	}
+	if _, err := s.output.Term(r.OutputTerm); err != nil {
+		return fmt.Errorf("fuzzy: rule %q: %w", r.Text, err)
+	}
+	used := make(map[string]bool)
+	r.Antecedent.vars(used)
+	for name := range used {
+		v, ok := s.inputs[name]
+		if !ok {
+			return fmt.Errorf("fuzzy: rule %q references unknown input %q", r.Text, name)
+		}
+		// Validate referenced terms exist by walking the expression.
+		if err := checkTerms(r.Antecedent, v); err != nil {
+			return fmt.Errorf("fuzzy: rule %q: %w", r.Text, err)
+		}
+	}
+	s.rules = append(s.rules, r)
+	return nil
+}
+
+func checkTerms(e Expr, v *Variable) error {
+	switch n := e.(type) {
+	case cond:
+		if n.variable == v.Name {
+			if _, err := v.Term(n.term); err != nil {
+				return err
+			}
+		}
+	case notExpr:
+		return checkTerms(n.inner, v)
+	case andExpr:
+		for _, k := range n.kids {
+			if err := checkTerms(k, v); err != nil {
+				return err
+			}
+		}
+	case orExpr:
+		for _, k := range n.kids {
+			if err := checkTerms(k, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AddRuleText parses and adds one rule.
+func (s *System) AddRuleText(text string) error {
+	r, err := ParseRule(text)
+	if err != nil {
+		return err
+	}
+	return s.AddRule(r)
+}
+
+// Rules returns a copy of the rule base.
+func (s *System) Rules() []Rule {
+	out := make([]Rule, len(s.rules))
+	copy(out, s.rules)
+	return out
+}
+
+// Inputs returns the input variable names in no particular order.
+func (s *System) Inputs() []string {
+	out := make([]string, 0, len(s.inputs))
+	for n := range s.inputs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Output returns the output variable.
+func (s *System) Output() *Variable { return s.output }
+
+// ErrNoRuleFired is returned when every rule has zero firing strength, so
+// the aggregated output surface is empty.
+var ErrNoRuleFired = errors.New("fuzzy: no rule fired")
+
+// Evaluate runs Mamdani inference: fuzzify inputs, fire every rule, clip or
+// scale its consequent, aggregate by max, and defuzzify. Inputs are crisp
+// values keyed by variable name; every registered input must be present
+// (the fusion layer handles missing web attributes before calling this).
+func (s *System) Evaluate(in map[string]float64) (float64, error) {
+	if len(s.rules) == 0 {
+		return 0, errors.New("fuzzy: system has no rules")
+	}
+	grades := make(map[string]map[string]float64, len(s.inputs))
+	for name, v := range s.inputs {
+		x, ok := in[name]
+		if !ok {
+			return 0, fmt.Errorf("fuzzy: missing input %q", name)
+		}
+		grades[name] = v.Fuzzify(x)
+	}
+	var fired aggregate
+	for _, r := range s.rules {
+		w := r.Antecedent.strength(grades, s.opts.Norms) * r.Weight
+		if w <= 0 {
+			continue
+		}
+		base, err := s.output.Term(r.OutputTerm)
+		if err != nil {
+			return 0, err
+		}
+		fired = append(fired, clipped{base: base, cap: w, prod: s.opts.ProductImplication})
+	}
+	if len(fired) == 0 {
+		return 0, ErrNoRuleFired
+	}
+	return s.defuzzify(fired)
+}
+
+// EvaluateSugeno runs zero-order Sugeno inference: each output term must be
+// a Singleton; the result is the firing-strength-weighted average of the
+// singletons. It is cheaper than Mamdani and used as an engine ablation.
+func (s *System) EvaluateSugeno(in map[string]float64) (float64, error) {
+	if len(s.rules) == 0 {
+		return 0, errors.New("fuzzy: system has no rules")
+	}
+	grades := make(map[string]map[string]float64, len(s.inputs))
+	for name, v := range s.inputs {
+		x, ok := in[name]
+		if !ok {
+			return 0, fmt.Errorf("fuzzy: missing input %q", name)
+		}
+		grades[name] = v.Fuzzify(x)
+	}
+	var num, den float64
+	for _, r := range s.rules {
+		w := r.Antecedent.strength(grades, s.opts.Norms) * r.Weight
+		if w <= 0 {
+			continue
+		}
+		f, err := s.output.Term(r.OutputTerm)
+		if err != nil {
+			return 0, err
+		}
+		sing, ok := f.(Singleton)
+		if !ok {
+			return 0, fmt.Errorf("fuzzy: Sugeno output term %q is not a singleton", r.OutputTerm)
+		}
+		num += w * sing.X
+		den += w
+	}
+	if den == 0 {
+		return 0, ErrNoRuleFired
+	}
+	return num / den, nil
+}
+
+func (s *System) defuzzify(surface MembershipFunc) (float64, error) {
+	n := s.opts.Resolution
+	lo, hi := s.output.Lo, s.output.Hi
+	dx := (hi - lo) / float64(n-1)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	var maxY float64
+	var area float64
+	for i := 0; i < n; i++ {
+		x := lo + float64(i)*dx
+		y := surface.Grade(x)
+		xs[i], ys[i] = x, y
+		if y > maxY {
+			maxY = y
+		}
+		area += y
+	}
+	if maxY == 0 || area == 0 {
+		return 0, ErrNoRuleFired
+	}
+	switch s.opts.Defuzz {
+	case Centroid:
+		var num float64
+		for i := range xs {
+			num += xs[i] * ys[i]
+		}
+		return num / area, nil
+	case Bisector:
+		half := area / 2
+		var acc float64
+		for i := range xs {
+			acc += ys[i]
+			if acc >= half {
+				return xs[i], nil
+			}
+		}
+		return xs[n-1], nil
+	case MeanOfMaxima, SmallestOfMaxima, LargestOfMaxima:
+		const tol = 1e-9
+		var sum float64
+		var count int
+		smallest, largest := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			if ys[i] >= maxY-tol {
+				sum += xs[i]
+				count++
+				if xs[i] < smallest {
+					smallest = xs[i]
+				}
+				if xs[i] > largest {
+					largest = xs[i]
+				}
+			}
+		}
+		switch s.opts.Defuzz {
+		case SmallestOfMaxima:
+			return smallest, nil
+		case LargestOfMaxima:
+			return largest, nil
+		default:
+			return sum / float64(count), nil
+		}
+	default:
+		return 0, fmt.Errorf("fuzzy: unknown defuzzifier %v", s.opts.Defuzz)
+	}
+}

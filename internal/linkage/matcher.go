@@ -1,0 +1,122 @@
+package linkage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// blockKeys returns the Soundex codes of each token of the normalized name.
+func blockKeys(name string) []string {
+	tokens := strings.Fields(NormalizeName(name))
+	keys := make([]string, 0, len(tokens))
+	seen := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		k := Soundex(t)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// Similarity is a name-similarity function in [0, 1].
+type Similarity func(a, b string) float64
+
+// Matcher links entity names extracted from the web back to the identifiers
+// in the anonymized release.
+type Matcher struct {
+	// Sim scores candidate pairs (defaults to Jaro-Winkler over normalized
+	// names via DefaultMatcher).
+	Sim Similarity
+	// Threshold is the minimum score for a link.
+	Threshold float64
+	// Block enables Soundex blocking: only candidates sharing a phonetic
+	// block are compared, which keeps linkage near-linear.
+	Block bool
+}
+
+// DefaultMatcher links with Jaro-Winkler ≥ 0.88 under Soundex blocking —
+// tight enough to avoid false merges on small enterprise rosters, loose
+// enough to absorb web typos.
+func DefaultMatcher() *Matcher {
+	return &Matcher{
+		Sim:       func(a, b string) float64 { return JaroWinkler(NormalizeName(a), NormalizeName(b)) },
+		Threshold: 0.88,
+		Block:     true,
+	}
+}
+
+// Link matches each query name (web entity) to at most one target name
+// (release identifier). It returns a map from query index to target index.
+// Each target is linked at most once; conflicts resolve by score, then by
+// query order (stable, greedy on descending score).
+func (m *Matcher) Link(queries, targets []string) (map[int]int, error) {
+	if m.Sim == nil {
+		return nil, fmt.Errorf("linkage: matcher has no similarity function")
+	}
+	if m.Threshold < 0 || m.Threshold > 1 {
+		return nil, fmt.Errorf("linkage: threshold %g outside [0, 1]", m.Threshold)
+	}
+	type pair struct {
+		q, t  int
+		score float64
+	}
+	var pairs []pair
+	var blocks map[string][]int
+	if m.Block {
+		// Block on the Soundex of every name token, so a typo in one token
+		// still shares a block through the others.
+		blocks = make(map[string][]int)
+		for t, name := range targets {
+			for _, key := range blockKeys(name) {
+				blocks[key] = append(blocks[key], t)
+			}
+		}
+	}
+	for q, qn := range queries {
+		var cands []int
+		if m.Block {
+			seen := make(map[int]bool)
+			for _, key := range blockKeys(qn) {
+				for _, t := range blocks[key] {
+					if !seen[t] {
+						seen[t] = true
+						cands = append(cands, t)
+					}
+				}
+			}
+			sort.Ints(cands)
+		} else {
+			cands = make([]int, len(targets))
+			for i := range targets {
+				cands[i] = i
+			}
+		}
+		for _, t := range cands {
+			if s := m.Sim(qn, targets[t]); s >= m.Threshold {
+				pairs = append(pairs, pair{q, t, s})
+			}
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].score != pairs[j].score {
+			return pairs[i].score > pairs[j].score
+		}
+		if pairs[i].q != pairs[j].q {
+			return pairs[i].q < pairs[j].q
+		}
+		return pairs[i].t < pairs[j].t
+	})
+	links := make(map[int]int)
+	usedTarget := make(map[int]bool)
+	for _, p := range pairs {
+		if _, done := links[p.q]; done || usedTarget[p.t] {
+			continue
+		}
+		links[p.q] = p.t
+		usedTarget[p.t] = true
+	}
+	return links, nil
+}

@@ -1,0 +1,152 @@
+// Package metrics implements the paper's measurement layer: the
+// mean-squared-trace dissimilarity of Definition 1, the Bayardo–Agrawal
+// discernibility metric C_DM and the derived utility U = 1/C_DM (Section
+// 6.C), the adversary's information gain G (Section 6.B), and the weighted
+// protection+utility objective H (Section 4).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// ErrShape is returned when two datasets do not represent the same set of
+// individuals and attributes, which Definition 1 requires.
+var ErrShape = errors.New("metrics: datasets have different shapes")
+
+// Dissimilarity computes Definition 1 of the paper over two row-major
+// numeric matrices representing the same individuals and attributes:
+//
+//	D1 ∘ D2 = (1/m) · Tr((D1 − D2)ᵀ (D1 − D2))
+//
+// which equals the mean over records of the squared Euclidean row distance.
+func Dissimilarity(d1, d2 [][]float64) (float64, error) {
+	m := len(d1)
+	if m != len(d2) {
+		return 0, fmt.Errorf("%w: %d vs %d rows", ErrShape, m, len(d2))
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("%w: empty datasets", ErrShape)
+	}
+	var total float64
+	for i := range d1 {
+		if len(d1[i]) != len(d2[i]) {
+			return 0, fmt.Errorf("%w: row %d has %d vs %d attributes", ErrShape, i, len(d1[i]), len(d2[i]))
+		}
+		for j := range d1[i] {
+			d := d1[i][j] - d2[i][j]
+			total += d * d
+		}
+	}
+	return total / float64(m), nil
+}
+
+// TableDissimilarity applies Definition 1 to two tables over the named
+// columns, reading generalized cells at their interval midpoints and
+// suppressed cells as def. Both tables must have the rows in the same
+// individual order (the enterprise release keeps identifiers, so callers can
+// align by name first; see internal/linkage).
+func TableDissimilarity(t1, t2 *dataset.Table, cols []string, def float64) (float64, error) {
+	if t1.NumRows() != t2.NumRows() {
+		return 0, fmt.Errorf("%w: %d vs %d rows", ErrShape, t1.NumRows(), t2.NumRows())
+	}
+	idx1, err := columnIndices(t1, cols)
+	if err != nil {
+		return 0, err
+	}
+	idx2, err := columnIndices(t2, cols)
+	if err != nil {
+		return 0, err
+	}
+	return Dissimilarity(t1.Matrix(idx1, def), t2.Matrix(idx2, def))
+}
+
+func columnIndices(t *dataset.Table, cols []string) ([]int, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j, err := t.Schema().Lookup(c)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: %w", err)
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+// Discernibility computes the Bayardo–Agrawal discernibility metric:
+//
+//	C_DM(g, k) = Σ_{|E| ≥ k} |E|² + Σ_{|E| < k} |D|·|E|
+//
+// where E ranges over the equivalence classes induced on the table by the
+// quasi-identifier columns. Classes smaller than k (suppressed or
+// non-conforming rows) pay the severe |D|·|E| penalty.
+func Discernibility(t *dataset.Table, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("metrics: discernibility needs k ≥ 1, got %d", k)
+	}
+	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
+	if len(qis) == 0 {
+		return 0, errors.New("metrics: table has no quasi-identifier columns")
+	}
+	n := float64(t.NumRows())
+	var cdm float64
+	for _, e := range t.GroupBy(qis) {
+		size := float64(len(e))
+		if len(e) >= k {
+			cdm += size * size
+		} else {
+			cdm += n * size
+		}
+	}
+	return cdm, nil
+}
+
+// Utility computes U_k = 1 / C_DM(k) as in Section 6.C. An empty table has
+// zero utility.
+func Utility(t *dataset.Table, k int) (float64, error) {
+	if t.NumRows() == 0 {
+		return 0, nil
+	}
+	cdm, err := Discernibility(t, k)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / cdm, nil
+}
+
+// PerRecordUtility returns the paper's per-record utility column
+// u_i = 1/C_i where C_i is the cost of the equivalence class of record i
+// (|E|² if |E| ≥ k, |D|·|E| otherwise).
+func PerRecordUtility(t *dataset.Table, k int) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("metrics: per-record utility needs k ≥ 1, got %d", k)
+	}
+	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
+	if len(qis) == 0 {
+		return nil, errors.New("metrics: table has no quasi-identifier columns")
+	}
+	n := float64(t.NumRows())
+	out := make([]float64, t.NumRows())
+	for _, e := range t.GroupBy(qis) {
+		size := float64(len(e))
+		var cost float64
+		if len(e) >= k {
+			cost = size * size
+		} else {
+			cost = n * size
+		}
+		for _, i := range e {
+			out[i] = 1 / cost
+		}
+	}
+	return out, nil
+}
+
+// InformationGain is the paper's G = (P ∘ P') − (P ∘ P̂) (Section 6.B): how
+// much closer the adversary's post-fusion estimate is to the truth than the
+// pre-fusion release alone.
+func InformationGain(beforeFusion, afterFusion float64) float64 {
+	return beforeFusion - afterFusion
+}

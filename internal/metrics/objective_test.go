@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHSeriesByMax(t *testing.T) {
+	d := []float64{3.0e8, 3.2e8, 3.4e8}
+	u := []float64{0.004, 0.002, 0.001}
+	h, err := HSeries(d, u, DefaultHOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D̃ = d/3.4e8, Ũ = u/0.004.
+	want0 := 0.5*(3.0/3.4) + 0.5*1.0
+	if !almost(h[0], want0, 1e-12) {
+		t.Errorf("h[0] = %g, want %g", h[0], want0)
+	}
+	for _, v := range h {
+		if v < 0 || v > 1 {
+			t.Errorf("by-max H out of [0,1]: %g", v)
+		}
+	}
+}
+
+func TestHSeriesNone(t *testing.T) {
+	d := []float64{2, 4}
+	u := []float64{1, 1}
+	h, err := HSeries(d, u, HOptions{W1: 0.5, W2: 0.5, Normalize: NormalizeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != 1.5 || h[1] != 2.5 {
+		t.Errorf("raw H = %v", h)
+	}
+}
+
+func TestHSeriesMinMax(t *testing.T) {
+	d := []float64{10, 20, 30}
+	u := []float64{3, 2, 1}
+	h, err := HSeries(d, u, HOptions{W1: 1, W2: 1, Normalize: NormalizeMinMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D̃ = {0, .5, 1}, Ũ = {1, .5, 0} → all 1.
+	for i, v := range h {
+		if !almost(v, 1, 1e-12) {
+			t.Errorf("h[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestHSeriesDegenerate(t *testing.T) {
+	// Constant series under min-max and zero series under by-max are all 0.
+	h, err := HSeries([]float64{5, 5}, []float64{0, 0}, HOptions{W1: 1, W2: 1, Normalize: NormalizeMinMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != 0 || h[1] != 0 {
+		t.Errorf("degenerate min-max = %v", h)
+	}
+	h, err = HSeries([]float64{0, 0}, []float64{0, 0}, DefaultHOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != 0 || h[1] != 0 {
+		t.Errorf("degenerate by-max = %v", h)
+	}
+}
+
+func TestHSeriesErrors(t *testing.T) {
+	if _, err := HSeries([]float64{1}, []float64{1, 2}, DefaultHOptions()); err == nil {
+		t.Error("misaligned accepted")
+	}
+	if _, err := HSeries(nil, nil, DefaultHOptions()); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := HSeries([]float64{1}, []float64{1}, HOptions{W1: -1, W2: 0.5}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	i, v, err := ArgMax([]float64{1, 5, 3, 5})
+	if err != nil || i != 1 || v != 5 {
+		t.Errorf("ArgMax = (%d, %g, %v)", i, v, err)
+	}
+	if _, _, err := ArgMax(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestHNormalizationString(t *testing.T) {
+	for _, tc := range []struct {
+		n    HNormalization
+		want string
+	}{
+		{NormalizeByMax, "by-max"}, {NormalizeNone, "none"}, {NormalizeMinMax, "min-max"},
+	} {
+		if got := tc.n.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// Property: with by-max normalization and W1+W2 = 1 over non-negative series,
+// H stays in [0, 1]; and ArgMax returns an index whose value dominates.
+func TestHSeriesBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		n := len(raw) / 2
+		d := make([]float64, n)
+		u := make([]float64, n)
+		for i := 0; i < n; i++ {
+			d[i] = float64(raw[i])
+			u[i] = float64(raw[n+i])
+		}
+		h, err := HSeries(d, u, DefaultHOptions())
+		if err != nil {
+			return false
+		}
+		i, v, err := ArgMax(h)
+		if err != nil {
+			return false
+		}
+		for _, x := range h {
+			if x < -1e-12 || x > 1+1e-12 || x > v {
+				return false
+			}
+		}
+		return h[i] == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,241 @@
+package microagg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// OptimalUnivariate computes the optimal k-partition of a single numeric
+// attribute by the Hansen–Mukherjee shortest-path dynamic program: groups
+// are contiguous runs of the sorted values with sizes in [k, 2k−1], chosen
+// to minimize the within-group sum of squared errors. It is the exact
+// counterpart MDAV approximates, and the reproduction uses it to bound
+// MDAV's information loss in ablations.
+type OptimalUnivariate struct {
+	// Column selects the quasi-identifier to aggregate; the remaining
+	// quasi-identifiers are aggregated with the same groups (the method is
+	// univariate — group structure comes from Column alone).
+	Column string
+	// CentroidAsInterval mirrors Options.CentroidAsInterval.
+	CentroidAsInterval bool
+}
+
+// Name identifies the scheme in reports.
+func (o *OptimalUnivariate) Name() string { return "optimal-univariate-microaggregation" }
+
+// Anonymize implements the core Anonymizer contract.
+func (o *OptimalUnivariate) Anonymize(t *dataset.Table, k int) (*dataset.Table, error) {
+	groups, err := o.Assign(t, k)
+	if err != nil {
+		return nil, err
+	}
+	return Aggregate(t, groups, o.CentroidAsInterval)
+}
+
+// Assign returns the optimal groups as row-index sets.
+func (o *OptimalUnivariate) Assign(t *dataset.Table, k int) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("microagg: k must be ≥ 2, got %d", k)
+	}
+	n := t.NumRows()
+	if n < k {
+		return nil, fmt.Errorf("%w: %d < %d", ErrTooFewRecords, n, k)
+	}
+	if o.Column == "" {
+		return nil, errors.New("microagg: optimal univariate needs a column")
+	}
+	col, err := t.Schema().Lookup(o.Column)
+	if err != nil {
+		return nil, err
+	}
+	if t.Schema().Column(col).Class != dataset.QuasiIdentifier {
+		return nil, fmt.Errorf("microagg: column %q is not a quasi-identifier", o.Column)
+	}
+	if t.Schema().Column(col).Kind != dataset.Number {
+		return nil, fmt.Errorf("microagg: column %q is not numeric", o.Column)
+	}
+
+	// Sort row indices by the column value (stable on index).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	vals := t.ColumnFloats(col, 0)
+	sort.SliceStable(order, func(a, b int) bool {
+		if vals[order[a]] != vals[order[b]] {
+			return vals[order[a]] < vals[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	sorted := make([]float64, n)
+	for i, idx := range order {
+		sorted[i] = vals[idx]
+	}
+
+	// Prefix sums for O(1) within-group SSE of any contiguous run.
+	prefix := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	for i, v := range sorted {
+		prefix[i+1] = prefix[i] + v
+		prefixSq[i+1] = prefixSq[i] + v*v
+	}
+	sse := func(lo, hi int) float64 { // [lo, hi)
+		cnt := float64(hi - lo)
+		sum := prefix[hi] - prefix[lo]
+		sq := prefixSq[hi] - prefixSq[lo]
+		return sq - sum*sum/cnt
+	}
+
+	// dp[i] = minimal cost partitioning the first i sorted values; cut[i]
+	// records the start of the last group.
+	const inf = 1e308
+	dp := make([]float64, n+1)
+	cut := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		dp[i] = inf
+		for size := k; size <= 2*k-1 && size <= i; size++ {
+			j := i - size
+			if dp[j] == inf && j != 0 {
+				continue
+			}
+			var base float64
+			if j > 0 {
+				base = dp[j]
+			}
+			if c := base + sse(j, i); c < dp[i] {
+				dp[i] = c
+				cut[i] = j
+			}
+		}
+	}
+	if dp[n] == inf {
+		return nil, fmt.Errorf("microagg: no feasible [k, 2k-1] partition of %d records with k=%d", n, k)
+	}
+	var groups [][]int
+	for i := n; i > 0; i = cut[i] {
+		lo := cut[i]
+		g := make([]int, 0, i-lo)
+		for s := lo; s < i; s++ {
+			g = append(g, order[s])
+		}
+		groups = append(groups, g)
+	}
+	// Reverse for ascending order (cosmetic but deterministic).
+	for a, b := 0, len(groups)-1; a < b; a, b = a+1, b-1 {
+		groups[a], groups[b] = groups[b], groups[a]
+	}
+	return groups, nil
+}
+
+// VMDAV is the variable-size extension of MDAV: after forming each k-group
+// around the farthest record, it extends the group with additional nearby
+// records (up to 2k−1) when they are closer to the group than to the rest —
+// gaining lower information loss on clustered data at equal k.
+type VMDAV struct {
+	Opts Options
+	// Gamma controls extension eagerness: a candidate joins when its
+	// distance to the group is below Gamma times its distance to the
+	// nearest outside record. The literature default is 0.2... 1.1
+	// depending on data; 1.0 is a reasonable balance.
+	Gamma float64
+}
+
+// NewVMDAV returns a V-MDAV anonymizer with standardized distances and
+// gamma 1.0.
+func NewVMDAV() *VMDAV { return &VMDAV{Opts: DefaultOptions(), Gamma: 1.0} }
+
+// Name identifies the scheme in reports.
+func (v *VMDAV) Name() string { return "v-mdav-microaggregation" }
+
+// Anonymize implements the core Anonymizer contract.
+func (v *VMDAV) Anonymize(t *dataset.Table, k int) (*dataset.Table, error) {
+	groups, err := v.Assign(t, k)
+	if err != nil {
+		return nil, err
+	}
+	return Aggregate(t, groups, v.Opts.CentroidAsInterval)
+}
+
+// Assign runs V-MDAV and returns groups of size in [k, 2k−1].
+func (v *VMDAV) Assign(t *dataset.Table, k int) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("microagg: k must be ≥ 2, got %d", k)
+	}
+	n := t.NumRows()
+	if n < k {
+		return nil, fmt.Errorf("%w: %d < %d", ErrTooFewRecords, n, k)
+	}
+	if v.Gamma < 0 {
+		return nil, fmt.Errorf("microagg: gamma %g must be non-negative", v.Gamma)
+	}
+	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
+	if len(qis) == 0 {
+		return nil, errors.New("microagg: table has no quasi-identifier columns")
+	}
+	for _, c := range qis {
+		if t.Schema().Column(c).Kind != dataset.Number {
+			return nil, fmt.Errorf("microagg: quasi-identifier %q is not numeric", t.Schema().Column(c).Name)
+		}
+	}
+	points := t.Matrix(qis, 0)
+	if v.Opts.Standardize {
+		standardize(points)
+	}
+
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var groups [][]int
+	for len(remaining) >= 2*k {
+		c := centroidOf(points, remaining)
+		seed := farthestFrom(points, remaining, c)
+		group, rest := takeNearest(points, remaining, seed, k)
+		// Extension phase: add up to k−1 more records that are much closer
+		// to the group than to the remaining crowd.
+		for len(group) < 2*k-1 && len(rest) > k {
+			gc := centroidOf(points, group)
+			// Nearest outside candidate to the group centroid.
+			cand, candD := -1, 0.0
+			for _, i := range rest {
+				if d := sqDist(points[i], gc); cand < 0 || d < candD {
+					cand, candD = i, d
+				}
+			}
+			// Its distance to the nearest other outside record.
+			otherD := -1.0
+			for _, i := range rest {
+				if i == cand {
+					continue
+				}
+				if d := sqDist(points[i], points[cand]); otherD < 0 || d < otherD {
+					otherD = d
+				}
+			}
+			if otherD < 0 || candD >= v.Gamma*otherD {
+				break
+			}
+			group = append(group, cand)
+			rest = removeOne(rest, cand)
+		}
+		groups = append(groups, group)
+		remaining = rest
+	}
+	if len(remaining) > 0 {
+		groups = append(groups, remaining)
+	}
+	return groups, nil
+}
+
+func removeOne(xs []int, x int) []int {
+	out := xs[:0]
+	for _, v := range xs {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+// Package mondrian implements Mondrian multidimensional k-anonymity
+// (LeFevre, DeWitt, Ramakrishnan, ICDE 2006 — reference [3] of the paper).
+//
+// Mondrian recursively median-splits the quasi-identifier space along the
+// dimension with the widest normalized range, as long as both halves keep at
+// least k records (strict partitioning), then generalizes each leaf
+// partition's quasi-identifiers to the covering interval.
+//
+// It is the second partitioning baseline the reproduction uses to check the
+// paper's claim that "other solutions in this category produce similar
+// results".
+package mondrian
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Anonymizer runs Mondrian partitioning. The zero value is ready to use.
+type Anonymizer struct {
+	// Relaxed allows ties at the median to be split between the halves
+	// (relaxed multidimensional partitioning). The strict variant keeps
+	// records with equal split values together.
+	Relaxed bool
+}
+
+// New returns a strict Mondrian anonymizer.
+func New() *Anonymizer { return &Anonymizer{} }
+
+// Name identifies the scheme in reports.
+func (a *Anonymizer) Name() string { return "mondrian" }
+
+// Anonymize returns a k-anonymous copy of t with quasi-identifiers replaced
+// by per-partition covering intervals.
+func (a *Anonymizer) Anonymize(t *dataset.Table, k int) (*dataset.Table, error) {
+	parts, err := a.Partition(t, k)
+	if err != nil {
+		return nil, err
+	}
+	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
+	out := t.Clone()
+	for _, p := range parts {
+		for _, c := range qis {
+			lo, hi := rangeOf(t, p, c)
+			var cell dataset.Value
+			if lo == hi {
+				cell = dataset.Num(lo)
+			} else {
+				cell = dataset.Span(lo, hi)
+			}
+			for _, i := range p {
+				if err := out.SetCell(i, c, cell); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Partition returns the leaf partitions (row index groups), each of size ≥ k.
+func (a *Anonymizer) Partition(t *dataset.Table, k int) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("mondrian: k must be ≥ 2, got %d", k)
+	}
+	if t.NumRows() < k {
+		return nil, fmt.Errorf("mondrian: %d records cannot be %d-anonymous", t.NumRows(), k)
+	}
+	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
+	if len(qis) == 0 {
+		return nil, errors.New("mondrian: table has no quasi-identifier columns")
+	}
+	for _, c := range qis {
+		if t.Schema().Column(c).Kind != dataset.Number {
+			return nil, fmt.Errorf("mondrian: quasi-identifier %q is not numeric", t.Schema().Column(c).Name)
+		}
+	}
+	// Global ranges for normalized width comparison.
+	globalLo := make(map[int]float64, len(qis))
+	globalHi := make(map[int]float64, len(qis))
+	all := make([]int, t.NumRows())
+	for i := range all {
+		all[i] = i
+	}
+	for _, c := range qis {
+		lo, hi := rangeOf(t, all, c)
+		globalLo[c], globalHi[c] = lo, hi
+	}
+
+	var leaves [][]int
+	var split func(part []int)
+	split = func(part []int) {
+		if len(part) < 2*k {
+			leaves = append(leaves, part)
+			return
+		}
+		// Choose the dimension with the widest normalized range.
+		bestDim, bestWidth := -1, -1.0
+		for _, c := range qis {
+			lo, hi := rangeOf(t, part, c)
+			span := globalHi[c] - globalLo[c]
+			if span == 0 {
+				continue
+			}
+			w := (hi - lo) / span
+			if w > bestWidth {
+				bestWidth, bestDim = w, c
+			}
+		}
+		if bestDim < 0 || bestWidth == 0 {
+			if !a.Relaxed {
+				leaves = append(leaves, part)
+				return
+			}
+			// Relaxed partitioning may still split an all-ties partition
+			// (the halves get identical generalized cells, which is fine).
+			bestDim = qis[0]
+		}
+		left, right, ok := a.medianSplit(t, part, bestDim, k)
+		if !ok {
+			leaves = append(leaves, part)
+			return
+		}
+		split(left)
+		split(right)
+	}
+	split(all)
+	return leaves, nil
+}
+
+// medianSplit splits part on column dim at the median. Returns ok=false when
+// no allowable cut leaves both halves with ≥ k records.
+func (a *Anonymizer) medianSplit(t *dataset.Table, part []int, dim, k int) (left, right []int, ok bool) {
+	sorted := append([]int(nil), part...)
+	sort.SliceStable(sorted, func(x, y int) bool {
+		vx, _ := t.Cell(sorted[x], dim).Float()
+		vy, _ := t.Cell(sorted[y], dim).Float()
+		if vx != vy {
+			return vx < vy
+		}
+		return sorted[x] < sorted[y]
+	})
+	if a.Relaxed {
+		mid := len(sorted) / 2
+		if mid < k || len(sorted)-mid < k {
+			return nil, nil, false
+		}
+		return sorted[:mid], sorted[mid:], true
+	}
+	// Strict: cut between distinct values only. Find the cut closest to the
+	// median where both halves have ≥ k records.
+	value := func(i int) float64 {
+		v, _ := t.Cell(sorted[i], dim).Float()
+		return v
+	}
+	bestCut, bestDist := -1, len(sorted)+1
+	for cut := k; cut <= len(sorted)-k; cut++ {
+		if value(cut-1) == value(cut) {
+			continue // would split a tie group
+		}
+		d := abs(cut - len(sorted)/2)
+		if d < bestDist {
+			bestDist, bestCut = d, cut
+		}
+	}
+	if bestCut < 0 {
+		return nil, nil, false
+	}
+	return sorted[:bestCut], sorted[bestCut:], true
+}
+
+func rangeOf(t *dataset.Table, idx []int, col int) (lo, hi float64) {
+	first := true
+	for _, i := range idx {
+		v, ok := t.Cell(i, col).Float()
+		if !ok {
+			continue
+		}
+		if first {
+			lo, hi, first = v, v, false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,199 @@
+package perturb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func numTable(t testing.TB, vals []float64) *dataset.Table {
+	if t != nil {
+		t.Helper()
+	}
+	tb := dataset.New(dataset.MustSchema(
+		dataset.Column{Name: "Name", Class: dataset.Identifier, Kind: dataset.Text},
+		dataset.Column{Name: "Q", Class: dataset.QuasiIdentifier, Kind: dataset.Number},
+		dataset.Column{Name: "S", Class: dataset.Sensitive, Kind: dataset.Number},
+	))
+	for i, v := range vals {
+		tb.MustAppendRow(dataset.Str(string(rune('a'+i%26))+string(rune('0'+i/26))), dataset.Num(v), dataset.Num(v*10))
+	}
+	return tb
+}
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+func TestLaplaceDeterministic(t *testing.T) {
+	tb := numTable(t, seq(20))
+	a1, err := New(7).Anonymize(tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := New(7).Anonymize(tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Equal(a2) {
+		t.Error("same seed+level differ")
+	}
+	a3, err := New(8).Anonymize(tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Equal(a3) {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestLaplaceActuallyPerturbs(t *testing.T) {
+	tb := numTable(t, seq(30))
+	out, err := New(1).Anonymize(tb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var changed int
+	for i := 0; i < tb.NumRows(); i++ {
+		if out.Cell(i, 1).MustFloat() != tb.Cell(i, 1).MustFloat() {
+			changed++
+		}
+	}
+	if changed < tb.NumRows()/2 {
+		t.Errorf("only %d of %d cells perturbed", changed, tb.NumRows())
+	}
+	// Identifiers and sensitive values untouched.
+	for i := 0; i < tb.NumRows(); i++ {
+		if !out.Cell(i, 0).Equal(tb.Cell(i, 0)) || !out.Cell(i, 2).Equal(tb.Cell(i, 2)) {
+			t.Fatal("non-QI cells modified")
+		}
+	}
+}
+
+func TestLaplaceNoiseGrowsWithLevel(t *testing.T) {
+	tb := numTable(t, seq(200))
+	dev := func(k int) float64 {
+		l := New(3)
+		l.ClampToDomain = false
+		out, err := l.Anonymize(tb, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := 0; i < tb.NumRows(); i++ {
+			sum += math.Abs(out.Cell(i, 1).MustFloat() - tb.Cell(i, 1).MustFloat())
+		}
+		return sum / float64(tb.NumRows())
+	}
+	if d2, d16 := dev(2), dev(16); d16 <= d2 {
+		t.Errorf("noise did not grow with level: %g at k=2 vs %g at k=16", d2, d16)
+	}
+}
+
+func TestLaplaceClamping(t *testing.T) {
+	tb := numTable(t, seq(50))
+	out, err := New(5).Anonymize(tb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < out.NumRows(); i++ {
+		v := out.Cell(i, 1).MustFloat()
+		if v < 0 || v > 49 {
+			t.Errorf("clamped value %g escaped [0, 49]", v)
+		}
+	}
+}
+
+func TestLaplacePreservesSuppressedAndConstant(t *testing.T) {
+	tb := numTable(t, []float64{5, 5, 5, 5})
+	if err := tb.SetCell(1, 1, dataset.NullValue()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := New(2).Anonymize(tb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Cell(1, 1).IsNull() {
+		t.Error("suppressed cell perturbed")
+	}
+	// Constant column (width 0) passes through.
+	if got := out.Cell(0, 1).MustFloat(); got != 5 {
+		t.Errorf("constant column perturbed to %g", got)
+	}
+}
+
+func TestLaplaceCustomEpsilon(t *testing.T) {
+	tb := numTable(t, seq(100))
+	strong := New(3)
+	strong.Epsilon = func(int) float64 { return 100 } // nearly no noise
+	strong.ClampToDomain = false
+	out, err := strong.Anonymize(tb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 0; i < tb.NumRows(); i++ {
+		sum += math.Abs(out.Cell(i, 1).MustFloat() - tb.Cell(i, 1).MustFloat())
+	}
+	if mean := sum / float64(tb.NumRows()); mean > 5 {
+		t.Errorf("ε=100 mean |noise| = %g, want small", mean)
+	}
+	bad := New(3)
+	bad.Epsilon = func(int) float64 { return 0 }
+	if _, err := bad.Anonymize(tb, 2); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+}
+
+func TestLaplaceErrors(t *testing.T) {
+	tb := numTable(t, seq(3))
+	if _, err := New(1).Anonymize(tb, 0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := New(1).Anonymize(tb, 4); err == nil {
+		t.Error("level beyond cohort accepted")
+	}
+	empty := numTable(t, nil)
+	if _, err := New(1).Anonymize(empty, 1); err == nil {
+		t.Error("empty table accepted")
+	}
+	noQI := dataset.New(dataset.MustSchema(
+		dataset.Column{Name: "S", Class: dataset.Sensitive, Kind: dataset.Number}))
+	noQI.MustAppendRow(dataset.Num(1))
+	if _, err := New(1).Anonymize(noQI, 1); err == nil {
+		t.Error("no-QI accepted")
+	}
+	if New(1).Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+// Property: unclamped Laplace noise is empirically centered — the mean over
+// a large cohort stays well inside one noise scale.
+func TestLaplaceCenteredProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tb := numTable(nil, seq(300))
+		l := New(seed)
+		l.ClampToDomain = false
+		out, err := l.Anonymize(tb, 2)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for i := 0; i < tb.NumRows(); i++ {
+			sum += out.Cell(i, 1).MustFloat() - tb.Cell(i, 1).MustFloat()
+		}
+		mean := sum / float64(tb.NumRows())
+		scale := 299.0 / 0.5 // width/ε at k=2
+		return math.Abs(mean) < scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package risk quantifies per-record disclosure risk — the record-level
+// view of the paper's aggregate dissimilarity. The paper's Robert anecdote
+// reasons in income classes ("falls into the upper category of the High
+// income class"); this package turns that reasoning into measurable rates:
+// how many individuals does a fusion attack actually place within tolerance,
+// into the right class, or in the right rank order?
+package risk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// ErrLength is returned when truth and estimate series are misaligned.
+var ErrLength = errors.New("risk: truth and estimate lengths differ")
+
+// BreachRate returns the fraction of records whose estimate falls within
+// relTol (relative, e.g. 0.1 = ±10%) of the true value — the interval
+// disclosure rate. Records with zero truth compare absolutely against
+// relTol.
+func BreachRate(truth, est []float64, relTol float64) (float64, error) {
+	if len(truth) != len(est) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLength, len(truth), len(est))
+	}
+	if len(truth) == 0 {
+		return 0, errors.New("risk: empty series")
+	}
+	if relTol < 0 {
+		return 0, fmt.Errorf("risk: negative tolerance %g", relTol)
+	}
+	var hits int
+	for i := range truth {
+		bound := relTol * math.Abs(truth[i])
+		if truth[i] == 0 {
+			bound = relTol
+		}
+		if math.Abs(est[i]-truth[i]) <= bound {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth)), nil
+}
+
+// ClassDisclosure splits [lo, hi] into bands equal-width classes (the
+// paper's Low/Medium/High income classes) and returns the fraction of
+// records whose estimate lands in the true value's class.
+func ClassDisclosure(truth, est []float64, lo, hi float64, bands int) (float64, error) {
+	if len(truth) != len(est) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLength, len(truth), len(est))
+	}
+	if len(truth) == 0 {
+		return 0, errors.New("risk: empty series")
+	}
+	if bands < 2 {
+		return 0, fmt.Errorf("risk: need ≥ 2 bands, got %d", bands)
+	}
+	if hi <= lo {
+		return 0, fmt.Errorf("risk: empty range [%g, %g]", lo, hi)
+	}
+	band := func(x float64) int {
+		i := int((x - lo) / (hi - lo) * float64(bands))
+		if i < 0 {
+			i = 0
+		}
+		if i >= bands {
+			i = bands - 1
+		}
+		return i
+	}
+	var hits int
+	for i := range truth {
+		if band(truth[i]) == band(est[i]) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth)), nil
+}
+
+// RankExposure returns the Spearman rank correlation between the true and
+// estimated series — ordering disclosure. 1 means the adversary knows
+// exactly who out-earns whom even if absolute values are off.
+func RankExposure(truth, est []float64) (float64, error) {
+	if len(truth) != len(est) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLength, len(truth), len(est))
+	}
+	n := len(truth)
+	if n < 2 {
+		return 0, errors.New("risk: rank exposure needs ≥ 2 records")
+	}
+	rt := ranks(truth)
+	re := ranks(est)
+	// Pearson correlation of the rank vectors (handles ties via midranks).
+	var mt, me float64
+	for i := 0; i < n; i++ {
+		mt += rt[i]
+		me += re[i]
+	}
+	mt /= float64(n)
+	me /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := rt[i]-mt, re[i]-me
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// ranks returns midranks (average rank for ties), 1-based.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[order[j+1]] == xs[order[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for s := i; s <= j; s++ {
+			out[order[s]] = mid
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// ReidentificationRisk returns the journalist re-identification risk of a
+// release: for each record, 1/|E| where E is its quasi-identifier
+// equivalence class; the result is the mean (average prosecutor risk) and
+// max (worst record) over the table.
+func ReidentificationRisk(t *dataset.Table) (mean, max float64, err error) {
+	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
+	if len(qis) == 0 {
+		return 0, 0, errors.New("risk: table has no quasi-identifier columns")
+	}
+	if t.NumRows() == 0 {
+		return 0, 0, errors.New("risk: empty table")
+	}
+	var sum float64
+	for _, g := range t.GroupBy(qis) {
+		r := 1 / float64(len(g))
+		sum += r * float64(len(g))
+		if r > max {
+			max = r
+		}
+	}
+	return sum / float64(t.NumRows()), max, nil
+}
+
+// Assessment is the per-attack risk report.
+type Assessment struct {
+	// Records is the cohort size.
+	Records int
+	// Breach10 and Breach20 are the ±10% and ±20% interval disclosure
+	// rates.
+	Breach10, Breach20 float64
+	// Class3 is the 3-band (Low/Med/High) class disclosure rate.
+	Class3 float64
+	// Rank is the Spearman rank exposure.
+	Rank float64
+	// BaselineClass3 is the expected class rate for the range-midpoint
+	// guesser, for contrast.
+	BaselineClass3 float64
+}
+
+// Assess compares the adversary's estimate table against the truth on the
+// named sensitive column and computes the standard report.
+func Assess(p, phat *dataset.Table, sensitive string, lo, hi float64) (*Assessment, error) {
+	if p.NumRows() != phat.NumRows() {
+		return nil, fmt.Errorf("%w: %d vs %d rows", ErrLength, p.NumRows(), phat.NumRows())
+	}
+	ci, err := p.Schema().Lookup(sensitive)
+	if err != nil {
+		return nil, err
+	}
+	cj, err := phat.Schema().Lookup(sensitive)
+	if err != nil {
+		return nil, err
+	}
+	truth := p.ColumnFloats(ci, 0)
+	est := phat.ColumnFloats(cj, 0)
+	a := &Assessment{Records: len(truth)}
+	if a.Breach10, err = BreachRate(truth, est, 0.10); err != nil {
+		return nil, err
+	}
+	if a.Breach20, err = BreachRate(truth, est, 0.20); err != nil {
+		return nil, err
+	}
+	if a.Class3, err = ClassDisclosure(truth, est, lo, hi, 3); err != nil {
+		return nil, err
+	}
+	if a.Rank, err = RankExposure(truth, est); err != nil {
+		return nil, err
+	}
+	mid := make([]float64, len(truth))
+	for i := range mid {
+		mid[i] = (lo + hi) / 2
+	}
+	if a.BaselineClass3, err = ClassDisclosure(truth, mid, lo, hi, 3); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// String renders the assessment for CLI output.
+func (a *Assessment) String() string {
+	return fmt.Sprintf(
+		"records %d: ±10%% breach %.0f%%, ±20%% breach %.0f%%, class hit %.0f%% (midpoint baseline %.0f%%), rank exposure %.2f",
+		a.Records, 100*a.Breach10, 100*a.Breach20, 100*a.Class3, 100*a.BaselineClass3, a.Rank)
+}

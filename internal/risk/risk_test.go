@@ -1,0 +1,244 @@
+package risk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBreachRate(t *testing.T) {
+	truth := []float64{100, 200, 300, 400}
+	est := []float64{105, 250, 300, 500} // within 10%: 105 (5%), 300 (0%) → 2/4
+	r, err := BreachRate(truth, est, 0.10)
+	if err != nil || r != 0.5 {
+		t.Errorf("BreachRate = %g, %v", r, err)
+	}
+	// ±25%: 105, 250, 300, 500 all within → 1.0
+	r, err = BreachRate(truth, est, 0.25)
+	if err != nil || r != 1 {
+		t.Errorf("BreachRate(0.25) = %g, %v", r, err)
+	}
+	// Zero truth compares absolutely.
+	r, err = BreachRate([]float64{0}, []float64{0.05}, 0.1)
+	if err != nil || r != 1 {
+		t.Errorf("zero-truth = %g, %v", r, err)
+	}
+	if _, err := BreachRate(truth, est[:2], 0.1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BreachRate(nil, nil, 0.1); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := BreachRate(truth, est, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestClassDisclosure(t *testing.T) {
+	// Range [0, 90], 3 bands: [0,30), [30,60), [60,90].
+	truth := []float64{10, 40, 80}
+	est := []float64{25, 65, 85} // bands 0,2,2 vs truth 0,1,2 → 2/3
+	r, err := ClassDisclosure(truth, est, 0, 90, 3)
+	if err != nil || !almost(r, 2.0/3, 1e-12) {
+		t.Errorf("ClassDisclosure = %g, %v", r, err)
+	}
+	// Out-of-range values clamp to edge bands.
+	r, err = ClassDisclosure([]float64{-5}, []float64{5}, 0, 90, 3)
+	if err != nil || r != 1 {
+		t.Errorf("clamped = %g, %v", r, err)
+	}
+	if _, err := ClassDisclosure(truth, est, 0, 90, 1); err == nil {
+		t.Error("1 band accepted")
+	}
+	if _, err := ClassDisclosure(truth, est, 9, 9, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := ClassDisclosure(truth, est[:1], 0, 90, 3); err == nil {
+		t.Error("mismatch accepted")
+	}
+	if _, err := ClassDisclosure(nil, nil, 0, 90, 3); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestRankExposure(t *testing.T) {
+	truth := []float64{10, 20, 30, 40}
+	if r, err := RankExposure(truth, []float64{1, 2, 3, 4}); err != nil || !almost(r, 1, 1e-12) {
+		t.Errorf("perfect order = %g, %v", r, err)
+	}
+	if r, err := RankExposure(truth, []float64{4, 3, 2, 1}); err != nil || !almost(r, -1, 1e-12) {
+		t.Errorf("reversed = %g, %v", r, err)
+	}
+	if r, err := RankExposure(truth, []float64{7, 7, 7, 7}); err != nil || r != 0 {
+		t.Errorf("constant estimate = %g, %v", r, err)
+	}
+	// Midranks on ties: swapping tied elements changes nothing.
+	r1, err := RankExposure([]float64{1, 2, 2, 3}, []float64{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RankExposure([]float64{1, 2, 2, 3}, []float64{10, 30, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r1, r2, 1e-12) {
+		t.Errorf("tie handling differs: %g vs %g", r1, r2)
+	}
+	if _, err := RankExposure([]float64{1}, []float64{1}); err == nil {
+		t.Error("single record accepted")
+	}
+	if _, err := RankExposure(truth, truth[:2]); err == nil {
+		t.Error("mismatch accepted")
+	}
+}
+
+func riskTable(t *testing.T, groups []string) *dataset.Table {
+	t.Helper()
+	tb := dataset.New(dataset.MustSchema(
+		dataset.Column{Name: "G", Class: dataset.QuasiIdentifier, Kind: dataset.Text},
+	))
+	for _, g := range groups {
+		tb.MustAppendRow(dataset.Str(g))
+	}
+	return tb
+}
+
+func TestReidentificationRisk(t *testing.T) {
+	// Classes of sizes 1 and 3: mean = (1·1 + 3·(1/3))/4 = 0.5, max = 1.
+	tb := riskTable(t, []string{"a", "b", "b", "b"})
+	mean, max, err := ReidentificationRisk(tb)
+	if err != nil || !almost(mean, 0.5, 1e-12) || max != 1 {
+		t.Errorf("risk = (%g, %g, %v)", mean, max, err)
+	}
+	// Uniform pairs: mean = max = 0.5.
+	tb = riskTable(t, []string{"a", "a", "b", "b"})
+	mean, max, err = ReidentificationRisk(tb)
+	if err != nil || mean != 0.5 || max != 0.5 {
+		t.Errorf("pairs = (%g, %g, %v)", mean, max, err)
+	}
+	if _, _, err := ReidentificationRisk(riskTable(t, nil)); err == nil {
+		t.Error("empty accepted")
+	}
+	noQI := dataset.New(dataset.MustSchema(
+		dataset.Column{Name: "S", Class: dataset.Sensitive, Kind: dataset.Number}))
+	if _, _, err := ReidentificationRisk(noQI); err == nil {
+		t.Error("no-QI accepted")
+	}
+}
+
+func assessTables(t *testing.T, truth, est []float64) (*dataset.Table, *dataset.Table) {
+	t.Helper()
+	mk := func(vals []float64) *dataset.Table {
+		tb := dataset.New(dataset.MustSchema(
+			dataset.Column{Name: "Q", Class: dataset.QuasiIdentifier, Kind: dataset.Number},
+			dataset.Column{Name: "Salary", Class: dataset.Sensitive, Kind: dataset.Number},
+		))
+		for i, v := range vals {
+			tb.MustAppendRow(dataset.Num(float64(i)), dataset.Num(v))
+		}
+		return tb
+	}
+	return mk(truth), mk(est)
+}
+
+func TestAssess(t *testing.T) {
+	truth := []float64{50000, 80000, 110000, 140000}
+	est := []float64{52000, 95000, 108000, 139000}
+	p, phat := assessTables(t, truth, est)
+	a, err := Assess(p, phat, "Salary", 40000, 160000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Records != 4 {
+		t.Errorf("records = %d", a.Records)
+	}
+	// 52000 (4%), 108000 (1.8%), 139000 (0.7%) within 10%; 95000 is 18.75%.
+	if !almost(a.Breach10, 0.75, 1e-12) {
+		t.Errorf("Breach10 = %g", a.Breach10)
+	}
+	if !almost(a.Breach20, 1, 1e-12) {
+		t.Errorf("Breach20 = %g", a.Breach20)
+	}
+	if a.Rank < 0.99 {
+		t.Errorf("Rank = %g", a.Rank)
+	}
+	if a.Class3 <= a.BaselineClass3 {
+		t.Errorf("Class3 %g not above baseline %g", a.Class3, a.BaselineClass3)
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+	// Errors.
+	if _, err := Assess(p, phat, "Nope", 0, 1); err == nil {
+		t.Error("unknown column accepted")
+	}
+	short := p.Select(func([]dataset.Value) bool { return false })
+	if _, err := Assess(p, short, "Salary", 0, 1); err == nil {
+		t.Error("row mismatch accepted")
+	}
+}
+
+// Property: breach rate is monotone in the tolerance.
+func TestBreachRateMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, tolRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		n := len(raw) / 2
+		truth := make([]float64, n)
+		est := make([]float64, n)
+		for i := 0; i < n; i++ {
+			truth[i] = float64(raw[i]) + 1
+			est[i] = float64(raw[n+i]) + 1
+		}
+		t1 := float64(tolRaw) / 512
+		t2 := t1 * 2
+		r1, err1 := BreachRate(truth, est, t1)
+		r2, err2 := BreachRate(truth, est, t2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1 <= r2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rank exposure is invariant under any strictly monotone transform
+// of the estimate.
+func TestRankExposureMonotoneInvarianceProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		n := len(raw) / 2
+		truth := make([]float64, n)
+		est := make([]float64, n)
+		esq := make([]float64, n)
+		for i := 0; i < n; i++ {
+			truth[i] = float64(raw[i])
+			est[i] = float64(raw[n+i])
+			esq[i] = est[i]*est[i] + 3*est[i] // strictly monotone for x ≥ 0
+		}
+		r1, err1 := RankExposure(truth, est)
+		r2, err2 := RankExposure(truth, esq)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almost(r1, r2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

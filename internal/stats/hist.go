@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is an equal-width histogram over [Lo, Hi] with len(Counts) bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram bins xs into bins equal-width buckets over [lo, hi]. Values
+// outside the range clamp to the edge bins, so mass is never dropped.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bin count, got %d", bins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%g, %g] is empty", lo, hi)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// Total returns the number of observations binned.
+func (h *Histogram) Total() int {
+	var n int
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Probabilities returns the normalized bin masses. An empty histogram
+// returns all zeros.
+func (h *Histogram) Probabilities() []float64 {
+	out := make([]float64, len(h.Counts))
+	n := h.Total()
+	if n == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(n)
+	}
+	return out
+}
+
+// EMDOrdered computes the first Wasserstein (earth mover's) distance between
+// two distributions over the same ordered support with unit adjacent-bin
+// ground distance, normalized by (len−1) so the result lies in [0, 1]. This
+// is the distance t-closeness uses for numeric attributes.
+func EMDOrdered(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: EMD over different supports (%d vs %d)", len(p), len(q))
+	}
+	if len(p) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(p) == 1 {
+		return 0, nil
+	}
+	var carry, dist float64
+	for i := 0; i < len(p)-1; i++ {
+		carry += p[i] - q[i]
+		dist += math.Abs(carry)
+	}
+	return dist / float64(len(p)-1), nil
+}
+
+// TotalVariation returns half the L1 distance between two distributions over
+// the same support — the distance t-closeness uses for categorical
+// attributes.
+func TotalVariation(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: total variation over different supports (%d vs %d)", len(p), len(q))
+	}
+	var s float64
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s / 2, nil
+}
+
+// EmpiricalCDFDistance returns the 1-Wasserstein distance between the
+// empirical distributions of two raw samples, normalized by the pooled
+// range. It is a support-free alternative to EMDOrdered used when the
+// attribute has no natural binning.
+func EmpiricalCDFDistance(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, ErrEmpty
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	pooledLo := math.Min(as[0], bs[0])
+	pooledHi := math.Max(as[len(as)-1], bs[len(bs)-1])
+	if pooledHi == pooledLo {
+		return 0, nil
+	}
+	// Integrate |F_a(x) − F_b(x)| over the merged breakpoints.
+	points := append(append([]float64(nil), as...), bs...)
+	sort.Float64s(points)
+	cdf := func(s []float64, x float64) float64 {
+		return float64(sort.SearchFloat64s(s, x+math.SmallestNonzeroFloat64)) / float64(len(s))
+	}
+	var dist float64
+	for i := 0; i < len(points)-1; i++ {
+		dx := points[i+1] - points[i]
+		if dx == 0 {
+			continue
+		}
+		dist += math.Abs(cdf(as, points[i])-cdf(bs, points[i])) * dx
+	}
+	return dist / (pooledHi - pooledLo), nil
+}

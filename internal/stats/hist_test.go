@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1, 2, 3, 9.9, 10, -5, 15}, 0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// -5 clamps to bin 0, 15 and 10 clamp to bin 4.
+	if h.Counts[0] != 3 { // 0, 1, -5 → bins: 0→0, 1→0, -5→0... wait 1 is in bin 0 (width 2): 0,1,-5
+		t.Errorf("bin 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 3 { // 9.9, 10, 15
+		t.Errorf("bin 4 = %d, want 3", h.Counts[4])
+	}
+	if _, err := NewHistogram(nil, 0, 10, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram(nil, 5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestHistogramProbabilities(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 1, 9}, 0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := h.Probabilities()
+	if !almost(p[0], 2.0/3, 1e-12) || !almost(p[1], 1.0/3, 1e-12) {
+		t.Errorf("probabilities = %v", p)
+	}
+	empty := &Histogram{Lo: 0, Hi: 1, Counts: make([]int, 3)}
+	for _, v := range empty.Probabilities() {
+		if v != 0 {
+			t.Error("empty histogram probabilities should be zero")
+		}
+	}
+}
+
+func TestEMDOrdered(t *testing.T) {
+	// Identical distributions.
+	d, err := EMDOrdered([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil || d != 0 {
+		t.Errorf("identical EMD = %g, %v", d, err)
+	}
+	// All mass moves across the full support → 1.
+	d, err = EMDOrdered([]float64{1, 0, 0}, []float64{0, 0, 1})
+	if err != nil || !almost(d, 1, 1e-12) {
+		t.Errorf("extreme EMD = %g, %v", d, err)
+	}
+	// The t-closeness running example from Li et al.: uniform vs point mass.
+	d, _ = EMDOrdered([]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, []float64{0, 1, 0})
+	if !almost(d, 1.0/3, 1e-12) {
+		t.Errorf("uniform-vs-point EMD = %g, want 1/3", d)
+	}
+	if _, err := EMDOrdered([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("support mismatch accepted")
+	}
+	if _, err := EMDOrdered(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if d, err := EMDOrdered([]float64{1}, []float64{1}); err != nil || d != 0 {
+		t.Errorf("singleton EMD = %g, %v", d, err)
+	}
+}
+
+// Property: EMD is symmetric, non-negative, and zero on identical inputs.
+func TestEMDProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		n := len(raw) / 2 * 2
+		p := make([]float64, n/2)
+		q := make([]float64, n/2)
+		var sp, sq float64
+		for i := 0; i < n/2; i++ {
+			p[i] = float64(raw[i]) + 1
+			q[i] = float64(raw[n/2+i]) + 1
+			sp += p[i]
+			sq += q[i]
+		}
+		for i := range p {
+			p[i] /= sp
+			q[i] /= sq
+		}
+		dpq, err1 := EMDOrdered(p, q)
+		dqp, err2 := EMDOrdered(q, p)
+		dpp, err3 := EMDOrdered(p, p)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return dpq >= 0 && math.Abs(dpq-dqp) < 1e-12 && dpp == 0 && dpq <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	d, err := TotalVariation([]float64{1, 0}, []float64{0, 1})
+	if err != nil || d != 1 {
+		t.Errorf("TV = %g, %v", d, err)
+	}
+	d, _ = TotalVariation([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if d != 0 {
+		t.Errorf("identical TV = %g", d)
+	}
+	if _, err := TotalVariation([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("support mismatch accepted")
+	}
+}
+
+func TestEmpiricalCDFDistance(t *testing.T) {
+	d, err := EmpiricalCDFDistance([]float64{0, 1}, []float64{0, 1})
+	if err != nil || d != 0 {
+		t.Errorf("identical = %g, %v", d, err)
+	}
+	// Point masses at opposite ends of the pooled range → 1.
+	d, err = EmpiricalCDFDistance([]float64{0, 0}, []float64{10, 10})
+	if err != nil || !almost(d, 1, 1e-12) {
+		t.Errorf("extreme = %g, %v", d, err)
+	}
+	if _, err := EmpiricalCDFDistance(nil, []float64{1}); err == nil {
+		t.Error("empty accepted")
+	}
+	if d, err := EmpiricalCDFDistance([]float64{5}, []float64{5}); err != nil || d != 0 {
+		t.Errorf("degenerate equal = %g, %v", d, err)
+	}
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearModel is a fitted ordinary-least-squares model
+// y ≈ Intercept + Σ Coef[j]·x[j]. It backs the regression-based fusion
+// baseline the reproduction compares against the paper's fuzzy system.
+type LinearModel struct {
+	Intercept float64
+	Coef      []float64
+}
+
+// ErrSingular is returned when the normal equations are (numerically)
+// singular, e.g. collinear or constant predictors.
+var ErrSingular = errors.New("stats: singular design matrix")
+
+// FitOLS fits y ≈ b0 + Σ bj·x[i][j] by solving the normal equations with
+// partial-pivot Gaussian elimination. Every row of x must have the same
+// width, and len(x) must equal len(y).
+func FitOLS(x [][]float64, y []float64) (*LinearModel, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if n != len(y) {
+		return nil, fmt.Errorf("stats: FitOLS with %d rows but %d targets", n, len(y))
+	}
+	p := len(x[0])
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: FitOLS row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	d := p + 1 // intercept column
+	if n < d {
+		return nil, fmt.Errorf("stats: FitOLS needs at least %d rows for %d features, got %d", d, p, n)
+	}
+	// Build XtX (d×d) and Xty (d) with the implicit leading 1 column.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	feat := func(row []float64, j int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return row[j-1]
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < d; i++ {
+			fi := feat(x[r], i)
+			xty[i] += fi * y[r]
+			for j := i; j < d; j++ {
+				xtx[i][j] += fi * feat(x[r], j)
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	beta, err := SolveLinear(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearModel{Intercept: beta[0], Coef: beta[1:]}, nil
+}
+
+// Predict evaluates the model at x. It panics if len(x) != len(m.Coef),
+// which indicates a programming error.
+func (m *LinearModel) Predict(x []float64) float64 {
+	if len(x) != len(m.Coef) {
+		panic(fmt.Sprintf("stats: Predict with %d features, model has %d", len(x), len(m.Coef)))
+	}
+	y := m.Intercept
+	for j, c := range m.Coef {
+		y += c * x[j]
+	}
+	return y
+}
+
+// SolveLinear solves A·x = b by Gaussian elimination with partial pivoting.
+// A is modified in place via an internal copy; inputs are not mutated.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("stats: SolveLinear with %d×? matrix and %d rhs", n, len(b))
+	}
+	// Working copies.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("stats: SolveLinear row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for c := col + 1; c < n; c++ {
+			s -= m[col][c] * x[c]
+		}
+		x[col] = s / m[col][col]
+	}
+	return x, nil
+}

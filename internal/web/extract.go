@@ -1,0 +1,170 @@
+package web
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/linkage"
+)
+
+// Entity is the structured record an adversary extracts from one page — a
+// row of the paper's Table IV.
+type Entity struct {
+	Name        string
+	Employment  string // raw "Title, Employer" text
+	Title       string
+	Seniority   float64 // 1..10, 0 when unknown
+	Property    float64
+	HasTitle    bool
+	HasProperty bool
+}
+
+// ExtractAll parses every entity mentioned on a page: one for a profile
+// page, several for a staff-directory page, none for a distractor.
+func ExtractAll(p Page, ladder Ladder) []Entity {
+	if e, ok := Extract(p, ladder); ok {
+		return []Entity{e}
+	}
+	var out []Entity
+	const listing = "Listing: "
+	for _, line := range strings.Split(p.Body, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, listing) {
+			continue
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(line, listing), ".")
+		parts := strings.SplitN(body, " — ", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		e := Entity{Name: strings.TrimSpace(parts[0]), Employment: strings.TrimSpace(parts[1]), Title: strings.TrimSpace(parts[1])}
+		if s, found := ladder.Score(e.Title); found {
+			e.Seniority = s
+			e.HasTitle = true
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Extract parses a profile page back into an Entity. ok is false for pages
+// without a recognizable subject (distractors and directory pages — use
+// ExtractAll for those).
+func Extract(p Page, ladder Ladder) (e Entity, ok bool) {
+	const homepageOf = "Homepage of "
+	for _, line := range strings.Split(p.Body, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, homepageOf):
+			e.Name = strings.TrimSuffix(strings.TrimPrefix(line, homepageOf), ".")
+			ok = true
+		case strings.HasPrefix(line, "Employment: "):
+			e.Employment = strings.TrimSuffix(strings.TrimPrefix(line, "Employment: "), ".")
+			if comma := strings.Index(e.Employment, ","); comma >= 0 {
+				e.Title = strings.TrimSpace(e.Employment[:comma])
+			} else {
+				e.Title = e.Employment
+			}
+			if s, found := ladder.Score(e.Title); found {
+				e.Seniority = s
+				e.HasTitle = true
+			}
+		case strings.HasPrefix(line, "Property holdings: "):
+			v := strings.TrimSuffix(strings.TrimPrefix(line, "Property holdings: "), ".")
+			if f, err := strconv.ParseFloat(v, 64); err == nil {
+				e.Property = f
+				e.HasProperty = true
+			}
+		}
+	}
+	return e, ok
+}
+
+// mergeEntities combines two extractions of the same person, keeping every
+// attribute either page provided.
+func mergeEntities(a, b Entity) Entity {
+	if !a.HasTitle && b.HasTitle {
+		a.Title, a.Seniority, a.HasTitle = b.Title, b.Seniority, true
+	}
+	if a.Employment == "" {
+		a.Employment = b.Employment
+	}
+	if !a.HasProperty && b.HasProperty {
+		a.Property, a.HasProperty = b.Property, true
+	}
+	return a
+}
+
+// QSchema is the schema of gathered auxiliary tables: the identifier plus
+// the two web attributes of Table IV, with seniority as the numeric reading
+// of Employment.
+func QSchema() *dataset.Schema {
+	return dataset.MustSchema(
+		dataset.Column{Name: "Name", Class: dataset.Identifier, Kind: dataset.Text},
+		dataset.Column{Name: "Employment", Class: dataset.QuasiIdentifier, Kind: dataset.Text},
+		dataset.Column{Name: "Seniority", Class: dataset.QuasiIdentifier, Kind: dataset.Number},
+		dataset.Column{Name: "PropertyHoldings", Class: dataset.QuasiIdentifier, Kind: dataset.Number},
+	)
+}
+
+// Gather runs the attack's collection step: for every identifier in names it
+// searches the corpus, extracts the best-matching entity, and links it back
+// to the roster with the matcher. The result is the paper's Q table, one row
+// per name, aligned with the input order; unfound attributes are suppressed
+// cells.
+func Gather(c *Corpus, names []string, ladder Ladder, m *linkage.Matcher) (*dataset.Table, error) {
+	if m == nil {
+		m = linkage.DefaultMatcher()
+	}
+	q := dataset.New(QSchema())
+	// Collect the best candidate entity per roster name via search, then
+	// resolve conflicts globally with the linker.
+	var entities []Entity
+	var entityNames []string
+	seen := make(map[string]int) // extracted name → index into entities
+	for _, name := range names {
+		for _, r := range c.Search(name, 3) {
+			for _, e := range ExtractAll(r.Page, ladder) {
+				if i, dup := seen[e.Name]; dup {
+					// The same person appears on several pages (homepage +
+					// directory listing): merge attributes, preferring
+					// whichever page had each one.
+					entities[i] = mergeEntities(entities[i], e)
+					continue
+				}
+				seen[e.Name] = len(entities)
+				entities = append(entities, e)
+				entityNames = append(entityNames, e.Name)
+			}
+		}
+	}
+	links, err := m.Link(entityNames, names)
+	if err != nil {
+		return nil, err
+	}
+	best := make(map[int]Entity, len(names)) // roster index → entity
+	for qi, ti := range links {
+		if _, dup := best[ti]; !dup {
+			best[ti] = entities[qi]
+		}
+	}
+	for i, name := range names {
+		row := []dataset.Value{dataset.Str(name), dataset.NullValue(), dataset.NullValue(), dataset.NullValue()}
+		if e, ok := best[i]; ok {
+			if e.Employment != "" {
+				row[1] = dataset.Str(e.Employment)
+			}
+			if e.HasTitle {
+				row[2] = dataset.Num(e.Seniority)
+			}
+			if e.HasProperty {
+				row[3] = dataset.Num(e.Property)
+			}
+		}
+		if err := q.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
