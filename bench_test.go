@@ -7,6 +7,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"os"
 
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/microagg"
 	"repro/internal/mondrian"
 	"repro/internal/perturb"
+	"repro/internal/service"
 	"repro/internal/web"
 )
 
@@ -482,6 +484,99 @@ func BenchmarkSweepParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Service path ------------------------------------------------------------
+
+// benchServiceSpec is the standard fred-sweep job over the benchmark
+// scenario's P and Q, as submitted through the service layer.
+func benchServiceSpec(b *testing.B, store *service.Store, sc *Scenario) service.Spec {
+	b.Helper()
+	pInfo, err := store.Put("P", sc.P)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qInfo, err := store.Put("Q", sc.Q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return service.Spec{
+		Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
+		MinK: 2, MaxK: 16,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	}
+}
+
+// runServiceJob submits one job and blocks until it completes.
+func runServiceJob(b *testing.B, e *service.Engine, spec service.Spec) service.Status {
+	b.Helper()
+	st, err := e.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err = e.Wait(context.Background(), st.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		b.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	return st
+}
+
+// BenchmarkServiceFREDSweep measures the full service path — job submit
+// through worker pool to completion — for a fred-sweep, uncached versus
+// served from the LRU result cache. This is the baseline every serving-layer
+// perf PR moves against.
+func BenchmarkServiceFREDSweep(b *testing.B) {
+	sc := benchScenario(b)
+	b.Run("uncached", func(b *testing.B) {
+		store := service.NewStore()
+		spec := benchServiceSpec(b, store, sc)
+		e := service.NewEngine(store, service.Options{Workers: 2, CacheSize: -1})
+		e.Start()
+		defer e.Shutdown(context.Background())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runServiceJob(b, e, spec)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		store := service.NewStore()
+		spec := benchServiceSpec(b, store, sc)
+		e := service.NewEngine(store, service.Options{Workers: 2})
+		e.Start()
+		defer e.Shutdown(context.Background())
+		warm := runServiceJob(b, e, spec)
+		if warm.Cached {
+			b.Fatal("warmup must compute")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if st := runServiceJob(b, e, spec); !st.Cached {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	})
+}
+
+// BenchmarkServiceAnonymize measures the cheapest job type end to end — the
+// engine's fixed overhead (queue, snapshotting, hashing is at submit).
+func BenchmarkServiceAnonymize(b *testing.B) {
+	sc := benchScenario(b)
+	store := service.NewStore()
+	pInfo, err := store.Put("P", sc.P)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := service.NewEngine(store, service.Options{Workers: 2, CacheSize: -1})
+	e.Start()
+	defer e.Shutdown(context.Background())
+	spec := service.Spec{Type: service.JobAnonymize, Table: pInfo.ID, K: 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runServiceJob(b, e, spec)
+	}
 }
 
 // --- Substrate micro-benchmarks ---------------------------------------------

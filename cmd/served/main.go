@@ -1,0 +1,77 @@
+// Command served runs the anonymization service daemon: the in-memory table
+// store and async job engine of internal/service behind the REST API of
+// internal/httpapi.
+//
+//	served -addr :8080 -workers 8 -cache 64
+//
+// Upload tables as two-header CSV, submit anonymize / attack / fred-sweep /
+// assess jobs, poll, download results (see the repository README for curl
+// examples). SIGINT/SIGTERM drain in-flight jobs before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "job worker pool size (0 = NumCPU)")
+		sweepers = flag.Int("sweep-workers", 0, "per-job sweep concurrency (0 = workers)")
+		cache    = flag.Int("cache", 64, "LRU result cache entries (negative disables)")
+		queue    = flag.Int("queue", 256, "pending job queue depth")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "served ", log.LstdFlags)
+	store := service.NewStore()
+	engine := service.NewEngine(store, service.Options{
+		Workers:      *workers,
+		SweepWorkers: *sweepers,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+	})
+	engine.Start()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(store, engine, logger),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down (budget %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := engine.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("engine shutdown: %v", err)
+	}
+	logger.Printf("bye")
+}

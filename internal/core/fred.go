@@ -349,3 +349,23 @@ func isTooFewRecords(err error) bool {
 	s := err.Error()
 	return strings.Contains(s, "fewer records") || strings.Contains(s, "cannot be")
 }
+
+// EndsSweep reports whether err is the legitimate "k exceeds the table"
+// condition that ends a level sweep early rather than failing it — the same
+// predicate Sweep and SweepParallel apply internally, exported for callers
+// that stitch sweeps together chunk by chunk.
+func EndsSweep(err error) bool { return err != nil && isTooFewRecords(err) }
+
+// CalibrateThresholds derives (Tp, Tu) from a probe sweep so the solution
+// space is an interior band of levels, mirroring the paper's Tp = 3.075e8,
+// Tu = 0.0018 which carve k = 7..14 out of k = 2..16: Tp is the post-fusion
+// dissimilarity one third into the sweep, Tu the utility five sixths in —
+// thresholds set "based on experimental observations", as the paper puts it.
+func CalibrateThresholds(levels []LevelResult) (tp, tu float64, err error) {
+	if len(levels) < 3 {
+		return 0, 0, fmt.Errorf("core: calibration needs ≥ 3 levels, got %d", len(levels))
+	}
+	tp = levels[len(levels)/3].After
+	tu = levels[len(levels)*5/6].Utility
+	return tp, tu, nil
+}

@@ -1,0 +1,234 @@
+// Package httpapi exposes the service subsystem over REST: CSV table upload
+// and download, asynchronous job submission and polling, health. Handlers
+// speak JSON (errors included) except for the CSV table payloads, which use
+// the dataset two-header layout so the CLIs and the API exchange identical
+// files.
+//
+//	POST   /v1/tables            upload a table (CSV body, ?name= label)
+//	GET    /v1/tables            list tables
+//	GET    /v1/tables/{id}       table metadata
+//	GET    /v1/tables/{id}/csv   download a table
+//	DELETE /v1/tables/{id}       drop a table
+//	POST   /v1/jobs              submit a job (JSON service.Spec)
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         poll job status
+//	GET    /v1/jobs/{id}/result  download the result (CSV; JSON for assess)
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/healthz           liveness probe
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/dataset"
+	"repro/internal/service"
+)
+
+// maxUploadBytes bounds a table upload (64 MiB of CSV).
+const maxUploadBytes = 64 << 20
+
+// Server routes the v1 API onto a store and an engine.
+type Server struct {
+	store  *service.Store
+	engine *service.Engine
+	logger *log.Logger
+	mux    *http.ServeMux
+}
+
+// New builds the server. A nil logger silences request logging.
+func New(store *service.Store, engine *service.Engine, logger *log.Logger) *Server {
+	s := &Server{store: store, engine: engine, logger: logger, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/tables", s.handleTableUpload)
+	s.mux.HandleFunc("GET /v1/tables", s.handleTableList)
+	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTableGet)
+	s.mux.HandleFunc("GET /v1/tables/{id}/csv", s.handleTableCSV)
+	s.mux.HandleFunc("DELETE /v1/tables/{id}", s.handleTableDelete)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	return s
+}
+
+// ServeHTTP implements http.Handler with the logging middleware applied.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.withLogging(s.mux).ServeHTTP(w, r)
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleTableUpload(w http.ResponseWriter, r *http.Request) {
+	t, err := dataset.ReadCSV(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("table upload exceeds the %d byte limit", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse csv: %v", err))
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "table"
+	}
+	info, err := s.store.Put(name, t)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleTableList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.store.List()})
+}
+
+func (s *Server) handleTableGet(w http.ResponseWriter, r *http.Request) {
+	_, info, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleTableCSV(w http.ResponseWriter, r *http.Request) {
+	t, info, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeCSV(w, info.ID, t)
+}
+
+func (s *Server) handleTableDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.PathValue("id")); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec service.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse job spec: %v", err))
+		return
+	}
+	st, err := s.engine.Submit(spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, service.ErrQueueFull):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeServiceError(w, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.engine.Jobs()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.engine.Job(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := s.engine.Result(id)
+	if err != nil {
+		switch {
+		case errors.Is(err, service.ErrNotFinished):
+			writeError(w, http.StatusConflict, err.Error())
+		default:
+			writeServiceError(w, err)
+		}
+		return
+	}
+	// Assess jobs report numbers, not a release; everything else downloads
+	// the result table as CSV.
+	if res.Assessment != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"records":         res.Assessment.Records,
+			"breach10":        res.Assessment.Breach10,
+			"breach20":        res.Assessment.Breach20,
+			"class3":          res.Assessment.Class3,
+			"baseline_class3": res.Assessment.BaselineClass3,
+			"rank_exposure":   res.Assessment.Rank,
+		})
+		return
+	}
+	if res.Table == nil {
+		writeError(w, http.StatusInternalServerError, "job finished without a result table")
+		return
+	}
+	writeCSV(w, id, res.Table)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.engine.Cancel(r.PathValue("id")); err != nil {
+		if errors.Is(err, service.ErrAlreadyFinished) {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "canceling"})
+}
+
+// --- response helpers -------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do once headers are out
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeServiceError maps service-layer errors onto status codes: unknown
+// IDs are 404, everything else a 400-class client error.
+func writeServiceError(w http.ResponseWriter, err error) {
+	var nf *service.ErrNotFound
+	if errors.As(err, &nf) {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+func writeCSV(w http.ResponseWriter, name string, t *dataset.Table) {
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", name+".csv"))
+	if err := dataset.WriteCSV(w, t); err != nil {
+		// Headers are gone; all we can do is truncate the stream.
+		return
+	}
+}

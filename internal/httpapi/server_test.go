@@ -1,0 +1,415 @@
+package httpapi_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/httpapi"
+	"repro/internal/service"
+)
+
+// newTestServer spins up the full stack — store, engine, REST layer — on an
+// httptest server. When start is false the engine's workers stay parked, so
+// submitted jobs remain pending (for testing the not-finished paths).
+func newTestServer(t *testing.T, start bool) (*httptest.Server, *service.Store) {
+	t.Helper()
+	store := service.NewStore()
+	engine := service.NewEngine(store, service.Options{Workers: 2, SweepWorkers: 4})
+	if start {
+		engine.Start()
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+	})
+	ts := httptest.NewServer(httpapi.New(store, engine, nil))
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+func decodeJSON(t *testing.T, r io.Reader, v any) {
+	t.Helper()
+	if err := json.NewDecoder(r).Decode(v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+}
+
+// errorBody asserts the standard JSON error envelope and returns the message.
+func errorBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var e struct {
+		Error string `json:"error"`
+	}
+	decodeJSON(t, resp.Body, &e)
+	if e.Error == "" {
+		t.Fatal("error response without an error field")
+	}
+	return e.Error
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, true)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body map[string]string
+	decodeJSON(t, resp.Body, &body)
+	if body["status"] != "ok" {
+		t.Fatalf("body %v", body)
+	}
+}
+
+func TestUploadRejectsMalformedCSV(t *testing.T) {
+	ts, _ := newTestServer(t, true)
+	resp, err := http.Post(ts.URL+"/v1/tables", "text/csv",
+		strings.NewReader("Name,Age\nnot-a-meta-header\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if msg := errorBody(t, resp); !strings.Contains(msg, "csv") {
+		t.Fatalf("unhelpful error: %q", msg)
+	}
+}
+
+func TestTableLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, true)
+	csv := "Name,Score,Salary\nid:text,qi:number,s:number\nAlice,5,90000\nBob,7,110000\n"
+
+	resp, err := http.Post(ts.URL+"/v1/tables?name=demo", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+	var info service.TableInfo
+	decodeJSON(t, resp.Body, &info)
+	if info.Name != "demo" || info.Rows != 2 || info.Cols != 3 {
+		t.Fatalf("bad info: %+v", info)
+	}
+
+	// Metadata endpoint.
+	resp2, err := http.Get(ts.URL + "/v1/tables/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var info2 service.TableInfo
+	decodeJSON(t, resp2.Body, &info2)
+	if info2.Hash != info.Hash {
+		t.Fatalf("metadata mismatch: %+v vs %+v", info2, info)
+	}
+
+	// CSV download round-trips.
+	resp3, err := http.Get(ts.URL + "/v1/tables/" + info.ID + "/csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if ct := resp3.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("content type %q", ct)
+	}
+	tab, err := dataset.ReadCSV(resp3.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("downloaded %d rows", tab.NumRows())
+	}
+
+	// List contains it; delete removes it.
+	resp4, err := http.Get(ts.URL + "/v1/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	var list struct {
+		Tables []service.TableInfo `json:"tables"`
+	}
+	decodeJSON(t, resp4.Body, &list)
+	if len(list.Tables) != 1 {
+		t.Fatalf("list has %d tables", len(list.Tables))
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/tables/"+info.ID, nil)
+	resp5, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp5.StatusCode)
+	}
+	resp6, err := http.Get(ts.URL + "/v1/tables/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp6.Body.Close()
+	if resp6.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d after delete, want 404", resp6.StatusCode)
+	}
+	errorBody(t, resp6)
+}
+
+func TestJobSubmissionErrors(t *testing.T) {
+	ts, _ := newTestServer(t, true)
+
+	// Unknown table → 404.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"type":"anonymize","table":"tbl-404","k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	errorBody(t, resp)
+
+	// Unknown spec field → 400 (DisallowUnknownFields guards typos).
+	resp2, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"type":"anonymize","table":"tbl-1","kay":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp2.StatusCode)
+	}
+
+	// Invalid spec (k too small) → 400.
+	resp3, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"type":"anonymize","table":"tbl-1","k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest && resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 4xx", resp3.StatusCode)
+	}
+}
+
+func TestJobResultBeforeCompletion(t *testing.T) {
+	// Engine not started: the job stays pending forever.
+	ts, store := newTestServer(t, false)
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 7, N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := store.Put("P", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"type":"anonymize","table":%q,"k":2}`, info.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var st service.Status
+	decodeJSON(t, resp.Body, &st)
+	if st.State != service.StatePending {
+		t.Fatalf("state %s, want pending", st.State)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("result status %d, want 409", resp2.StatusCode)
+	}
+	errorBody(t, resp2)
+
+	// Cancel over HTTP, then the job is terminal.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status %d", resp3.StatusCode)
+	}
+	resp4, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	var st2 service.Status
+	decodeJSON(t, resp4.Body, &st2)
+	if st2.State != service.StateCanceled {
+		t.Fatalf("state %s, want canceled", st2.State)
+	}
+}
+
+func TestUnknownJobRoutes(t *testing.T) {
+	ts, _ := newTestServer(t, true)
+	for _, path := range []string{"/v1/jobs/job-404", "/v1/jobs/job-404/result"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+		errorBody(t, resp)
+		resp.Body.Close()
+	}
+}
+
+// uploadTable pushes a dataset.Table through the upload endpoint.
+func uploadTable(t *testing.T, baseURL, name string, tab *dataset.Table) service.TableInfo {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/tables?name="+name, "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload %s: status %d", name, resp.StatusCode)
+	}
+	var info service.TableInfo
+	decodeJSON(t, resp.Body, &info)
+	return info
+}
+
+// submitJob posts a job spec and returns the accepted status.
+func submitJob(t *testing.T, baseURL string, spec service.Spec) service.Status {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, errorBody(t, resp))
+	}
+	var st service.Status
+	decodeJSON(t, resp.Body, &st)
+	return st
+}
+
+// pollJob polls the status endpoint until the job is terminal.
+func pollJob(t *testing.T, baseURL, id string) service.Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(baseURL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st service.Status
+		decodeJSON(t, resp.Body, &st)
+		resp.Body.Close()
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s at deadline", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEndToEndFREDSweep is the integration test of the serving layer: upload
+// the private table P and the adversary's web-gathered Q over HTTP, run an
+// asynchronous fred-sweep job through the worker pool, poll it to
+// completion, download the optimal fusion-resilient release as CSV — then
+// repeat the identical sweep and require a cache hit.
+func TestEndToEndFREDSweep(t *testing.T) {
+	ts, _ := newTestServer(t, true)
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pInfo := uploadTable(t, ts.URL, "faculty-P", sc.P)
+	qInfo := uploadTable(t, ts.URL, "web-Q", sc.Q)
+
+	spec := service.Spec{
+		Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
+		MinK: 2, MaxK: 16,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	}
+	st := submitJob(t, ts.URL, spec)
+	st = pollJob(t, ts.URL, st.ID)
+	if st.State != service.StateDone {
+		t.Fatalf("sweep ended %s: %s", st.State, st.Error)
+	}
+	if st.Cached {
+		t.Fatal("first sweep must compute, not hit the cache")
+	}
+	optK := int(st.Summary["optimal_k"])
+	if optK < 2 || optK > 16 {
+		t.Fatalf("optimal k %d outside sweep range", optK)
+	}
+
+	// Download the optimal release and verify it is a faithful table: same
+	// cohort, same schema, sensitive column suppressed.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("download status %d", resp.StatusCode)
+	}
+	release, err := dataset.ReadCSV(resp.Body)
+	if err != nil {
+		t.Fatalf("result is not valid table CSV: %v", err)
+	}
+	if release.NumRows() != sc.P.NumRows() {
+		t.Fatalf("release has %d rows, want %d", release.NumRows(), sc.P.NumRows())
+	}
+	for _, c := range release.Schema().IndicesOf(dataset.Sensitive) {
+		for r := 0; r < release.NumRows(); r++ {
+			if !release.Cell(r, c).IsNull() {
+				t.Fatalf("row %d: sensitive cell leaked into the release", r)
+			}
+		}
+	}
+
+	// The repeated identical sweep is served from the cache.
+	st2 := submitJob(t, ts.URL, spec)
+	st2 = pollJob(t, ts.URL, st2.ID)
+	if st2.State != service.StateDone || !st2.Cached {
+		t.Fatalf("repeat sweep: state %s cached %v, want cached hit", st2.State, st2.Cached)
+	}
+	if int(st2.Summary["optimal_k"]) != optK {
+		t.Fatalf("cache returned different optimum: %v vs %d", st2.Summary["optimal_k"], optK)
+	}
+}

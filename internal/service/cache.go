@@ -1,0 +1,71 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a small mutex-guarded LRU over finished job results. Every
+// engine job type is a pure function of (input table contents, spec), so
+// results are cached unconditionally; the key is Spec.cacheKey. Cached
+// Results are shared, never mutated — Result tables follow the store's
+// immutability contract.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// newResultCache returns a cache holding up to cap results; cap ≤ 0 disables
+// caching entirely (every Get misses, every Put drops).
+func newResultCache(cap int) *resultCache {
+	return &resultCache{cap: cap, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached result for key, refreshing its recency.
+func (c *resultCache) Get(key string) (*Result, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put inserts a result, evicting the least recently used entry when full.
+func (c *resultCache) Put(key string, res *Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,539 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fusion"
+	"repro/internal/metrics"
+	"repro/internal/microagg"
+	"repro/internal/mondrian"
+	"repro/internal/risk"
+)
+
+// Options configures an Engine. Zero values pick sensible defaults.
+type Options struct {
+	// Workers is the size of the job worker pool (default: NumCPU).
+	Workers int
+	// SweepWorkers bounds the intra-job concurrency of a fred-sweep's
+	// core.SweepParallel calls (default: Workers).
+	SweepWorkers int
+	// QueueDepth bounds the pending-job queue; submissions beyond it fail
+	// fast with ErrQueueFull (default: 256).
+	QueueDepth int
+	// CacheSize is the LRU result cache capacity in entries (default: 64;
+	// negative disables caching).
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.SweepWorkers <= 0 {
+		o.SweepWorkers = o.Workers
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 64
+	}
+	return o
+}
+
+// ErrQueueFull is returned by Submit when the pending queue is at capacity.
+var ErrQueueFull = errors.New("service: job queue is full")
+
+// ErrNotFinished is returned by Result for a job without a result yet.
+var ErrNotFinished = errors.New("service: job has not finished")
+
+// ErrAlreadyFinished is returned by Cancel for a job in a terminal state.
+var ErrAlreadyFinished = errors.New("service: job already finished")
+
+// Engine runs jobs asynchronously on a bounded worker pool. Submit enqueues
+// and returns immediately; callers poll Job / block on Wait, then fetch the
+// payload with Result. Identical submissions (same table contents, same
+// spec) are served from an LRU cache without re-running the sweep.
+type Engine struct {
+	store *Store
+	opts  Options
+	cache *resultCache
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	seq    int
+	jobs   map[string]*job
+	closed bool
+}
+
+// job is the engine-internal job record. status is guarded by mu; the input
+// tables are captured at submit time so a concurrent Store.Delete cannot
+// strand a queued job.
+type job struct {
+	mu     sync.Mutex
+	status Status
+	seq    int
+	spec   Spec
+	p, aux *dataset.Table
+	key    string
+	result *Result
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func (j *job) snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+func (j *job) setProgress(p float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.status.State.Terminal() {
+		j.status.Progress = p
+	}
+}
+
+// start transitions pending → running; it reports false when the job was
+// already finalized (e.g. canceled while queued).
+func (j *job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State != StatePending {
+		return false
+	}
+	now := time.Now()
+	j.status.State = StateRunning
+	j.status.Started = &now
+	return true
+}
+
+// finish finalizes the job exactly once; later calls are no-ops.
+func (j *job) finish(res *Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State.Terminal() {
+		return
+	}
+	now := time.Now()
+	j.status.Finished = &now
+	switch {
+	case err == nil:
+		j.result = res
+		j.status.State = StateDone
+		j.status.Progress = 1
+		j.status.Summary = res.summarize(j.status.Type)
+	case errors.Is(err, context.Canceled):
+		j.status.State = StateCanceled
+		j.status.Error = "canceled"
+	default:
+		j.status.State = StateFailed
+		j.status.Error = err.Error()
+	}
+	close(j.done)
+	// Release the job's child context so finished jobs do not accumulate
+	// on the engine's base context, and drop the captured input tables so
+	// a deleted store table is not pinned for the daemon's lifetime. The
+	// worker never reads p/aux after finish: a finalized job fails its
+	// start() gate.
+	j.cancel()
+	j.p, j.aux = nil, nil
+}
+
+// NewEngine builds an engine over the store. Call Start to launch the
+// worker pool and Shutdown to drain it.
+func NewEngine(store *Store, opts Options) *Engine {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Engine{
+		store:     store,
+		opts:      opts,
+		cache:     newResultCache(opts.CacheSize),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		queue:     make(chan *job, opts.QueueDepth),
+		jobs:      make(map[string]*job),
+	}
+}
+
+// Start launches the worker pool.
+func (e *Engine) Start() {
+	for w := 0; w < e.opts.Workers; w++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for j := range e.queue {
+				if j.ctx.Err() != nil || !j.start() {
+					j.finish(nil, context.Canceled)
+					continue
+				}
+				res, err := e.run(j)
+				if err == nil {
+					e.cache.Put(j.key, res)
+				}
+				j.finish(res, err)
+			}
+		}()
+	}
+}
+
+// Shutdown stops accepting jobs and waits for in-flight work. If ctx
+// expires first, running jobs are canceled and Shutdown returns ctx.Err()
+// after they unwind.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		e.cancelAll()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// Submit validates the spec, resolves its tables, and enqueues the job. A
+// cache hit completes the job immediately with Status.Cached set. The
+// returned Status is the initial snapshot; poll Job for updates.
+func (e *Engine) Submit(spec Spec) (Status, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return Status{}, err
+	}
+	p, pInfo, err := e.store.Get(spec.Table)
+	if err != nil {
+		return Status{}, err
+	}
+	var aux *dataset.Table
+	var auxHash string
+	if spec.Aux != "" {
+		var auxInfo TableInfo
+		aux, auxInfo, err = e.store.Get(spec.Aux)
+		if err != nil {
+			return Status{}, err
+		}
+		auxHash = auxInfo.Hash
+	}
+
+	// The closed check, registration and enqueue share one critical
+	// section: Shutdown closes the queue under the same mutex, so Submit
+	// can never send on a closed channel, and a rejected submission never
+	// leaks a job record.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return Status{}, errors.New("service: engine is shut down")
+	}
+	ctx, cancel := context.WithCancel(e.baseCtx)
+	j := &job{
+		status: Status{ID: fmt.Sprintf("job-%d", e.seq+1), Type: spec.Type, State: StatePending, Created: time.Now()},
+		seq:    e.seq + 1,
+		spec:   spec,
+		p:      p,
+		aux:    aux,
+		key:    spec.cacheKey(pInfo.Hash, auxHash),
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	if res, ok := e.cache.Get(j.key); ok {
+		e.seq++
+		e.jobs[j.status.ID] = j
+		j.status.Cached = true
+		j.finish(res, nil)
+		return j.snapshot(), nil
+	}
+	select {
+	case e.queue <- j:
+		e.seq++
+		e.jobs[j.status.ID] = j
+	default:
+		cancel()
+		return Status{}, ErrQueueFull
+	}
+	return j.snapshot(), nil
+}
+
+// Job returns the current status snapshot of a job.
+func (e *Engine) Job(id string) (Status, error) {
+	j, err := e.get(id)
+	if err != nil {
+		return Status{}, err
+	}
+	return j.snapshot(), nil
+}
+
+// Jobs lists every job's status, oldest first.
+func (e *Engine) Jobs() []Status {
+	e.mu.RLock()
+	all := make([]*job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		all = append(all, j)
+	}
+	e.mu.RUnlock()
+	sort.Slice(all, func(i, k int) bool { return all[i].seq < all[k].seq })
+	out := make([]Status, len(all))
+	for i, j := range all {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Result returns a finished job's payload; ErrNotFinished before then.
+func (e *Engine) Result(id string) (*Result, error) {
+	j, err := e.get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State != StateDone {
+		if j.status.State == StateFailed || j.status.State == StateCanceled {
+			return nil, fmt.Errorf("service: job %s %s: %s", id, j.status.State, j.status.Error)
+		}
+		return nil, ErrNotFinished
+	}
+	return j.result, nil
+}
+
+// Cancel cancels a pending or running job. Pending jobs finalize
+// immediately; running jobs stop at their next cancellation point. A job
+// already in a terminal state reports ErrAlreadyFinished.
+func (e *Engine) Cancel(id string) error {
+	j, err := e.get(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	state := j.status.State
+	j.mu.Unlock()
+	if state.Terminal() {
+		return fmt.Errorf("%w: job %s is %s", ErrAlreadyFinished, id, state)
+	}
+	j.cancel()
+	if state == StatePending {
+		j.finish(nil, context.Canceled)
+	}
+	return nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (e *Engine) Wait(ctx context.Context, id string) (Status, error) {
+	j, err := e.get(id)
+	if err != nil {
+		return Status{}, err
+	}
+	select {
+	case <-j.done:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return j.snapshot(), ctx.Err()
+	}
+}
+
+func (e *Engine) get(id string) (*job, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return nil, &ErrNotFound{Kind: "job", ID: id}
+	}
+	return j, nil
+}
+
+// --- job execution ----------------------------------------------------------
+
+func (e *Engine) run(j *job) (*Result, error) {
+	switch j.spec.Type {
+	case JobAnonymize:
+		return e.runAnonymize(j)
+	case JobAttack:
+		return e.runAttack(j)
+	case JobFREDSweep:
+		return e.runFREDSweep(j)
+	case JobAssess:
+		return e.runAssess(j)
+	default:
+		return nil, fmt.Errorf("service: unknown job type %q", j.spec.Type)
+	}
+}
+
+func anonymizerFor(scheme string) core.Anonymizer {
+	if scheme == "mondrian" {
+		return mondrian.New()
+	}
+	return microagg.New()
+}
+
+func (sp Spec) attackConfig(aux *dataset.Table) core.AttackConfig {
+	return core.AttackConfig{
+		Aux:            aux,
+		Estimator:      fusion.NewFuzzy(),
+		SensitiveRange: fusion.Range{Lo: sp.SensitiveLo, Hi: sp.SensitiveHi},
+	}
+}
+
+// release anonymizes p at level k and suppresses the sensitive columns —
+// the enterprise release step shared by every job type.
+func release(p *dataset.Table, anon core.Anonymizer, k int) (*dataset.Table, error) {
+	out, err := anon.Anonymize(p, k)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range out.Schema().IndicesOf(dataset.Sensitive) {
+		out.SuppressColumn(c)
+	}
+	return out, nil
+}
+
+func (e *Engine) runAnonymize(j *job) (*Result, error) {
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	rel, err := release(j.p, anonymizerFor(j.spec.Scheme), j.spec.K)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: rel}, nil
+}
+
+func (e *Engine) runAttack(j *job) (*Result, error) {
+	rel, err := release(j.p, anonymizerFor(j.spec.Scheme), j.spec.K)
+	if err != nil {
+		return nil, err
+	}
+	j.setProgress(0.5)
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	phat, before, after, err := core.Attack(j.p, rel, j.spec.attackConfig(j.aux))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: phat, Before: before, After: after}, nil
+}
+
+func (e *Engine) runAssess(j *job) (*Result, error) {
+	sens := j.p.Schema().NamesOf(dataset.Sensitive)
+	if len(sens) != 1 {
+		return nil, fmt.Errorf("service: assess needs exactly one sensitive column, table has %d", len(sens))
+	}
+	rel, err := release(j.p, anonymizerFor(j.spec.Scheme), j.spec.K)
+	if err != nil {
+		return nil, err
+	}
+	j.setProgress(0.4)
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	phat, _, _, err := core.Attack(j.p, rel, j.spec.attackConfig(j.aux))
+	if err != nil {
+		return nil, err
+	}
+	j.setProgress(0.8)
+	a, err := risk.Assess(j.p, phat, sens[0], j.spec.SensitiveLo, j.spec.SensitiveHi)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: phat, Assessment: a}, nil
+}
+
+// runFREDSweep is Algorithm 1 as a service job: the level sweep runs through
+// core.SweepParallel in chunks of SweepWorkers so cancellation and progress
+// have a checkpoint between chunks, then the threshold filter and the
+// H-objective argmax pick the fusion-resilient release.
+func (e *Engine) runFREDSweep(j *job) (*Result, error) {
+	sp := j.spec
+	anon := anonymizerFor(sp.Scheme)
+	atk := sp.attackConfig(j.aux)
+	total := sp.MaxK - sp.MinK + 1
+	chunk := e.opts.SweepWorkers
+	var levels []core.LevelResult
+	for lo := sp.MinK; lo <= sp.MaxK; lo += chunk {
+		if err := j.ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := lo + chunk - 1
+		if hi > sp.MaxK {
+			hi = sp.MaxK
+		}
+		part, err := core.SweepParallel(j.p, anon, atk, lo, hi, e.opts.SweepWorkers)
+		if err != nil {
+			// Only "k exceeds the table" at a chunk boundary ends the
+			// series; any other error fails the job.
+			if len(levels) > 0 && core.EndsSweep(err) {
+				break
+			}
+			return nil, err
+		}
+		levels = append(levels, part...)
+		j.setProgress(0.95 * float64(len(levels)) / float64(total))
+		if len(part) < hi-lo+1 {
+			break
+		}
+	}
+
+	tp, tu := sp.Tp, sp.Tu
+	if tp == 0 && tu == 0 {
+		var err error
+		if tp, tu, err = core.CalibrateThresholds(levels); err != nil {
+			return nil, err
+		}
+	}
+
+	var dis, utl []float64
+	var cand []int
+	for i := range levels {
+		levels[i].Candidate = levels[i].After >= tp && levels[i].Utility >= tu
+		if levels[i].Candidate {
+			cand = append(cand, i)
+			dis = append(dis, levels[i].After)
+			utl = append(utl, levels[i].Utility)
+		}
+	}
+	if len(cand) == 0 {
+		return nil, core.ErrNoCandidate
+	}
+	h, err := metrics.HSeries(dis, utl, metrics.DefaultHOptions())
+	if err != nil {
+		return nil, err
+	}
+	best, hmax, err := metrics.ArgMax(h)
+	if err != nil {
+		return nil, err
+	}
+	opt := levels[cand[best]]
+	return &Result{
+		Table:    opt.Release,
+		Levels:   summarizeLevels(levels),
+		OptimalK: opt.K,
+		Hmax:     hmax,
+		Tp:       tp,
+		Tu:       tu,
+	}, nil
+}

@@ -1,0 +1,287 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/service"
+)
+
+// testFixture stores the standard university scenario's P and Q and returns
+// the engine plus the table IDs and the scenario, for jobs that need real
+// attack inputs.
+func testFixture(t *testing.T, opts service.Options) (*service.Engine, string, string, *repro.Scenario) {
+	t.Helper()
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := service.NewStore()
+	pInfo, err := store.Put("P", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qInfo, err := store.Put("Q", sc.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := service.NewEngine(store, opts)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		e.Shutdown(ctx)
+	})
+	return e, pInfo.ID, qInfo.ID, sc
+}
+
+func waitDone(t *testing.T, e *service.Engine, id string) service.Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := e.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("wait %s: %v (state %s)", id, err, st.State)
+	}
+	return st
+}
+
+func sweepSpec(p, q string) service.Spec {
+	return service.Spec{
+		Type: service.JobFREDSweep, Table: p, Aux: q,
+		MinK: 2, MaxK: 10,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e, p, q, _ := testFixture(t, service.Options{Workers: 1})
+	for name, spec := range map[string]service.Spec{
+		"no type":       {Table: p},
+		"unknown type":  {Type: "mine-bitcoin", Table: p},
+		"no table":      {Type: service.JobAnonymize, K: 2},
+		"unknown table": {Type: service.JobAnonymize, Table: "tbl-404", K: 2},
+		"unknown aux":   {Type: service.JobAttack, Table: p, Aux: "tbl-404", K: 2, SensitiveLo: 1, SensitiveHi: 2},
+		"bad scheme":    {Type: service.JobAnonymize, Table: p, K: 2, Scheme: "rot13"},
+		"k too small":   {Type: service.JobAnonymize, Table: p, K: 1},
+		"bad range":     {Type: service.JobFREDSweep, Table: p, Aux: q, MinK: 9, MaxK: 3, SensitiveLo: 1, SensitiveHi: 2},
+		"no sensitive":  {Type: service.JobAttack, Table: p, Aux: q, K: 2},
+	} {
+		if _, err := e.Submit(spec); err == nil {
+			t.Errorf("%s: expected a validation error", name)
+		}
+	}
+}
+
+func TestAnonymizeJob(t *testing.T) {
+	e, p, _, sc := testFixture(t, service.Options{Workers: 2})
+	e.Start()
+	st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, e, st.ID)
+	if st.State != service.StateDone {
+		t.Fatalf("state %s (%s), want done", st.State, st.Error)
+	}
+	res, err := e.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != sc.P.NumRows() {
+		t.Fatalf("release has %d rows, want %d", res.Table.NumRows(), sc.P.NumRows())
+	}
+	// The sensitive column must be suppressed in the release.
+	for _, c := range res.Table.Schema().IndicesOf(dataset.Sensitive) {
+		for r := 0; r < res.Table.NumRows(); r++ {
+			if res.Table.Cell(r, c).Kind() != dataset.Null {
+				t.Fatalf("row %d: sensitive cell not suppressed: %s", r, res.Table.Cell(r, c))
+			}
+		}
+	}
+}
+
+func TestAttackAndAssessJobs(t *testing.T) {
+	e, p, q, _ := testFixture(t, service.Options{Workers: 2})
+	e.Start()
+
+	atkSt, err := e.Submit(service.Spec{
+		Type: service.JobAttack, Table: p, Aux: q, K: 4,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asSt, err := e.Submit(service.Spec{
+		Type: service.JobAssess, Table: p, Aux: q, K: 4,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	atk := waitDone(t, e, atkSt.ID)
+	if atk.State != service.StateDone {
+		t.Fatalf("attack state %s (%s)", atk.State, atk.Error)
+	}
+	if atk.Summary["after"] <= 0 || atk.Summary["before"] <= 0 {
+		t.Fatalf("attack summary missing dissimilarities: %v", atk.Summary)
+	}
+	// Fusion must beat the no-fusion baseline: after < before.
+	if atk.Summary["after"] >= atk.Summary["before"] {
+		t.Fatalf("fusion did not gain: before %g, after %g", atk.Summary["before"], atk.Summary["after"])
+	}
+
+	as := waitDone(t, e, asSt.ID)
+	if as.State != service.StateDone {
+		t.Fatalf("assess state %s (%s)", as.State, as.Error)
+	}
+	res, err := e.Result(as.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assessment == nil || res.Assessment.Records != 30 {
+		t.Fatalf("bad assessment: %+v", res.Assessment)
+	}
+}
+
+func TestFREDSweepJobAndCache(t *testing.T) {
+	e, p, q, _ := testFixture(t, service.Options{Workers: 2, SweepWorkers: 4})
+	e.Start()
+
+	st, err := e.Submit(sweepSpec(p, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, e, st.ID)
+	if st.State != service.StateDone {
+		t.Fatalf("state %s (%s), want done", st.State, st.Error)
+	}
+	if st.Cached {
+		t.Fatal("first sweep must not be a cache hit")
+	}
+	optK := int(st.Summary["optimal_k"])
+	if optK < 2 || optK > 10 {
+		t.Fatalf("optimal k %d outside the swept range", optK)
+	}
+	if st.Summary["levels"] < 3 {
+		t.Fatalf("too few swept levels: %v", st.Summary)
+	}
+	res, err := e.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table == nil || res.Table.NumRows() != 30 {
+		t.Fatal("sweep result must carry the optimal release")
+	}
+
+	// An identical resubmission is served from the cache, instantly done.
+	st2, err := e.Submit(sweepSpec(p, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != service.StateDone || !st2.Cached {
+		t.Fatalf("resubmission: state %s cached %v, want done from cache", st2.State, st2.Cached)
+	}
+	res2, err := e.Result(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res {
+		t.Fatal("cache must return the shared result")
+	}
+
+	// A different config is a different cache key.
+	other := sweepSpec(p, q)
+	other.MaxK = 8
+	st3, err := e.Submit(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Cached {
+		t.Fatal("different config must miss the cache")
+	}
+	waitDone(t, e, st3.ID)
+}
+
+func TestCancelPendingJob(t *testing.T) {
+	// Engine deliberately not started: the job stays pending in the queue.
+	e, p, _, _ := testFixture(t, service.Options{Workers: 1})
+	st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitDone(t, e, st.ID)
+	if got.State != service.StateCanceled {
+		t.Fatalf("state %s, want canceled", got.State)
+	}
+	if _, err := e.Result(st.ID); err == nil {
+		t.Fatal("canceled job must not yield a result")
+	}
+	// Canceling a terminal job is an explicit error, not a silent no-op.
+	if err := e.Cancel(st.ID); !errors.Is(err, service.ErrAlreadyFinished) {
+		t.Fatalf("cancel of terminal job: got %v, want ErrAlreadyFinished", err)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	e, p, _, _ := testFixture(t, service.Options{Workers: 1, QueueDepth: 1})
+	// Not started: the first submission fills the queue.
+	if _, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
+	if !errors.Is(err, service.ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+}
+
+func TestJobsListing(t *testing.T) {
+	e, p, _, _ := testFixture(t, service.Options{Workers: 2})
+	e.Start()
+	var ids []string
+	for k := 2; k <= 4; k++ {
+		st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		waitDone(t, e, id)
+	}
+	jobs := e.Jobs()
+	if len(jobs) != len(ids) {
+		t.Fatalf("Jobs: got %d, want %d", len(jobs), len(ids))
+	}
+	for i, st := range jobs {
+		if st.ID != ids[i] {
+			t.Fatalf("Jobs[%d] = %s, want %s (submission order)", i, st.ID, ids[i])
+		}
+		if st.State != service.StateDone {
+			t.Fatalf("job %s state %s", st.ID, st.State)
+		}
+	}
+	if _, err := e.Job("job-404"); err == nil {
+		t.Fatal("expected not-found for unknown job")
+	}
+}
+
+func TestShutdownRejectsNewJobs(t *testing.T) {
+	e, p, _, _ := testFixture(t, service.Options{Workers: 1})
+	e.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 2}); err == nil {
+		t.Fatal("submit after shutdown must fail")
+	}
+}

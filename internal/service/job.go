@@ -1,0 +1,216 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/risk"
+)
+
+// JobType names the workloads the engine runs. Each maps onto one paper
+// operation: anonymize (Basic_Anonymization), attack (the Section 3 fusion
+// attack), fred-sweep (Algorithm 1 over a level range), assess (the
+// record-level disclosure report).
+type JobType string
+
+// The supported job types.
+const (
+	JobAnonymize JobType = "anonymize"
+	JobAttack    JobType = "attack"
+	JobFREDSweep JobType = "fred-sweep"
+	JobAssess    JobType = "assess"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+// Job lifecycle states. Terminal states are done, failed and canceled.
+const (
+	StatePending  JobState = "pending"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Spec is a job request. Table (and Aux, where used) reference tables
+// previously stored via Store.Put / POST /v1/tables.
+type Spec struct {
+	// Type selects the workload. Required.
+	Type JobType `json:"type"`
+	// Table is the private table P. Required.
+	Table string `json:"table"`
+	// Aux is the adversary's web-gathered table Q, row-aligned with P.
+	// Optional: omitting it simulates an adversary without web access.
+	Aux string `json:"aux,omitempty"`
+	// Scheme selects Basic_Anonymization: "mdav" (default) or "mondrian".
+	Scheme string `json:"scheme,omitempty"`
+	// K is the anonymization level for anonymize/attack/assess jobs.
+	K int `json:"k,omitempty"`
+	// MinK and MaxK bound a fred-sweep (defaults 2 and 16).
+	MinK int `json:"min_k,omitempty"`
+	MaxK int `json:"max_k,omitempty"`
+	// Tp and Tu are the FRED thresholds; both zero auto-calibrates from
+	// the sweep the way the paper did from experimental observations.
+	Tp float64 `json:"tp,omitempty"`
+	Tu float64 `json:"tu,omitempty"`
+	// SensitiveLo and SensitiveHi give the publicly known range of the
+	// sensitive attribute. Required for attack, fred-sweep and assess.
+	SensitiveLo float64 `json:"sensitive_lo,omitempty"`
+	SensitiveHi float64 `json:"sensitive_hi,omitempty"`
+}
+
+// withDefaults returns the spec with defaulted fields filled in, so cache
+// keys for equivalent requests collide.
+func (sp Spec) withDefaults() Spec {
+	if sp.Scheme == "" {
+		sp.Scheme = "mdav"
+	}
+	if sp.Type == JobFREDSweep {
+		if sp.MinK == 0 {
+			sp.MinK = 2
+		}
+		if sp.MaxK == 0 {
+			sp.MaxK = 16
+		}
+	}
+	return sp
+}
+
+// validate checks everything that does not need the referenced tables.
+func (sp Spec) validate() error {
+	switch sp.Type {
+	case JobAnonymize, JobAttack, JobFREDSweep, JobAssess:
+	case "":
+		return fmt.Errorf("service: job needs a type (one of %s, %s, %s, %s)",
+			JobAnonymize, JobAttack, JobFREDSweep, JobAssess)
+	default:
+		return fmt.Errorf("service: unknown job type %q", sp.Type)
+	}
+	if sp.Table == "" {
+		return fmt.Errorf("service: job needs a table")
+	}
+	switch sp.Scheme {
+	case "mdav", "mondrian":
+	default:
+		return fmt.Errorf("service: unknown anonymization scheme %q (want mdav or mondrian)", sp.Scheme)
+	}
+	switch sp.Type {
+	case JobAnonymize, JobAttack, JobAssess:
+		if sp.K < 2 {
+			return fmt.Errorf("service: %s job needs k ≥ 2, got %d", sp.Type, sp.K)
+		}
+	case JobFREDSweep:
+		if sp.MinK < 2 || sp.MaxK < sp.MinK {
+			return fmt.Errorf("service: invalid sweep range [%d, %d]", sp.MinK, sp.MaxK)
+		}
+	}
+	if sp.Type != JobAnonymize && sp.SensitiveHi <= sp.SensitiveLo {
+		return fmt.Errorf("service: %s job needs a sensitive range (sensitive_lo < sensitive_hi)", sp.Type)
+	}
+	return nil
+}
+
+// cacheKey canonicalizes the spec plus the content hashes of its input
+// tables. Two submissions with byte-identical tables and an equivalent spec
+// share a key — the "repeated FRED sweeps served from cache" contract.
+func (sp Spec) cacheKey(pHash, auxHash string) string {
+	return fmt.Sprintf("%s|%s|%s|%s|k%d|%d-%d|tp%g|tu%g|%g-%g",
+		sp.Type, pHash, auxHash, sp.Scheme, sp.K, sp.MinK, sp.MaxK, sp.Tp, sp.Tu,
+		sp.SensitiveLo, sp.SensitiveHi)
+}
+
+// Status is the externally visible state of a job. It is a value snapshot —
+// safe to hand across goroutines and to serialize.
+type Status struct {
+	ID    string   `json:"id"`
+	Type  JobType  `json:"type"`
+	State JobState `json:"state"`
+	// Progress advances 0 → 1 while running.
+	Progress float64 `json:"progress"`
+	// Cached reports that the result was served from the LRU cache.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Summary carries the headline numbers of a finished job (optimal k,
+	// dissimilarities, breach rates, …) keyed by metric name.
+	Summary  map[string]float64 `json:"summary,omitempty"`
+	Created  time.Time          `json:"created"`
+	Started  *time.Time         `json:"started,omitempty"`
+	Finished *time.Time         `json:"finished,omitempty"`
+}
+
+// LevelSummary is the JSON-friendly projection of one core.LevelResult —
+// the per-level numbers without the table payloads.
+type LevelSummary struct {
+	K         int     `json:"k"`
+	Before    float64 `json:"before"`
+	After     float64 `json:"after"`
+	Gain      float64 `json:"gain"`
+	Utility   float64 `json:"utility"`
+	Candidate bool    `json:"candidate"`
+}
+
+// Result is a finished job's payload. Table is the downloadable artifact
+// (the release for anonymize, P̂ for attack, the optimal release for
+// fred-sweep); the other fields are populated per job type.
+type Result struct {
+	// Table is the primary output table, nil only for assess jobs.
+	Table *dataset.Table
+	// Levels is the fred-sweep series (Figures 4–7).
+	Levels []LevelSummary
+	// OptimalK and Hmax are Algorithm 1's argmax for fred-sweep jobs.
+	OptimalK int
+	Hmax     float64
+	// Tp and Tu echo the thresholds used (auto-calibrated when the spec
+	// left them zero).
+	Tp, Tu float64
+	// Before and After are the pre/post-fusion dissimilarities for attack
+	// jobs.
+	Before, After float64
+	// Assessment is the record-level disclosure report for assess jobs.
+	Assessment *risk.Assessment
+}
+
+// summarize flattens the headline numbers into a Status summary map.
+func (r *Result) summarize(t JobType) map[string]float64 {
+	m := make(map[string]float64)
+	switch t {
+	case JobAnonymize:
+		m["rows"] = float64(r.Table.NumRows())
+	case JobAttack:
+		m["before"] = r.Before
+		m["after"] = r.After
+		m["gain"] = r.Before - r.After
+	case JobFREDSweep:
+		m["optimal_k"] = float64(r.OptimalK)
+		m["h_max"] = r.Hmax
+		m["levels"] = float64(len(r.Levels))
+		m["tp"] = r.Tp
+		m["tu"] = r.Tu
+	case JobAssess:
+		m["breach10"] = r.Assessment.Breach10
+		m["breach20"] = r.Assessment.Breach20
+		m["class3"] = r.Assessment.Class3
+		m["baseline_class3"] = r.Assessment.BaselineClass3
+		m["rank_exposure"] = r.Assessment.Rank
+	}
+	return m
+}
+
+func summarizeLevels(levels []core.LevelResult) []LevelSummary {
+	out := make([]LevelSummary, len(levels))
+	for i, lr := range levels {
+		out[i] = LevelSummary{
+			K: lr.K, Before: lr.Before, After: lr.After,
+			Gain: lr.Gain, Utility: lr.Utility, Candidate: lr.Candidate,
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+// Package service is the serving layer over the FRED core: an in-memory
+// table store plus an asynchronous job engine with a bounded worker pool,
+// per-job progress/cancellation, and an LRU result cache. It is the
+// subsystem behind internal/httpapi and cmd/served — the paper's workload
+// (an enterprise re-running FRED over evolving releases against web-fusion
+// adversaries) run as a service instead of a one-shot CLI.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// TableInfo is the store's metadata record for one table.
+type TableInfo struct {
+	// ID is the store-assigned handle ("tbl-1", "tbl-2", …).
+	ID string `json:"id"`
+	// Name is the caller-supplied label (upload filename, scenario name).
+	Name string `json:"name"`
+	// Rows and Cols record the table shape.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// Hash is a content hash over the CSV serialization; identical tables
+	// hash identically, which is what keys the job result cache.
+	Hash string `json:"hash"`
+	// Created is the upload time.
+	Created time.Time `json:"created"`
+}
+
+// Store is a concurrency-safe in-memory table store. Tables are immutable
+// once stored: Get hands out the stored pointer and every job clones before
+// mutating, matching dataset.Table's concurrent-reads contract.
+type Store struct {
+	mu     sync.RWMutex
+	seq    int
+	tables map[string]storedTable
+}
+
+type storedTable struct {
+	info  TableInfo
+	table *dataset.Table
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]storedTable)}
+}
+
+// ErrNotFound is returned for unknown table or job IDs.
+type ErrNotFound struct{ Kind, ID string }
+
+func (e *ErrNotFound) Error() string { return fmt.Sprintf("service: no %s %q", e.Kind, e.ID) }
+
+// Put stores a table under a fresh ID and returns its metadata. The caller
+// must not mutate the table afterwards.
+func (s *Store) Put(name string, t *dataset.Table) (TableInfo, error) {
+	if t == nil || t.NumRows() == 0 {
+		return TableInfo{}, fmt.Errorf("service: refusing to store an empty table")
+	}
+	h, err := HashTable(t)
+	if err != nil {
+		return TableInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	info := TableInfo{
+		ID:      fmt.Sprintf("tbl-%d", s.seq),
+		Name:    name,
+		Rows:    t.NumRows(),
+		Cols:    t.NumCols(),
+		Hash:    h,
+		Created: time.Now(),
+	}
+	s.tables[info.ID] = storedTable{info: info, table: t}
+	return info, nil
+}
+
+// Get returns the table and metadata for an ID.
+func (s *Store) Get(id string) (*dataset.Table, TableInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.tables[id]
+	if !ok {
+		return nil, TableInfo{}, &ErrNotFound{Kind: "table", ID: id}
+	}
+	return st.table, st.info, nil
+}
+
+// List returns metadata for every stored table, oldest first.
+func (s *Store) List() []TableInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]TableInfo, 0, len(s.tables))
+	for _, st := range s.tables {
+		out = append(out, st.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return seqOf(out[i].ID) < seqOf(out[j].ID) })
+	return out
+}
+
+// Delete removes a table. Jobs already holding the pointer keep working —
+// tables are immutable, so this only frees the handle.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[id]; !ok {
+		return &ErrNotFound{Kind: "table", ID: id}
+	}
+	delete(s.tables, id)
+	return nil
+}
+
+func seqOf(id string) int {
+	var n int
+	fmt.Sscanf(id, "tbl-%d", &n)
+	return n
+}
+
+// HashTable content-hashes a table via its canonical CSV serialization, so
+// equal schemas+cells produce equal hashes regardless of how the table was
+// built. This keys the job result cache, where a collision would serve one
+// client another's cached release — hence a cryptographic hash, not a
+// checksum; its cost is negligible next to any job.
+func HashTable(t *dataset.Table) (string, error) {
+	h := sha256.New()
+	if err := dataset.WriteCSV(h, t); err != nil {
+		return "", fmt.Errorf("service: hash table: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

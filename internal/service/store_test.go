@@ -1,0 +1,147 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func smallTable(t *testing.T, salaries ...float64) *dataset.Table {
+	t.Helper()
+	schema := dataset.MustSchema(
+		dataset.Column{Name: "Name", Class: dataset.Identifier, Kind: dataset.Text},
+		dataset.Column{Name: "Score", Class: dataset.QuasiIdentifier, Kind: dataset.Number},
+		dataset.Column{Name: "Salary", Class: dataset.Sensitive, Kind: dataset.Number},
+	)
+	tab := dataset.New(schema)
+	for i, s := range salaries {
+		tab.MustAppendRow(dataset.Str(string(rune('A'+i))), dataset.Num(float64(i+1)), dataset.Num(s))
+	}
+	return tab
+}
+
+func TestStoreCRUD(t *testing.T) {
+	s := NewStore()
+	tab := smallTable(t, 50000, 60000, 70000, 80000)
+
+	info, err := s.Put("roster", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.Rows != 4 || info.Cols != 3 || info.Hash == "" {
+		t.Fatalf("bad info: %+v", info)
+	}
+
+	got, gotInfo, err := s.Get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tab || gotInfo.ID != info.ID {
+		t.Fatalf("Get returned wrong table/info")
+	}
+
+	if _, _, err := s.Get("tbl-999"); err == nil {
+		t.Fatal("expected not-found error")
+	} else if !strings.Contains(err.Error(), "tbl-999") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+
+	if n := len(s.List()); n != 1 {
+		t.Fatalf("List: got %d tables, want 1", n)
+	}
+	if err := s.Delete(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(info.ID); err == nil {
+		t.Fatal("expected error deleting twice")
+	}
+	if n := len(s.List()); n != 0 {
+		t.Fatalf("List after delete: got %d tables, want 0", n)
+	}
+}
+
+func TestStoreListOrder(t *testing.T) {
+	s := NewStore()
+	var ids []string
+	for i := 0; i < 12; i++ {
+		info, err := s.Put("t", smallTable(t, 1000*float64(i+1), 2000, 3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	list := s.List()
+	if len(list) != len(ids) {
+		t.Fatalf("got %d tables, want %d", len(list), len(ids))
+	}
+	for i, info := range list {
+		if info.ID != ids[i] {
+			t.Fatalf("List[%d] = %s, want %s (oldest first)", i, info.ID, ids[i])
+		}
+	}
+}
+
+func TestStoreRejectsEmptyTable(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Put("empty", nil); err == nil {
+		t.Fatal("expected error for nil table")
+	}
+	if _, err := s.Put("empty", smallTable(t)); err == nil {
+		t.Fatal("expected error for zero-row table")
+	}
+}
+
+func TestHashTable(t *testing.T) {
+	a := smallTable(t, 50000, 60000)
+	b := smallTable(t, 50000, 60000)
+	c := smallTable(t, 50000, 60001)
+
+	ha, err := HashTable(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := HashTable(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := HashTable(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("equal tables hash differently: %s vs %s", ha, hb)
+	}
+	if ha == hc {
+		t.Fatalf("different tables collide: %s", ha)
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	r1, r2, r3 := &Result{}, &Result{}, &Result{}
+	c.Put("a", r1)
+	c.Put("b", r2)
+	if got, ok := c.Get("a"); !ok || got != r1 {
+		t.Fatal("a should be cached")
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", r3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should survive (recently used)")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.Put("a", &Result{})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache must not store")
+	}
+}

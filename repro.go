@@ -15,8 +15,6 @@
 package repro
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
@@ -245,11 +243,8 @@ func (s *Scenario) RunAdaptive(k int, riskTol, maxExposed float64) (*core.Adapti
 // space is an interior band of levels, mirroring the paper's Tp = 3.075e8,
 // Tu = 0.0018 which carve k = 7..14 out of k = 2..16: Tp is the post-fusion
 // dissimilarity one third into the sweep, Tu the utility five sixths in.
+// It delegates to core.CalibrateThresholds, the single calibration policy
+// shared with the serving layer.
 func CalibrateThresholds(levels []core.LevelResult) (tp, tu float64, err error) {
-	if len(levels) < 3 {
-		return 0, 0, fmt.Errorf("repro: calibration needs ≥ 3 levels, got %d", len(levels))
-	}
-	tp = levels[len(levels)/3].After
-	tu = levels[len(levels)*5/6].Utility
-	return tp, tu, nil
+	return core.CalibrateThresholds(levels)
 }
