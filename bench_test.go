@@ -643,6 +643,58 @@ func BenchmarkDissimilarity(b *testing.B) {
 	}
 }
 
+// BenchmarkTableClone measures the copy-on-write clone plus the zero-copy
+// release projection — the per-level table plumbing of a sweep.
+func BenchmarkTableClone(b *testing.B) {
+	sc := benchScenario(b)
+	sens := sc.P.Schema().IndicesOf(dataset.Sensitive)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel := sc.P.WithSuppressed(sens...)
+		if rel.NumRows() != sc.P.NumRows() {
+			b.Fatal("bad view")
+		}
+	}
+}
+
+// BenchmarkHashTable measures the content hash that keys the service result
+// cache (columnar fingerprint under SHA-256).
+func BenchmarkHashTable(b *testing.B) {
+	sc := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := service.HashTable(sc.P); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeatures measures the adversary's feature assembly, uncached
+// versus with the aux-side columns prepared once (the SweepContext path).
+func BenchmarkFeatures(b *testing.B) {
+	sc := benchScenario(b)
+	release, err := sc.Release(6, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fusion.Features(release, sc.Q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared-aux", func(b *testing.B) {
+		aux := fusion.PrepareAux(sc.Q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fusion.FeaturesWith(release, aux); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkCSVRoundTrip measures table serialization.
 func BenchmarkCSVRoundTrip(b *testing.B) {
 	sc := benchScenario(b)

@@ -31,6 +31,7 @@ func main() {
 		sweepers = flag.Int("sweep-workers", 0, "per-job sweep concurrency (0 = workers)")
 		cache    = flag.Int("cache", 64, "LRU result cache entries (negative disables)")
 		queue    = flag.Int("queue", 256, "pending job queue depth")
+		retain   = flag.Int("retain", 512, "finished jobs kept in the job log (negative keeps all)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -38,10 +39,11 @@ func main() {
 	logger := log.New(os.Stderr, "served ", log.LstdFlags)
 	store := service.NewStore()
 	engine := service.NewEngine(store, service.Options{
-		Workers:      *workers,
-		SweepWorkers: *sweepers,
-		QueueDepth:   *queue,
-		CacheSize:    *cache,
+		Workers:         *workers,
+		SweepWorkers:    *sweepers,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		MaxFinishedJobs: *retain,
 	})
 	engine.Start()
 

@@ -114,34 +114,146 @@ var ErrNoCandidate = errors.New("core: no anonymization level satisfies the thre
 // The returned before/after pair quantifies the information gain of
 // Section 6.B: before is the no-fusion (midpoint) estimate's dissimilarity,
 // after the fused estimate's.
+//
+// Attack is the one-shot form; sweeps build a SweepContext once and reuse
+// its precomputed invariants at every level.
 func Attack(p, release *dataset.Table, atk AttackConfig) (phat *dataset.Table, before, after float64, err error) {
-	if p.NumRows() != release.NumRows() {
-		return nil, 0, 0, fmt.Errorf("core: private data has %d rows, release has %d", p.NumRows(), release.NumRows())
-	}
+	return NewSweepContext(p, atk).Attack(release)
+}
+
+// SweepContext precomputes everything about a (P, adversary) pair that is
+// invariant across anonymization levels: the comparison columns of
+// Definition 1, P's column vectors, the aux-side fusion feature columns, and
+// the Midpoint estimator's baseline inputs. Run, Sweep and SweepParallel
+// build one context per sweep; each level then only pays for the work that
+// actually depends on k. A context is immutable after construction and safe
+// for concurrent use.
+type SweepContext struct {
+	p   *dataset.Table
+	atk AttackConfig
+	est fusion.Estimator
+	// cols names the compared attributes; colIdx are their schema indices
+	// (identical in P and any release, which share the schema).
+	cols   []string
+	colIdx []int
+	// pVecs holds P's comparison columns read at def = SensitiveRange.Mid().
+	pVecs [][]float64
+	// midVec is the no-fusion baseline estimate: one midpoint per record.
+	midVec []float64
+	// aux is the precomputed aux-side half of the fusion features.
+	aux *fusion.AuxFeatures
+}
+
+// NewSweepContext prepares the per-sweep invariants of the fusion attack
+// against p.
+func NewSweepContext(p *dataset.Table, atk AttackConfig) *SweepContext {
 	est := atk.Estimator
 	if est == nil {
 		est = fusion.NewFuzzy()
 	}
-	// Pre-fusion: the adversary holds only the release; the suppressed
-	// sensitive column reads as the public-range midpoint.
-	pmid, err := fusion.Fuse(release, nil, fusion.Midpoint{}, atk.SensitiveRange)
-	if err != nil {
+	sc := &SweepContext{p: p, atk: atk, est: est, cols: comparisonColumns(p)}
+	mid := atk.SensitiveRange.Mid()
+	sc.colIdx = make([]int, len(sc.cols))
+	sc.pVecs = make([][]float64, len(sc.cols))
+	for j, name := range sc.cols {
+		sc.colIdx[j] = p.Schema().MustLookup(name)
+		sc.pVecs[j] = p.ColumnFloats(sc.colIdx[j], mid)
+	}
+	sc.midVec = make([]float64, p.NumRows())
+	for i := range sc.midVec {
+		sc.midVec[i] = mid
+	}
+	sc.aux = fusion.PrepareAux(atk.Aux)
+	return sc
+}
+
+// Attack runs the fusion attack of the context's adversary against one
+// release, exactly as the package-level Attack does.
+func (sc *SweepContext) Attack(release *dataset.Table) (phat *dataset.Table, before, after float64, err error) {
+	p := sc.p
+	if p.NumRows() != release.NumRows() {
+		return nil, 0, 0, fmt.Errorf("core: private data has %d rows, release has %d", p.NumRows(), release.NumRows())
+	}
+	// Resolve the comparison columns in the release. Sweeps hand back P's
+	// own schema, so the precomputed indices apply; a caller-supplied
+	// release with a different layout is resolved (and validated) by name.
+	relIdx := sc.colIdx
+	if release.Schema() != p.Schema() && !release.Schema().Equal(p.Schema()) {
+		relIdx = make([]int, len(sc.cols))
+		for j, name := range sc.cols {
+			idx, err := release.Schema().Lookup(name)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("core: release: %w", err)
+			}
+			relIdx[j] = idx
+		}
+	}
+	// Pre-fusion: the adversary holds only the release with its sensitive
+	// column forced to the public-range midpoint. CanFuse reproduces the
+	// baseline Fuse's validation without building the baseline table.
+	if err := fusion.CanFuse(release, sc.atk.SensitiveRange); err != nil {
 		return nil, 0, 0, fmt.Errorf("core: pre-fusion baseline: %w", err)
 	}
-	phat, err = fusion.Fuse(release, atk.Aux, est, atk.SensitiveRange)
+	phat, err = fusion.FuseWith(release, sc.aux, sc.est, sc.atk.SensitiveRange)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("core: fusion attack: %w", err)
 	}
-	cols := comparisonColumns(p)
-	before, err = metrics.TableDissimilarity(p, pmid, cols, atk.SensitiveRange.Mid())
+	mid := sc.atk.SensitiveRange.Mid()
+	relVecs := make([][]float64, len(sc.cols))
+	sensPos := -1
+	for j, idx := range relIdx {
+		if release.Schema().Column(idx).Class == dataset.Sensitive {
+			// The baseline estimate is the constant midpoint, whatever the
+			// release publishes in the sensitive column.
+			relVecs[j] = sc.midVec
+			sensPos = j
+		} else {
+			relVecs[j] = release.ColumnFloats(idx, mid)
+		}
+	}
+	before, err = metrics.ColumnDissimilarity(sc.pVecs, relVecs, p.NumRows())
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	after, err = metrics.TableDissimilarity(p, phat, cols, atk.SensitiveRange.Mid())
+	// P̂ shares every column with the release except the estimated sensitive
+	// one; swap just that vector for the after-fusion comparison.
+	if sensPos >= 0 {
+		relVecs[sensPos] = phat.ColumnFloats(relIdx[sensPos], mid)
+	}
+	after, err = metrics.ColumnDissimilarity(sc.pVecs, relVecs, p.NumRows())
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	return phat, before, after, nil
+}
+
+// RunLevel anonymizes P at level k, projects the release (sensitive columns
+// suppressed, zero-copy), attacks it and measures utility — one sweep
+// iteration.
+func (sc *SweepContext) RunLevel(anon Anonymizer, k int, tp float64) (LevelResult, error) {
+	anonT, err := anon.Anonymize(sc.p, k)
+	if err != nil {
+		return LevelResult{}, err
+	}
+	release := anonT.WithSuppressed(anonT.Schema().IndicesOf(dataset.Sensitive)...)
+	phat, before, after, err := sc.Attack(release)
+	if err != nil {
+		return LevelResult{}, err
+	}
+	util, err := metrics.Utility(release, k)
+	if err != nil {
+		return LevelResult{}, err
+	}
+	return LevelResult{
+		K:         k,
+		Release:   release,
+		Phat:      phat,
+		Before:    before,
+		After:     after,
+		Gain:      metrics.InformationGain(before, after),
+		Utility:   util,
+		Candidate: after >= tp,
+	}, nil
 }
 
 // comparisonColumns returns the numeric quasi-identifier and sensitive
@@ -186,9 +298,10 @@ func Run(p *dataset.Table, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: MaxK %d below MinK %d", maxK, minK)
 	}
 
+	sc := NewSweepContext(p, cfg.Attack)
 	res := &Result{}
 	for k := minK; k <= maxK; k++ {
-		lr, err := runLevel(p, cfg.Anonymizer, cfg.Attack, k, cfg.Tp)
+		lr, err := sc.RunLevel(cfg.Anonymizer, k, cfg.Tp)
 		if err != nil {
 			// The anonymizer legitimately runs out of records (k > n);
 			// treat that as the end of the sweep rather than a failure.
@@ -247,9 +360,10 @@ func Sweep(p *dataset.Table, anon Anonymizer, atk AttackConfig, minK, maxK int) 
 	if minK < 2 || maxK < minK {
 		return nil, fmt.Errorf("core: invalid sweep range [%d, %d]", minK, maxK)
 	}
+	sc := NewSweepContext(p, atk)
 	var out []LevelResult
 	for k := minK; k <= maxK; k++ {
-		lr, err := runLevel(p, anon, atk, k, 0)
+		lr, err := sc.RunLevel(anon, k, 0)
 		if err != nil {
 			if k > minK && isTooFewRecords(err) {
 				break
@@ -280,6 +394,7 @@ func SweepParallel(p *dataset.Table, anon Anonymizer, atk AttackConfig, minK, ma
 		lr  LevelResult
 		err error
 	}
+	sc := NewSweepContext(p, atk)
 	results := make([]slot, n)
 	ks := make(chan int, n)
 	for k := minK; k <= maxK; k++ {
@@ -292,7 +407,7 @@ func SweepParallel(p *dataset.Table, anon Anonymizer, atk AttackConfig, minK, ma
 		go func() {
 			defer wg.Done()
 			for k := range ks {
-				lr, err := runLevel(p, anon, atk, k, 0)
+				lr, err := sc.RunLevel(anon, k, 0)
 				results[k-minK] = slot{lr, err}
 			}
 		}()
@@ -313,39 +428,14 @@ func SweepParallel(p *dataset.Table, anon Anonymizer, atk AttackConfig, minK, ma
 	return out, nil
 }
 
-func runLevel(p *dataset.Table, anonymizer Anonymizer, atk AttackConfig, k int, tp float64) (LevelResult, error) {
-	anon, err := anonymizer.Anonymize(p, k)
-	if err != nil {
-		return LevelResult{}, err
-	}
-	release := anon.Clone()
-	for _, s := range release.Schema().IndicesOf(dataset.Sensitive) {
-		release.SuppressColumn(s)
-	}
-	phat, before, after, err := Attack(p, release, atk)
-	if err != nil {
-		return LevelResult{}, err
-	}
-	util, err := metrics.Utility(release, k)
-	if err != nil {
-		return LevelResult{}, err
-	}
-	return LevelResult{
-		K:         k,
-		Release:   release,
-		Phat:      phat,
-		Before:    before,
-		After:     after,
-		Gain:      metrics.InformationGain(before, after),
-		Utility:   util,
-		Candidate: after >= tp,
-	}, nil
-}
-
-// isTooFewRecords detects "k exceeds the table" errors from any anonymizer
-// without coupling to a specific sentinel (schemes word it differently, and
-// the Anonymizer contract is structural).
+// isTooFewRecords detects "k exceeds the table" errors from any anonymizer.
+// The in-tree schemes all wrap dataset.ErrTooFewRecords, checked via
+// errors.Is; the string match remains as a fallback for out-of-tree
+// anonymizers that satisfy the structural contract with their own wording.
 func isTooFewRecords(err error) bool {
+	if errors.Is(err, dataset.ErrTooFewRecords) {
+		return true
+	}
 	s := err.Error()
 	return strings.Contains(s, "fewer records") || strings.Contains(s, "cannot be")
 }

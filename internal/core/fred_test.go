@@ -371,3 +371,75 @@ func TestRunWithAlternativeEstimators(t *testing.T) {
 		}
 	}
 }
+
+// TestAttackUnsuppressedSensitiveBaseline: the pre-fusion "before" always
+// measures the midpoint baseline, even when the caller's release publishes
+// the sensitive column (e.g. a perturbed release handed straight to Attack).
+func TestAttackUnsuppressedSensitiveBaseline(t *testing.T) {
+	p, q := universityFixture(t, 24)
+	anon, err := microagg.New().Anonymize(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave the sensitive column published: before must still compare P
+	// against the release with the sensitive column forced to the midpoint.
+	atk := AttackConfig{Aux: q, SensitiveRange: salaryRange()}
+	_, before, _, err := Attack(p, anon, atk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmid, err := fusion.FuseBaseline(anon, salaryRange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := metrics.TableDissimilarity(p, pmid, comparisonColumns(p), salaryRange().Mid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != want {
+		t.Errorf("before = %v, want midpoint-baseline %v", before, want)
+	}
+}
+
+// TestAttackReleaseWithReorderedSchema: a caller-supplied release whose
+// columns are laid out differently is resolved by name, not by P's column
+// positions.
+func TestAttackReleaseWithReorderedSchema(t *testing.T) {
+	p, q := universityFixture(t, 24)
+	anon, err := microagg.New().Anonymize(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := anon.WithSuppressed(anon.Schema().IndicesOf(dataset.Sensitive)...)
+	// Reverse the column order in a projected copy of the release.
+	names := release.Schema().Names()
+	rev := make([]string, len(names))
+	for i, n := range names {
+		rev[len(names)-1-i] = n
+	}
+	shuffled, err := release.Project(rev...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := AttackConfig{Aux: q, SensitiveRange: salaryRange()}
+	_, beforeA, afterA, err := Attack(p, release, atk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, beforeB, afterB, err := Attack(p, shuffled, atk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beforeA != beforeB || afterA != afterB {
+		t.Errorf("reordered release changed the attack: before %v vs %v, after %v vs %v",
+			beforeA, beforeB, afterA, afterB)
+	}
+	// A release missing a compared column is an error, not a misread.
+	narrow, err := release.Project(names[:len(names)-1]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Attack(p, narrow, atk); err == nil {
+		t.Error("release missing a comparison column accepted")
+	}
+}

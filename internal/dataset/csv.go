@@ -48,7 +48,9 @@ func WriteCSV(w io.Writer, t *Table) error {
 	return nil
 }
 
-// ReadCSV reads a table in the two-header CSV layout.
+// ReadCSV reads a table in the two-header CSV layout. Records are decoded
+// straight into column buffers through a Builder, so ingest does not
+// materialize a []Value row per record.
 func ReadCSV(r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -75,7 +77,7 @@ func ReadCSV(r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := New(schema)
+	b := NewBuilder(schema)
 	for line := 3; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -84,29 +86,52 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: read csv line %d: %w", line, err)
 		}
-		if len(rec) != len(names) {
-			return nil, fmt.Errorf("dataset: csv line %d has %d fields, want %d", line, len(rec), len(names))
-		}
-		row := make([]Value, len(rec))
-		for j, s := range rec {
-			v, err := ParseValue(s)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: csv line %d column %q: %w", line, names[j], err)
-			}
-			// Force plain tokens in declared-text columns to stay text even
-			// when they look numeric (e.g. a numeric employee code used as an
-			// identifier).
-			if cols[j].Kind == Text && v.Kind() == Number {
-				v = Str(strings.TrimSpace(s))
-			}
-			row[j] = v
-		}
-		if err := t.AppendRow(row); err != nil {
+		if err := b.AppendRecord(rec); err != nil {
 			return nil, fmt.Errorf("dataset: csv line %d: %w", line, err)
 		}
 	}
-	return t, nil
+	return b.Table(), nil
 }
+
+// Builder decodes string records (CSV fields, upload rows) directly into a
+// table's column buffers. It parses each field against its column's declared
+// kind and validates the whole record before appending any cell, so a failed
+// record leaves the table untouched.
+type Builder struct {
+	t       *Table
+	scratch []Value
+}
+
+// NewBuilder returns a builder over an empty table with the given schema.
+func NewBuilder(schema *Schema) *Builder {
+	return &Builder{t: New(schema), scratch: make([]Value, schema.Len())}
+}
+
+// AppendRecord parses and appends one record. Fields use the Value.String
+// encoding; plain tokens in declared-text columns stay text even when they
+// look numeric (e.g. a numeric employee code used as an identifier).
+func (b *Builder) AppendRecord(fields []string) error {
+	schema := b.t.Schema()
+	if len(fields) != schema.Len() {
+		return fmt.Errorf("%w: got %d fields, want %d", ErrRowWidth, len(fields), schema.Len())
+	}
+	for j, s := range fields {
+		v, err := ParseValue(s)
+		if err != nil {
+			return fmt.Errorf("column %q: %w", schema.Column(j).Name, err)
+		}
+		if schema.Column(j).Kind == Text && v.Kind() == Number {
+			v = Str(strings.TrimSpace(s))
+		}
+		b.scratch[j] = v
+	}
+	// AppendRow validates the whole row before appending any cell and does
+	// not retain the scratch slice.
+	return b.t.AppendRow(b.scratch)
+}
+
+// Table returns the built table. The builder must not be used afterwards.
+func (b *Builder) Table() *Table { return b.t }
 
 func classTag(c AttrClass) string {
 	switch c {

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+)
+
+// WriteFingerprint writes a canonical binary encoding of the table — schema
+// (names, classes, kinds) followed by every cell in column-major order, each
+// as a kind tag plus its payload (float bits for numbers and bounds,
+// length-prefixed bytes for text). Two tables with equal schemas and
+// cellwise-equal rows produce identical byte streams regardless of how they
+// were built, which is what lets the serving layer key its result cache on a
+// hash of this stream instead of walking every cell through the CSV renderer.
+func (t *Table) WriteFingerprint(w io.Writer) error {
+	fw := &fingerprintWriter{w: w, buf: make([]byte, 0, 4096)}
+	fw.u64(0xC01A11AF) // format magic ("columnar fingerprint"), version 0
+	fw.u64(uint64(t.schema.Len()))
+	fw.u64(uint64(t.nrows))
+	for i := 0; i < t.schema.Len(); i++ {
+		c := t.schema.Column(i)
+		fw.str(c.Name)
+		fw.byte(byte(c.Class))
+		fw.byte(byte(c.Kind))
+	}
+	for _, c := range t.cols {
+		fw.column(c, t.nrows)
+	}
+	fw.flush()
+	return fw.err
+}
+
+type fingerprintWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+const (
+	fpNull byte = iota
+	fpNumber
+	fpInterval
+	fpText
+)
+
+func (f *fingerprintWriter) flush() {
+	if f.err != nil || len(f.buf) == 0 {
+		return
+	}
+	_, f.err = f.w.Write(f.buf)
+	f.buf = f.buf[:0]
+}
+
+// room flushes if fewer than n bytes fit in the buffer.
+func (f *fingerprintWriter) room(n int) {
+	if len(f.buf)+n > cap(f.buf) {
+		f.flush()
+	}
+}
+
+func (f *fingerprintWriter) byte(b byte) {
+	f.room(1)
+	f.buf = append(f.buf, b)
+}
+
+func (f *fingerprintWriter) u64(v uint64) {
+	f.room(8)
+	f.buf = binary.LittleEndian.AppendUint64(f.buf, v)
+}
+
+func (f *fingerprintWriter) str(s string) {
+	f.u64(uint64(len(s)))
+	if len(s) > cap(f.buf) {
+		// Oversized string: write through directly.
+		f.flush()
+		if f.err == nil {
+			_, f.err = io.WriteString(f.w, s)
+		}
+		return
+	}
+	f.room(len(s))
+	f.buf = append(f.buf, s...)
+}
+
+// column writes one column's cells in canonical per-cell form.
+func (f *fingerprintWriter) column(c *colData, nrows int) {
+	for i := 0; i < nrows; i++ {
+		switch {
+		case c.nulls.get(i):
+			f.byte(fpNull)
+		case c.kind == Text:
+			f.byte(fpText)
+			f.str(c.dict.strs[c.ids[i]])
+		case c.spans.get(i):
+			f.room(17)
+			f.buf = append(f.buf, fpInterval)
+			f.buf = binary.LittleEndian.AppendUint64(f.buf, math.Float64bits(c.num[i]))
+			f.buf = binary.LittleEndian.AppendUint64(f.buf, math.Float64bits(c.hi[i]))
+		default:
+			f.room(9)
+			f.buf = append(f.buf, fpNumber)
+			f.buf = binary.LittleEndian.AppendUint64(f.buf, math.Float64bits(c.num[i]))
+		}
+	}
+}

@@ -83,8 +83,12 @@ func (t *Table) AppendTable(u *Table) error {
 	if !t.schema.Equal(u.schema) {
 		return fmt.Errorf("dataset: cannot append table with different schema")
 	}
+	scratch := make([]Value, u.NumCols())
 	for i := 0; i < u.NumRows(); i++ {
-		if err := t.AppendRow(u.rows[i]); err != nil {
+		for j, c := range u.cols {
+			scratch[j] = c.value(i)
+		}
+		if err := t.AppendRow(scratch); err != nil {
 			return err
 		}
 	}
@@ -94,8 +98,8 @@ func (t *Table) AppendTable(u *Table) error {
 // DistinctValues returns the sorted distinct rendered values of a column.
 func (t *Table) DistinctValues(col int) []string {
 	seen := make(map[string]bool)
-	for _, r := range t.rows {
-		seen[r[col].String()] = true
+	for i := 0; i < t.nrows; i++ {
+		seen[t.cols[col].value(i).String()] = true
 	}
 	out := make([]string, 0, len(seen))
 	for s := range seen {

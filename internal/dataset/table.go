@@ -7,14 +7,19 @@ import (
 	"strings"
 )
 
-// Table is an in-memory relation: a schema plus rows of cells. Tables are
-// the universal currency of the reproduction — the private data P, candidate
-// releases P', web data Q and fused estimates P̂ are all Tables.
+// Table is an in-memory relation: a schema plus typed column buffers. Tables
+// are the universal currency of the reproduction — the private data P,
+// candidate releases P', web data Q and fused estimates P̂ are all Tables.
 //
-// A Table is not safe for concurrent mutation; concurrent reads are fine.
+// Storage is columnar (see DESIGN.md): one typed buffer per column, shared
+// copy-on-write between tables. Clone, Project, WithSuppressed and
+// WithColumnFloats are O(columns); mutating a table copies only the columns
+// it touches. A Table is not safe for concurrent mutation; concurrent reads
+// (including Clone and the With* views) are fine.
 type Table struct {
 	schema *Schema
-	rows   [][]Value
+	nrows  int
+	cols   []*colData
 }
 
 // ErrRowWidth is returned when a row's length does not match the schema.
@@ -23,22 +28,44 @@ var ErrRowWidth = errors.New("dataset: row width does not match schema")
 // ErrKindMismatch is returned when a cell kind violates its column kind.
 var ErrKindMismatch = errors.New("dataset: cell kind does not match column")
 
+// ErrTooFewRecords is the typed "k exceeds the table" condition every
+// anonymizer wraps: a requested anonymization level needs more records than
+// the table holds. Callers detect it with errors.Is (see core.EndsSweep).
+var ErrTooFewRecords = errors.New("dataset: too few records for the requested anonymization level")
+
 // New returns an empty table with the given schema.
 func New(schema *Schema) *Table {
-	return &Table{schema: schema}
+	cols := make([]*colData, schema.Len())
+	for i := range cols {
+		cols[i] = newColData(schema.Column(i).Kind)
+	}
+	return &Table{schema: schema, cols: cols}
 }
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
 // NumRows returns the number of rows.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int { return t.nrows }
 
 // NumCols returns the number of columns.
 func (t *Table) NumCols() int { return t.schema.Len() }
 
-// AppendRow validates and appends a row. The slice is copied.
-func (t *Table) AppendRow(row []Value) error {
+// ensureOwned makes column j privately owned (copying shared buffers) and
+// returns its storage. Every mutation goes through it.
+func (t *Table) ensureOwned(j int) *colData {
+	c := t.cols[j]
+	if c.refs.Load() > 1 {
+		d := c.copyData()
+		c.refs.Add(-1)
+		t.cols[j] = d
+		return d
+	}
+	return c
+}
+
+// checkRow validates a row against the schema.
+func (t *Table) checkRow(row []Value) error {
 	if len(row) != t.schema.Len() {
 		return fmt.Errorf("%w: got %d cells, want %d", ErrRowWidth, len(row), t.schema.Len())
 	}
@@ -48,9 +75,18 @@ func (t *Table) AppendRow(row []Value) error {
 				ErrKindMismatch, t.schema.Column(i).Name, t.schema.Column(i).Kind, v.Kind())
 		}
 	}
-	cp := make([]Value, len(row))
-	copy(cp, row)
-	t.rows = append(t.rows, cp)
+	return nil
+}
+
+// AppendRow validates and appends a row. The slice is not retained.
+func (t *Table) AppendRow(row []Value) error {
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	for j, v := range row {
+		t.ensureOwned(j).appendValue(v)
+	}
+	t.nrows++
 	return nil
 }
 
@@ -61,15 +97,17 @@ func (t *Table) MustAppendRow(row ...Value) {
 	}
 }
 
-// Row returns the i'th row as a copy.
+// Row returns the i'th row as a fresh slice.
 func (t *Table) Row(i int) []Value {
-	cp := make([]Value, len(t.rows[i]))
-	copy(cp, t.rows[i])
-	return cp
+	out := make([]Value, len(t.cols))
+	for j, c := range t.cols {
+		out[j] = c.value(i)
+	}
+	return out
 }
 
 // Cell returns the cell at (row, col).
-func (t *Table) Cell(row, col int) Value { return t.rows[row][col] }
+func (t *Table) Cell(row, col int) Value { return t.cols[col].value(row) }
 
 // CellByName returns the cell at (row, named column).
 func (t *Table) CellByName(row int, col string) (Value, error) {
@@ -77,7 +115,7 @@ func (t *Table) CellByName(row int, col string) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	return t.rows[row][i], nil
+	return t.cols[i].value(row), nil
 }
 
 // SetCell overwrites the cell at (row, col) after kind validation.
@@ -86,50 +124,51 @@ func (t *Table) SetCell(row, col int, v Value) error {
 		return fmt.Errorf("%w: column %q (%s) cannot hold %s cell",
 			ErrKindMismatch, t.schema.Column(col).Name, t.schema.Column(col).Kind, v.Kind())
 	}
-	t.rows[row][col] = v
+	t.ensureOwned(col).setValue(row, v)
 	return nil
 }
 
-// Clone returns a deep copy of the table.
+// Clone returns an independent copy of the table. Column buffers are shared
+// copy-on-write, so Clone is O(columns); either table copies a column only
+// when it first mutates it.
 func (t *Table) Clone() *Table {
-	out := &Table{schema: t.schema, rows: make([][]Value, len(t.rows))}
-	for i, r := range t.rows {
-		cp := make([]Value, len(r))
-		copy(cp, r)
-		out.rows[i] = cp
+	cols := make([]*colData, len(t.cols))
+	for i, c := range t.cols {
+		c.refs.Add(1)
+		cols[i] = c
 	}
-	return out
+	return &Table{schema: t.schema, nrows: t.nrows, cols: cols}
 }
 
-// Project returns a new table with only the named columns.
+// Project returns a new table with only the named columns. The column
+// buffers are shared copy-on-write with the receiver.
 func (t *Table) Project(names ...string) (*Table, error) {
 	ps, err := t.schema.Project(names...)
 	if err != nil {
 		return nil, err
 	}
-	idx := make([]int, len(names))
+	cols := make([]*colData, len(names))
 	for i, n := range names {
-		idx[i] = t.schema.MustLookup(n)
+		c := t.cols[t.schema.MustLookup(n)]
+		c.refs.Add(1)
+		cols[i] = c
 	}
-	out := New(ps)
-	for _, r := range t.rows {
-		row := make([]Value, len(idx))
-		for i, j := range idx {
-			row[i] = r[j]
-		}
-		out.rows = append(out.rows, row)
-	}
-	return out, nil
+	return &Table{schema: ps, nrows: t.nrows, cols: cols}, nil
 }
 
 // Select returns a new table containing the rows for which keep returns true.
 func (t *Table) Select(keep func(row []Value) bool) *Table {
 	out := New(t.schema)
-	for _, r := range t.rows {
-		if keep(r) {
-			cp := make([]Value, len(r))
-			copy(cp, r)
-			out.rows = append(out.rows, cp)
+	scratch := make([]Value, len(t.cols))
+	for i := 0; i < t.nrows; i++ {
+		for j, c := range t.cols {
+			scratch[j] = c.value(i)
+		}
+		if keep(scratch) {
+			for j, v := range scratch {
+				out.cols[j].appendValue(v)
+			}
+			out.nrows++
 		}
 	}
 	return out
@@ -137,31 +176,66 @@ func (t *Table) Select(keep func(row []Value) bool) *Table {
 
 // SortByColumn stably sorts rows by the given column using Value.Compare.
 func (t *Table) SortByColumn(col int) {
-	sort.SliceStable(t.rows, func(i, j int) bool {
-		return t.rows[i][col].Compare(t.rows[j][col]) < 0
+	perm := make([]int, t.nrows)
+	for i := range perm {
+		perm[i] = i
+	}
+	c := t.cols[col]
+	sort.SliceStable(perm, func(i, j int) bool {
+		return c.value(perm[i]).Compare(c.value(perm[j])) < 0
 	})
+	for j := range t.cols {
+		t.ensureOwned(j).permute(perm)
+	}
 }
 
 // ColumnFloats extracts a numeric column as a float slice. Cells without a
 // numeric reading (Null, Text) yield def.
 func (t *Table) ColumnFloats(col int, def float64) []float64 {
-	out := make([]float64, len(t.rows))
-	for i, r := range t.rows {
-		if f, ok := r[col].Float(); ok {
-			out[i] = f
+	return t.AppendColumnFloats(make([]float64, 0, t.nrows), col, def)
+}
+
+// AppendColumnFloats appends the numeric reading of every cell in the column
+// to dst (def for cells without one) and returns the extended slice — the
+// allocation-free form of ColumnFloats for hot paths.
+func (t *Table) AppendColumnFloats(dst []float64, col int, def float64) []float64 {
+	c := t.cols[col]
+	if c.kind == Number && c.nulls == nil && c.spans == nil {
+		return append(dst, c.num[:t.nrows]...)
+	}
+	for i := 0; i < t.nrows; i++ {
+		if f, ok := c.float(i); ok {
+			dst = append(dst, f)
 		} else {
-			out[i] = def
+			dst = append(dst, def)
 		}
 	}
-	return out
+	return dst
+}
+
+// FloatColumn returns the numeric reading of every cell (interval midpoints)
+// plus a presence mask — the columnar input to feature assembly and
+// imputation.
+func (t *Table) FloatColumn(col int) (vals []float64, present []bool) {
+	c := t.cols[col]
+	vals = make([]float64, t.nrows)
+	present = make([]bool, t.nrows)
+	for i := 0; i < t.nrows; i++ {
+		vals[i], present[i] = c.float(i)
+	}
+	return vals, present
 }
 
 // ColumnStrings extracts a text column; non-text cells yield "".
 func (t *Table) ColumnStrings(col int) []string {
-	out := make([]string, len(t.rows))
-	for i, r := range t.rows {
-		if s, ok := r[col].Text(); ok {
-			out[i] = s
+	out := make([]string, t.nrows)
+	c := t.cols[col]
+	if c.kind != Text {
+		return out
+	}
+	for i := 0; i < t.nrows; i++ {
+		if !c.nulls.get(i) {
+			out[i] = c.dict.strs[c.ids[i]]
 		}
 	}
 	return out
@@ -171,11 +245,15 @@ func (t *Table) ColumnStrings(col int) []string {
 // Value.Float (interval midpoints) and def for non-numeric cells. This is the
 // numeric view the dissimilarity metric of Definition 1 operates on.
 func (t *Table) Matrix(cols []int, def float64) [][]float64 {
-	out := make([][]float64, len(t.rows))
-	for i, r := range t.rows {
-		row := make([]float64, len(cols))
+	out := make([][]float64, t.nrows)
+	flat := make([]float64, t.nrows*len(cols))
+	for i := range out {
+		// Full slice expression: cap==len, so a caller appending to a row
+		// reallocates instead of overwriting its neighbour in the flat
+		// backing array.
+		row := flat[i*len(cols) : (i+1)*len(cols) : (i+1)*len(cols)]
 		for j, c := range cols {
-			if f, ok := r[c].Float(); ok {
+			if f, ok := t.cols[c].float(i); ok {
 				row[j] = f
 			} else {
 				row[j] = def
@@ -188,20 +266,58 @@ func (t *Table) Matrix(cols []int, def float64) [][]float64 {
 
 // SuppressColumn nulls out an entire column — how the paper removes the
 // sensitive attribute from a release while keeping the column in the schema.
+// The old buffers are dropped, not rewritten, so suppression is O(rows/64)
+// regardless of column content and never touches storage shared with other
+// tables.
 func (t *Table) SuppressColumn(col int) {
-	for _, r := range t.rows {
-		r[col] = NullValue()
+	old := t.cols[col]
+	t.cols[col] = allNullCol(old.kind, t.nrows)
+	old.refs.Add(-1)
+}
+
+// WithSuppressed returns a view of the table with the given columns
+// suppressed and every other column buffer shared — the zero-copy release
+// projection (anonymize, then hide the sensitive attribute).
+func (t *Table) WithSuppressed(cols ...int) *Table {
+	out := t.Clone()
+	for _, c := range cols {
+		out.SuppressColumn(c)
 	}
+	return out
+}
+
+// WithColumnFloats returns a view of the table whose col holds the given
+// numeric values (one per row) and whose other column buffers are shared —
+// how the fusion layer materializes P̂ without copying the release.
+func (t *Table) WithColumnFloats(col int, vals []float64) (*Table, error) {
+	if t.schema.Column(col).Kind != Number {
+		return nil, fmt.Errorf("%w: column %q (%s) cannot hold number cells",
+			ErrKindMismatch, t.schema.Column(col).Name, t.schema.Column(col).Kind)
+	}
+	if len(vals) != t.nrows {
+		return nil, fmt.Errorf("%w: %d values for %d rows", ErrRowWidth, len(vals), t.nrows)
+	}
+	out := t.Clone()
+	nc := newColData(Number)
+	nc.n = t.nrows
+	nc.num = append([]float64(nil), vals...)
+	out.cols[col].refs.Add(-1)
+	out.cols[col] = nc
+	return out, nil
 }
 
 // Equal reports whether two tables have equal schemas and cellwise-equal rows.
 func (t *Table) Equal(u *Table) bool {
-	if !t.schema.Equal(u.schema) || len(t.rows) != len(u.rows) {
+	if !t.schema.Equal(u.schema) || t.nrows != u.nrows {
 		return false
 	}
-	for i := range t.rows {
-		for j := range t.rows[i] {
-			if !t.rows[i][j].Equal(u.rows[i][j]) {
+	for j := range t.cols {
+		a, b := t.cols[j], u.cols[j]
+		if a == b {
+			continue // shared storage is equal by construction
+		}
+		for i := 0; i < t.nrows; i++ {
+			if !a.value(i).Equal(b.value(i)) {
 				return false
 			}
 		}
@@ -217,10 +333,10 @@ func (t *Table) GroupBy(cols []int) [][]int {
 	groups := make(map[string][]int)
 	var keys []string
 	var b strings.Builder
-	for i, r := range t.rows {
+	for i := 0; i < t.nrows; i++ {
 		b.Reset()
 		for _, c := range cols {
-			b.WriteString(r[c].String())
+			b.WriteString(t.cols[c].value(i).String())
 			b.WriteByte('\x1f')
 		}
 		k := b.String()
@@ -245,11 +361,11 @@ func (t *Table) String() string {
 	for i, h := range header {
 		widths[i] = len(h)
 	}
-	rendered := make([][]string, len(t.rows))
-	for i, r := range t.rows {
-		cells := make([]string, len(r))
-		for j, v := range r {
-			cells[j] = v.String()
+	rendered := make([][]string, t.nrows)
+	for i := range rendered {
+		cells := make([]string, len(t.cols))
+		for j, c := range t.cols {
+			cells[j] = c.value(i).String()
 			if len(cells[j]) > widths[j] {
 				widths[j] = len(cells[j])
 			}

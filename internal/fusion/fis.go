@@ -52,6 +52,13 @@ func (f *FIS) Estimate(features [][]float64, out Range) ([]float64, error) {
 			return nil, fmt.Errorf("fusion: system input %q has no feature column", in)
 		}
 	}
+	var ev *fuzzy.Evaluator
+	if !f.Sugeno {
+		var err error
+		if ev, err = fuzzy.NewEvaluator(f.System); err != nil {
+			return nil, err
+		}
+	}
 	est := make([]float64, len(features))
 	in := make(map[string]float64, d)
 	for i, row := range features {
@@ -66,7 +73,7 @@ func (f *FIS) Estimate(features [][]float64, out Range) ([]float64, error) {
 		if f.Sugeno {
 			y, err = f.System.EvaluateSugeno(in)
 		} else {
-			y, err = f.System.Evaluate(in)
+			y, err = ev.Evaluate(in)
 		}
 		if errors.Is(err, fuzzy.ErrNoRuleFired) {
 			y = out.Mid()

@@ -42,6 +42,60 @@ type Estimator interface {
 // numeric features.
 var ErrNoFeatures = errors.New("fusion: no numeric features available")
 
+// AuxFeatures is the precomputed aux-side half of the adversary's feature
+// matrix: one mean-imputed column vector per numeric quasi-identifier of the
+// auxiliary table Q. The columns are invariant across anonymization levels,
+// so a sweep prepares them once (core.SweepContext) and every level only
+// assembles the release-side half.
+type AuxFeatures struct {
+	// rows is Q's row count, or -1 for the no-aux adversary.
+	rows  int
+	cols  [][]float64
+	names []string
+}
+
+// PrepareAux extracts and imputes the aux-side feature columns. A nil aux
+// models the adversary without web access and yields an empty feature set.
+func PrepareAux(aux *dataset.Table) *AuxFeatures {
+	af := &AuxFeatures{rows: -1}
+	if aux == nil {
+		return af
+	}
+	af.rows = aux.NumRows()
+	for _, i := range aux.Schema().IndicesOf(dataset.QuasiIdentifier) {
+		if aux.Schema().Column(i).Kind != dataset.Number {
+			continue
+		}
+		af.cols = append(af.cols, imputedColumn(aux, i))
+		af.names = append(af.names, "aux."+aux.Schema().Column(i).Name)
+	}
+	return af
+}
+
+// imputedColumn reads a column's numeric values (interval midpoints) with
+// missing cells replaced by the mean of the observed ones.
+func imputedColumn(t *dataset.Table, idx int) []float64 {
+	vals, present := t.FloatColumn(idx)
+	var sum float64
+	var seen int
+	for r, ok := range present {
+		if ok {
+			sum += vals[r]
+			seen++
+		}
+	}
+	mean := 0.0
+	if seen > 0 {
+		mean = sum / float64(seen)
+	}
+	for r, ok := range present {
+		if !ok {
+			vals[r] = mean
+		}
+	}
+	return vals
+}
+
 // Features assembles the adversary's input matrix: the numeric
 // quasi-identifiers of the release (generalized cells read at interval
 // midpoints) concatenated with the numeric quasi-identifiers of the aux
@@ -49,82 +103,77 @@ var ErrNoFeatures = errors.New("fusion: no numeric features available")
 // are imputed with the column mean of the observed values. The returned
 // names parallel the feature columns.
 func Features(release, aux *dataset.Table) (features [][]float64, names []string, err error) {
-	if aux != nil && release.NumRows() != aux.NumRows() {
-		return nil, nil, fmt.Errorf("fusion: release has %d rows, aux has %d; align them first (web.Gather aligns by roster order)", release.NumRows(), aux.NumRows())
+	return FeaturesWith(release, PrepareAux(aux))
+}
+
+// FeaturesWith is Features with the aux-side columns already prepared — the
+// per-level half of the work. It extracts the release's feature columns from
+// its column buffers and assembles the row-major matrix the Estimator
+// contract expects.
+func FeaturesWith(release *dataset.Table, aux *AuxFeatures) (features [][]float64, names []string, err error) {
+	if aux.rows >= 0 && release.NumRows() != aux.rows {
+		return nil, nil, fmt.Errorf("fusion: release has %d rows, aux has %d; align them first (web.Gather aligns by roster order)", release.NumRows(), aux.rows)
 	}
-	type col struct {
-		t    *dataset.Table
-		idx  int
-		name string
-	}
-	var cols []col
+	var cols [][]float64
 	for _, i := range release.Schema().IndicesOf(dataset.QuasiIdentifier) {
 		if release.Schema().Column(i).Kind == dataset.Number {
-			cols = append(cols, col{release, i, release.Schema().Column(i).Name})
+			cols = append(cols, imputedColumn(release, i))
+			names = append(names, release.Schema().Column(i).Name)
 		}
 	}
-	if aux != nil {
-		for _, i := range aux.Schema().IndicesOf(dataset.QuasiIdentifier) {
-			if aux.Schema().Column(i).Kind == dataset.Number {
-				cols = append(cols, col{aux, i, "aux." + aux.Schema().Column(i).Name})
-			}
-		}
-	}
+	cols = append(cols, aux.cols...)
+	names = append(names, aux.names...)
 	if len(cols) == 0 {
 		return nil, nil, ErrNoFeatures
 	}
 	m := release.NumRows()
 	features = make([][]float64, m)
+	flat := make([]float64, m*len(cols))
 	for r := range features {
-		features[r] = make([]float64, len(cols))
-	}
-	names = make([]string, len(cols))
-	for j, c := range cols {
-		names[j] = c.name
-		var sum float64
-		var seen int
-		vals := make([]float64, m)
-		present := make([]bool, m)
-		for r := 0; r < m; r++ {
-			if f, ok := c.t.Cell(r, c.idx).Float(); ok {
-				vals[r], present[r] = f, true
-				sum += f
-				seen++
-			}
+		// cap==len so estimator code appending to a row cannot clobber the
+		// next row in the shared backing array.
+		row := flat[r*len(cols) : (r+1)*len(cols) : (r+1)*len(cols)]
+		for j := range cols {
+			row[j] = cols[j][r]
 		}
-		mean := 0.0
-		if seen > 0 {
-			mean = sum / float64(seen)
-		}
-		for r := 0; r < m; r++ {
-			if present[r] {
-				features[r][j] = vals[r]
-			} else {
-				features[r][j] = mean
-			}
-		}
+		features[r] = row
 	}
 	return features, names, nil
 }
 
+// sensitiveColumn validates the release's sensitive column for fusion: there
+// must be exactly one and it must be numeric.
+func sensitiveColumn(release *dataset.Table) (int, error) {
+	sens := release.Schema().IndicesOf(dataset.Sensitive)
+	if len(sens) != 1 {
+		return 0, fmt.Errorf("fusion: release needs exactly one sensitive column, found %d", len(sens))
+	}
+	if release.Schema().Column(sens[0]).Kind != dataset.Number {
+		return 0, fmt.Errorf("fusion: sensitive column %q is not numeric", release.Schema().Column(sens[0]).Name)
+	}
+	return sens[0], nil
+}
+
 // Fuse runs the full F(P', Q) step: build features, estimate the sensitive
-// attribute, and return P̂ — a copy of the release whose (single, numeric)
-// sensitive column holds the estimates.
+// attribute, and return P̂ — the release with its (single, numeric) sensitive
+// column holding the estimates and every other column shared.
 func Fuse(release, aux *dataset.Table, est Estimator, out Range) (*dataset.Table, error) {
+	return FuseWith(release, PrepareAux(aux), est, out)
+}
+
+// FuseWith is Fuse with the aux-side feature columns already prepared.
+func FuseWith(release *dataset.Table, aux *AuxFeatures, est Estimator, out Range) (*dataset.Table, error) {
 	if est == nil {
 		return nil, errors.New("fusion: nil estimator")
 	}
 	if !out.valid() {
 		return nil, fmt.Errorf("fusion: empty sensitive range [%g, %g]", out.Lo, out.Hi)
 	}
-	sens := release.Schema().IndicesOf(dataset.Sensitive)
-	if len(sens) != 1 {
-		return nil, fmt.Errorf("fusion: release needs exactly one sensitive column, found %d", len(sens))
+	sens, err := sensitiveColumn(release)
+	if err != nil {
+		return nil, err
 	}
-	if release.Schema().Column(sens[0]).Kind != dataset.Number {
-		return nil, fmt.Errorf("fusion: sensitive column %q is not numeric", release.Schema().Column(sens[0]).Name)
-	}
-	features, _, err := Features(release, aux)
+	features, _, err := FeaturesWith(release, aux)
 	if err != nil {
 		return nil, err
 	}
@@ -135,13 +184,50 @@ func Fuse(release, aux *dataset.Table, est Estimator, out Range) (*dataset.Table
 	if len(est2) != release.NumRows() {
 		return nil, fmt.Errorf("fusion: estimator %s returned %d estimates for %d rows", est.Name(), len(est2), release.NumRows())
 	}
-	phat := release.Clone()
-	for r, v := range est2 {
-		if err := phat.SetCell(r, sens[0], dataset.Num(stats.Clamp(v, out.Lo, out.Hi))); err != nil {
-			return nil, err
+	for i, v := range est2 {
+		est2[i] = stats.Clamp(v, out.Lo, out.Hi)
+	}
+	return release.WithColumnFloats(sens, est2)
+}
+
+// CanFuse reports whether a release can enter the fusion step for the given
+// range: the checks Fuse performs before any feature work (valid range,
+// exactly one numeric sensitive column, at least one numeric feature when
+// the adversary has no aux table). It is the allocation-free validation
+// core.SweepContext runs per level in place of building the midpoint
+// baseline table.
+func CanFuse(release *dataset.Table, out Range) error {
+	if !out.valid() {
+		return fmt.Errorf("fusion: empty sensitive range [%g, %g]", out.Lo, out.Hi)
+	}
+	if _, err := sensitiveColumn(release); err != nil {
+		return err
+	}
+	// Features(release, nil) fails only when the release contributes no
+	// numeric quasi-identifiers; preserve that contract without the build.
+	for _, i := range release.Schema().IndicesOf(dataset.QuasiIdentifier) {
+		if release.Schema().Column(i).Kind == dataset.Number {
+			return nil
 		}
 	}
-	return phat, nil
+	return ErrNoFeatures
+}
+
+// FuseBaseline returns the no-fusion estimate P̂₀: the release with its
+// sensitive column set to the public-range midpoint. It is Fuse(release,
+// nil, Midpoint{}, out) minus the feature assembly the Midpoint estimator
+// ignores, with identical validation — the pre-fusion side of the attack.
+func FuseBaseline(release *dataset.Table, out Range) (*dataset.Table, error) {
+	if err := CanFuse(release, out); err != nil {
+		return nil, err
+	}
+	sens, _ := sensitiveColumn(release)
+	mid := out.Mid()
+	vals := make([]float64, release.NumRows())
+	for i := range vals {
+		vals[i] = mid
+	}
+	return release.WithColumnFloats(sens, vals)
 }
 
 // ---------------------------------------------------------------------------

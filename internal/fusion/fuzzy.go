@@ -171,13 +171,19 @@ func (f *Fuzzy) Estimate(features [][]float64, out Range) ([]float64, error) {
 		}
 	}
 
+	// One evaluator for the whole cohort: rules compile once, the per-row
+	// buffers are reused, and the results match sys.Evaluate bit for bit.
+	ev, err := fuzzy.NewEvaluator(sys)
+	if err != nil {
+		return nil, err
+	}
 	est := make([]float64, n)
 	in := make(map[string]float64, d)
 	for i, row := range features {
 		for j, name := range names {
 			in[name] = row[j]
 		}
-		y, err := sys.Evaluate(in)
+		y, err := ev.Evaluate(in)
 		if errors.Is(err, fuzzy.ErrNoRuleFired) {
 			// Possible only with hand-written sparse rule bases; fall back
 			// to the no-fusion estimate for that record.

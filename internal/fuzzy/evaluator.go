@@ -1,0 +1,292 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Evaluator runs repeated inferences over one System without the per-call
+// allocations of System.Evaluate: fuzzified grades, firing strengths and the
+// defuzzifier accumulators live in reused buffers, rules are precompiled to
+// term indices, and the common membership shapes are devirtualized. Rules
+// firing on the same output term are aggregated by their maximum strength
+// up front — max_j min(g, w_j) = min(g, max_j w_j), so the Mamdani surface
+// is unchanged and every result is bit-identical to System.Evaluate.
+//
+// An Evaluator is not safe for concurrent use; create one per goroutine
+// (construction is cheap next to a single row's defuzzification).
+type Evaluator struct {
+	sys    *System
+	vars   []*Variable
+	terms  [][]concreteMF // per input variable, in term order
+	grades [][]float64    // reused: fuzzified grades, aligned with terms
+
+	// gradesMap mirrors grades for rules with compound antecedents, which
+	// evaluate through the generic Expr.strength path.
+	gradesMap map[string]map[string]float64
+	needMaps  bool
+
+	rules    []compiledRule
+	outTerms []concreteMF
+	caps     []float64 // reused: max firing strength per output term
+}
+
+// compiledRule is one rule with its lookups resolved to indices.
+type compiledRule struct {
+	// simple antecedents ("x IS term") read their strength directly from the
+	// grade buffers; compound ones fall back to Expr.strength.
+	simple     bool
+	varI, terI int
+	expr       Expr
+	weight     float64
+	outI       int
+}
+
+// concreteMF is a devirtualized membership function: the common shapes are
+// evaluated by a switch on kind with the exact arithmetic of their Grade
+// methods; anything else falls back to the interface.
+type concreteMF struct {
+	kind       uint8
+	a, b, c, d float64
+	f          MembershipFunc
+}
+
+const (
+	mfGeneric uint8 = iota
+	mfTriangular
+	mfTrapezoid
+	mfGaussian
+	mfSingleton
+)
+
+func makeConcrete(f MembershipFunc) concreteMF {
+	switch m := f.(type) {
+	case Triangular:
+		return concreteMF{kind: mfTriangular, a: m.A, b: m.B, c: m.C}
+	case Trapezoid:
+		return concreteMF{kind: mfTrapezoid, a: m.A, b: m.B, c: m.C, d: m.D}
+	case Gaussian:
+		return concreteMF{kind: mfGaussian, a: m.Mean, b: m.Sigma}
+	case Singleton:
+		return concreteMF{kind: mfSingleton, a: m.X}
+	default:
+		return concreteMF{kind: mfGeneric, f: f}
+	}
+}
+
+// grade mirrors the Grade methods of the concrete shapes bit for bit.
+func (m *concreteMF) grade(x float64) float64 {
+	switch m.kind {
+	case mfTriangular:
+		switch {
+		case x <= m.a || x >= m.c:
+			if x == m.b {
+				return 1
+			}
+			return 0
+		case x == m.b:
+			return 1
+		case x < m.b:
+			return (x - m.a) / (m.b - m.a)
+		default:
+			return (m.c - x) / (m.c - m.b)
+		}
+	case mfTrapezoid:
+		switch {
+		case x < m.a || x > m.d:
+			return 0
+		case x >= m.b && x <= m.c:
+			return 1
+		case x < m.b:
+			return (x - m.a) / (m.b - m.a)
+		default:
+			return (m.d - x) / (m.d - m.c)
+		}
+	case mfGaussian:
+		d := (x - m.a) / m.b
+		return math.Exp(-d * d / 2)
+	case mfSingleton:
+		if x == m.a {
+			return 1
+		}
+		return 0
+	default:
+		return m.f.Grade(x)
+	}
+}
+
+// NewEvaluator compiles the system's current rule base. Rules added to the
+// system afterwards are not seen by the evaluator.
+func NewEvaluator(s *System) (*Evaluator, error) {
+	e := &Evaluator{sys: s}
+	names := make([]string, 0, len(s.inputs))
+	for n := range s.inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	varIdx := make(map[string]int, len(names))
+	termIdx := make([]map[string]int, len(names))
+	for i, n := range names {
+		v := s.inputs[n]
+		varIdx[n] = i
+		e.vars = append(e.vars, v)
+		mfs := make([]concreteMF, len(v.order))
+		ti := make(map[string]int, len(v.order))
+		for j, term := range v.order {
+			mfs[j] = makeConcrete(v.terms[term])
+			ti[term] = j
+		}
+		termIdx[i] = ti
+		e.terms = append(e.terms, mfs)
+		e.grades = append(e.grades, make([]float64, len(mfs)))
+	}
+	outIdx := make(map[string]int, len(s.output.order))
+	for j, term := range s.output.order {
+		outIdx[term] = j
+		e.outTerms = append(e.outTerms, makeConcrete(s.output.terms[term]))
+	}
+	e.caps = make([]float64, len(e.outTerms))
+	for i := range s.rules {
+		r := &s.rules[i]
+		oi, ok := outIdx[r.OutputTerm]
+		if !ok {
+			return nil, fmt.Errorf("fuzzy: rule %q: output variable %q has no term %q", r.Text, s.output.Name, r.OutputTerm)
+		}
+		cr := compiledRule{expr: r.Antecedent, weight: r.Weight, outI: oi}
+		if c, isCond := r.Antecedent.(cond); isCond {
+			vi, okV := varIdx[c.variable]
+			if !okV {
+				return nil, fmt.Errorf("fuzzy: rule %q references unknown input %q", r.Text, c.variable)
+			}
+			ti, okT := termIdx[vi][c.term]
+			if !okT {
+				return nil, fmt.Errorf("fuzzy: rule %q: variable %q has no term %q", r.Text, c.variable, c.term)
+			}
+			cr.simple, cr.varI, cr.terI = true, vi, ti
+		} else {
+			e.needMaps = true
+		}
+		e.rules = append(e.rules, cr)
+	}
+	if e.needMaps {
+		e.gradesMap = make(map[string]map[string]float64, len(e.vars))
+		for i, v := range e.vars {
+			e.gradesMap[v.Name] = make(map[string]float64, len(e.terms[i]))
+		}
+	}
+	return e, nil
+}
+
+// Evaluate runs Mamdani inference for one crisp input vector, exactly as
+// System.Evaluate does.
+func (e *Evaluator) Evaluate(in map[string]float64) (float64, error) {
+	s := e.sys
+	if len(e.rules) == 0 {
+		return 0, fmt.Errorf("fuzzy: system has no rules")
+	}
+	for vi, v := range e.vars {
+		x, ok := in[v.Name]
+		if !ok {
+			return 0, fmt.Errorf("fuzzy: missing input %q", v.Name)
+		}
+		buf := e.grades[vi]
+		for ti := range e.terms[vi] {
+			buf[ti] = e.terms[vi][ti].grade(x)
+		}
+		if e.needMaps {
+			m := e.gradesMap[v.Name]
+			for ti, term := range v.order {
+				m[term] = buf[ti]
+			}
+		}
+	}
+	for i := range e.caps {
+		e.caps[i] = 0
+	}
+	fired := false
+	for i := range e.rules {
+		cr := &e.rules[i]
+		var w float64
+		if cr.simple {
+			w = e.grades[cr.varI][cr.terI]
+		} else {
+			w = cr.expr.strength(e.gradesMap, s.opts.Norms)
+		}
+		w *= cr.weight
+		if w <= 0 {
+			continue
+		}
+		fired = true
+		if w > e.caps[cr.outI] {
+			e.caps[cr.outI] = w
+		}
+	}
+	if !fired {
+		return 0, ErrNoRuleFired
+	}
+	return e.defuzzify()
+}
+
+// surfaceGrade is the aggregated Mamdani output surface at x: the maximum
+// over fired output terms of their clipped (or scaled) membership.
+func (e *Evaluator) surfaceGrade(x float64, prod bool) float64 {
+	var best float64
+	for oi := range e.caps {
+		c := e.caps[oi]
+		if c == 0 {
+			continue
+		}
+		g := e.outTerms[oi].grade(x)
+		if prod {
+			g *= c
+		} else if g > c {
+			g = c
+		}
+		if g > best {
+			best = g
+		}
+	}
+	return best
+}
+
+func (e *Evaluator) defuzzify() (float64, error) {
+	s := e.sys
+	prod := s.opts.ProductImplication
+	if s.opts.Defuzz == Centroid {
+		// Single pass: the three accumulators advance in the same sample
+		// order as System.defuzzify's two loops, so the sums carry the same
+		// rounding and the result is bit-identical.
+		n := s.opts.Resolution
+		lo, hi := s.output.Lo, s.output.Hi
+		dx := (hi - lo) / float64(n-1)
+		var maxY, area, num float64
+		for i := 0; i < n; i++ {
+			x := lo + float64(i)*dx
+			y := e.surfaceGrade(x, prod)
+			if y > maxY {
+				maxY = y
+			}
+			area += y
+			num += x * y
+		}
+		if maxY == 0 || area == 0 {
+			return 0, ErrNoRuleFired
+		}
+		return num / area, nil
+	}
+	// The other defuzzifiers need the sampled surface in array form; build
+	// the aggregate and reuse the generic path.
+	var surface aggregate
+	for oi := range e.caps {
+		if e.caps[oi] == 0 {
+			continue
+		}
+		base, err := s.output.Term(s.output.order[oi])
+		if err != nil {
+			return 0, err
+		}
+		surface = append(surface, clipped{base: base, cap: e.caps[oi], prod: prod})
+	}
+	return s.defuzzify(surface)
+}

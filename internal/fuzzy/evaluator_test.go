@@ -1,0 +1,112 @@
+package fuzzy
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// buildTestSystem assembles a 2-input Mamdani system with the generated
+// Ruspini partitions the fusion layer uses.
+func buildTestSystem(t *testing.T, opts Options, rules []string) *System {
+	t.Helper()
+	out, err := NewVariable("out", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.ThreeTerms("low", "med", "high"); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(out, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		v, err := NewVariable(name, 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.ThreeTerms("low", "med", "high"); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AddInput(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range rules {
+		if err := sys.AddRuleText(r); err != nil {
+			t.Fatalf("rule %q: %v", r, err)
+		}
+	}
+	return sys
+}
+
+// TestEvaluatorMatchesSystem: the reusable evaluator must reproduce
+// System.Evaluate bit for bit across defuzzifiers, implications, simple and
+// compound rule bases, and the no-rule-fired path.
+func TestEvaluatorMatchesSystem(t *testing.T) {
+	ruleSets := map[string][]string{
+		"simple": {
+			"IF a IS low THEN out IS low",
+			"IF a IS med THEN out IS med",
+			"IF a IS high THEN out IS high",
+			"IF b IS low THEN out IS low",
+			"IF b IS high THEN out IS high",
+		},
+		"compound": {
+			"IF a IS low AND b IS low THEN out IS low",
+			"IF a IS high OR b IS high THEN out IS high",
+			"IF NOT (a IS low) AND b IS med THEN out IS med",
+		},
+		"sparse": {
+			// Fires nowhere when a is high and b is low.
+			"IF a IS low AND b IS high THEN out IS med",
+		},
+	}
+	for name, rules := range ruleSets {
+		for _, opts := range []Options{
+			{},
+			{ProductImplication: true},
+			{Defuzz: Bisector},
+			{Defuzz: MeanOfMaxima},
+			{Norms: Norms{ProductAND: true}, Resolution: 101},
+		} {
+			sys := buildTestSystem(t, opts, rules)
+			ev, err := NewEvaluator(sys)
+			if err != nil {
+				t.Fatalf("%s: NewEvaluator: %v", name, err)
+			}
+			for ai := 0.0; ai <= 10; ai += 0.7 {
+				for bi := 0.0; bi <= 10; bi += 1.3 {
+					in := map[string]float64{"a": ai, "b": bi}
+					want, errWant := sys.Evaluate(in)
+					got, errGot := ev.Evaluate(in)
+					if (errWant == nil) != (errGot == nil) {
+						t.Fatalf("%s %+v a=%g b=%g: errors diverge: %v vs %v", name, opts, ai, bi, errWant, errGot)
+					}
+					if errWant != nil {
+						if !errors.Is(errGot, ErrNoRuleFired) || !errors.Is(errWant, ErrNoRuleFired) {
+							t.Fatalf("%s a=%g b=%g: unexpected error %v / %v", name, ai, bi, errWant, errGot)
+						}
+						continue
+					}
+					if math.Float64bits(want) != math.Float64bits(got) {
+						t.Fatalf("%s %+v a=%g b=%g: %v != %v (bitwise)", name, opts, ai, bi, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorMissingInput preserves the missing-input error contract.
+func TestEvaluatorMissingInput(t *testing.T) {
+	sys := buildTestSystem(t, Options{}, []string{"IF a IS low THEN out IS low"})
+	ev, err := NewEvaluator(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Evaluate(map[string]float64{"a": 1}); err == nil {
+		t.Error("missing input accepted")
+	}
+}

@@ -13,8 +13,13 @@
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         poll job status
 //	GET    /v1/jobs/{id}/result  download the result (CSV; JSON for assess)
-//	DELETE /v1/jobs/{id}         cancel a job
+//	POST   /v1/jobs/{id}/cancel  cancel a pending or running job
+//	DELETE /v1/jobs/{id}         purge a terminal job (409 while running)
 //	GET    /v1/healthz           liveness probe
+//
+// The engine also evicts the oldest finished jobs beyond its retention
+// limit (service.Options.MaxFinishedJobs), so the job log stays bounded
+// even without explicit DELETEs.
 package httpapi
 
 import (
@@ -52,7 +57,8 @@ func New(store *service.Store, engine *service.Engine, logger *log.Logger) *Serv
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	return s
 }
 
@@ -197,6 +203,18 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "canceling"})
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.engine.Delete(r.PathValue("id")); err != nil {
+		if errors.Is(err, service.ErrNotFinished) {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeServiceError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // --- response helpers -------------------------------------------------------

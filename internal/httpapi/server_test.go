@@ -246,9 +246,19 @@ func TestJobResultBeforeCompletion(t *testing.T) {
 	}
 	errorBody(t, resp2)
 
+	// Deleting a non-terminal job is a conflict; the job keeps running.
+	reqDel, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	respDel, err := http.DefaultClient.Do(reqDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respDel.Body.Close()
+	if respDel.StatusCode != http.StatusConflict {
+		t.Fatalf("delete-while-pending status %d, want 409", respDel.StatusCode)
+	}
+
 	// Cancel over HTTP, then the job is terminal.
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
-	resp3, err := http.DefaultClient.Do(req)
+	resp3, err := http.Post(ts.URL+"/v1/jobs/"+st.ID+"/cancel", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,6 +275,25 @@ func TestJobResultBeforeCompletion(t *testing.T) {
 	decodeJSON(t, resp4.Body, &st2)
 	if st2.State != service.StateCanceled {
 		t.Fatalf("state %s, want canceled", st2.State)
+	}
+
+	// A terminal job can be purged, after which it is unknown.
+	reqDel2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	respDel2, err := http.DefaultClient.Do(reqDel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respDel2.Body.Close()
+	if respDel2.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d, want 204", respDel2.StatusCode)
+	}
+	resp5, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp5.Body.Close()
+	if resp5.StatusCode != http.StatusNotFound {
+		t.Fatalf("status after purge %d, want 404", resp5.StatusCode)
 	}
 }
 

@@ -69,7 +69,7 @@ func (a *Anonymizer) AnonymizeDetail(t *dataset.Table, k int) (*Result, error) {
 		return nil, fmt.Errorf("kanon: k must be ≥ 1, got %d", k)
 	}
 	if t.NumRows() < k {
-		return nil, fmt.Errorf("kanon: %d records cannot be %d-anonymous", t.NumRows(), k)
+		return nil, fmt.Errorf("kanon: %d records cannot be %d-anonymous: %w", t.NumRows(), k, dataset.ErrTooFewRecords)
 	}
 	qiNames := t.Schema().NamesOf(dataset.QuasiIdentifier)
 	if len(qiNames) == 0 {

@@ -48,6 +48,10 @@ func Dissimilarity(d1, d2 [][]float64) (float64, error) {
 // suppressed cells as def. Both tables must have the rows in the same
 // individual order (the enterprise release keeps identifiers, so callers can
 // align by name first; see internal/linkage).
+//
+// It extracts each side as column vectors and accumulates in the same
+// row-major order as Dissimilarity, so the result is bit-identical to the
+// matrix form without materializing row-major matrices.
 func TableDissimilarity(t1, t2 *dataset.Table, cols []string, def float64) (float64, error) {
 	if t1.NumRows() != t2.NumRows() {
 		return 0, fmt.Errorf("%w: %d vs %d rows", ErrShape, t1.NumRows(), t2.NumRows())
@@ -60,7 +64,38 @@ func TableDissimilarity(t1, t2 *dataset.Table, cols []string, def float64) (floa
 	if err != nil {
 		return 0, err
 	}
-	return Dissimilarity(t1.Matrix(idx1, def), t2.Matrix(idx2, def))
+	v1 := make([][]float64, len(cols))
+	v2 := make([][]float64, len(cols))
+	for j := range cols {
+		v1[j] = t1.ColumnFloats(idx1[j], def)
+		v2[j] = t2.ColumnFloats(idx2[j], def)
+	}
+	return ColumnDissimilarity(v1, v2, t1.NumRows())
+}
+
+// ColumnDissimilarity is Definition 1 over column vectors: d1 and d2 hold one
+// vector of length m per compared attribute. The accumulation order matches
+// Dissimilarity's row-major walk exactly.
+func ColumnDissimilarity(d1, d2 [][]float64, m int) (float64, error) {
+	if len(d1) != len(d2) {
+		return 0, fmt.Errorf("%w: %d vs %d columns", ErrShape, len(d1), len(d2))
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("%w: empty datasets", ErrShape)
+	}
+	for j := range d1 {
+		if len(d1[j]) != m || len(d2[j]) != m {
+			return 0, fmt.Errorf("%w: column %d has %d vs %d values for %d rows", ErrShape, j, len(d1[j]), len(d2[j]), m)
+		}
+	}
+	var total float64
+	for i := 0; i < m; i++ {
+		for j := range d1 {
+			d := d1[j][i] - d2[j][i]
+			total += d * d
+		}
+	}
+	return total / float64(m), nil
 }
 
 func columnIndices(t *dataset.Table, cols []string) ([]int, error) {

@@ -46,8 +46,9 @@ func New() *Anonymizer { return &Anonymizer{Opts: DefaultOptions()} }
 // Name identifies the scheme in reports.
 func (a *Anonymizer) Name() string { return "mdav-microaggregation" }
 
-// ErrTooFewRecords is returned when the table has fewer than k records.
-var ErrTooFewRecords = errors.New("microagg: fewer records than k")
+// ErrTooFewRecords is returned when the table has fewer than k records. It
+// wraps dataset.ErrTooFewRecords, the typed sentinel core.EndsSweep checks.
+var ErrTooFewRecords = fmt.Errorf("microagg: fewer records than k: %w", dataset.ErrTooFewRecords)
 
 // Anonymize returns a k-anonymous copy of t: quasi-identifier cells replaced
 // by their MDAV group centroid (or interval). k must be ≥ 2 and ≤ the number
@@ -129,16 +130,20 @@ func Aggregate(t *dataset.Table, groups [][]int, asInterval bool) (*dataset.Tabl
 			}
 			seen[i] = true
 		}
-		for _, c := range qis {
+	}
+	// One column extraction per quasi-identifier; the group loops then run
+	// over flat vectors.
+	for _, c := range qis {
+		vals, present := t.FloatColumn(c)
+		for _, g := range groups {
 			var cell dataset.Value
 			if asInterval {
 				lo, hi := math.Inf(1), math.Inf(-1)
 				for _, i := range g {
-					v, ok := t.Cell(i, c).Float()
-					if !ok {
+					if !present[i] {
 						continue
 					}
-					lo, hi = math.Min(lo, v), math.Max(hi, v)
+					lo, hi = math.Min(lo, vals[i]), math.Max(hi, vals[i])
 				}
 				if math.IsInf(lo, 1) {
 					cell = dataset.NullValue()
@@ -151,8 +156,8 @@ func Aggregate(t *dataset.Table, groups [][]int, asInterval bool) (*dataset.Tabl
 				var sum float64
 				var cnt int
 				for _, i := range g {
-					if v, ok := t.Cell(i, c).Float(); ok {
-						sum += v
+					if present[i] {
+						sum += vals[i]
 						cnt++
 					}
 				}

@@ -42,9 +42,10 @@ func (a *Anonymizer) Anonymize(t *dataset.Table, k int) (*dataset.Table, error) 
 	}
 	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
 	out := t.Clone()
-	for _, p := range parts {
-		for _, c := range qis {
-			lo, hi := rangeOf(t, p, c)
+	for _, c := range qis {
+		vals, ok := t.FloatColumn(c)
+		for _, p := range parts {
+			lo, hi := rangeOf(vals, ok, p)
 			var cell dataset.Value
 			if lo == hi {
 				cell = dataset.Num(lo)
@@ -67,7 +68,7 @@ func (a *Anonymizer) Partition(t *dataset.Table, k int) ([][]int, error) {
 		return nil, fmt.Errorf("mondrian: k must be ≥ 2, got %d", k)
 	}
 	if t.NumRows() < k {
-		return nil, fmt.Errorf("mondrian: %d records cannot be %d-anonymous", t.NumRows(), k)
+		return nil, fmt.Errorf("mondrian: %d records cannot be %d-anonymous: %w", t.NumRows(), k, dataset.ErrTooFewRecords)
 	}
 	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
 	if len(qis) == 0 {
@@ -78,6 +79,14 @@ func (a *Anonymizer) Partition(t *dataset.Table, k int) ([][]int, error) {
 			return nil, fmt.Errorf("mondrian: quasi-identifier %q is not numeric", t.Schema().Column(c).Name)
 		}
 	}
+	// Extract every quasi-identifier column once; the recursive partitioning
+	// then works on flat vectors instead of per-cell reads.
+	colVals := make(map[int][]float64, len(qis))
+	colOK := make(map[int][]bool, len(qis))
+	for _, c := range qis {
+		colVals[c], colOK[c] = t.FloatColumn(c)
+	}
+
 	// Global ranges for normalized width comparison.
 	globalLo := make(map[int]float64, len(qis))
 	globalHi := make(map[int]float64, len(qis))
@@ -86,7 +95,7 @@ func (a *Anonymizer) Partition(t *dataset.Table, k int) ([][]int, error) {
 		all[i] = i
 	}
 	for _, c := range qis {
-		lo, hi := rangeOf(t, all, c)
+		lo, hi := rangeOf(colVals[c], colOK[c], all)
 		globalLo[c], globalHi[c] = lo, hi
 	}
 
@@ -100,7 +109,7 @@ func (a *Anonymizer) Partition(t *dataset.Table, k int) ([][]int, error) {
 		// Choose the dimension with the widest normalized range.
 		bestDim, bestWidth := -1, -1.0
 		for _, c := range qis {
-			lo, hi := rangeOf(t, part, c)
+			lo, hi := rangeOf(colVals[c], colOK[c], part)
 			span := globalHi[c] - globalLo[c]
 			if span == 0 {
 				continue
@@ -119,7 +128,7 @@ func (a *Anonymizer) Partition(t *dataset.Table, k int) ([][]int, error) {
 			// (the halves get identical generalized cells, which is fine).
 			bestDim = qis[0]
 		}
-		left, right, ok := a.medianSplit(t, part, bestDim, k)
+		left, right, ok := a.medianSplit(colVals[bestDim], part, k)
 		if !ok {
 			leaves = append(leaves, part)
 			return
@@ -131,13 +140,13 @@ func (a *Anonymizer) Partition(t *dataset.Table, k int) ([][]int, error) {
 	return leaves, nil
 }
 
-// medianSplit splits part on column dim at the median. Returns ok=false when
-// no allowable cut leaves both halves with ≥ k records.
-func (a *Anonymizer) medianSplit(t *dataset.Table, part []int, dim, k int) (left, right []int, ok bool) {
+// medianSplit splits part on the dimension's value vector at the median
+// (suppressed cells read as 0, as in the cellwise form). Returns ok=false
+// when no allowable cut leaves both halves with ≥ k records.
+func (a *Anonymizer) medianSplit(vals []float64, part []int, k int) (left, right []int, ok bool) {
 	sorted := append([]int(nil), part...)
 	sort.SliceStable(sorted, func(x, y int) bool {
-		vx, _ := t.Cell(sorted[x], dim).Float()
-		vy, _ := t.Cell(sorted[y], dim).Float()
+		vx, vy := vals[sorted[x]], vals[sorted[y]]
 		if vx != vy {
 			return vx < vy
 		}
@@ -152,13 +161,9 @@ func (a *Anonymizer) medianSplit(t *dataset.Table, part []int, dim, k int) (left
 	}
 	// Strict: cut between distinct values only. Find the cut closest to the
 	// median where both halves have ≥ k records.
-	value := func(i int) float64 {
-		v, _ := t.Cell(sorted[i], dim).Float()
-		return v
-	}
 	bestCut, bestDist := -1, len(sorted)+1
 	for cut := k; cut <= len(sorted)-k; cut++ {
-		if value(cut-1) == value(cut) {
+		if vals[sorted[cut-1]] == vals[sorted[cut]] {
 			continue // would split a tie group
 		}
 		d := abs(cut - len(sorted)/2)
@@ -172,13 +177,15 @@ func (a *Anonymizer) medianSplit(t *dataset.Table, part []int, dim, k int) (left
 	return sorted[:bestCut], sorted[bestCut:], true
 }
 
-func rangeOf(t *dataset.Table, idx []int, col int) (lo, hi float64) {
+// rangeOf is the observed [min, max] of the partition's numeric readings,
+// skipping suppressed cells.
+func rangeOf(vals []float64, ok []bool, idx []int) (lo, hi float64) {
 	first := true
 	for _, i := range idx {
-		v, ok := t.Cell(i, col).Float()
-		if !ok {
+		if !ok[i] {
 			continue
 		}
+		v := vals[i]
 		if first {
 			lo, hi, first = v, v, false
 			continue

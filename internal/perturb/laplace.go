@@ -55,8 +55,8 @@ func (l *Laplace) Anonymize(t *dataset.Table, k int) (*dataset.Table, error) {
 	}
 	if t.NumRows() < k {
 		// Match the partitioning schemes' contract so sweeps terminate the
-		// same way ("cannot be" is the sentinel wording core checks).
-		return nil, fmt.Errorf("perturb: %d records cannot be perturbed at level %d (level exceeds cohort)", t.NumRows(), k)
+		// same way (dataset.ErrTooFewRecords is the sentinel core checks).
+		return nil, fmt.Errorf("perturb: %d records cannot be perturbed at level %d (level exceeds cohort): %w", t.NumRows(), k, dataset.ErrTooFewRecords)
 	}
 	eps := 1 / float64(k)
 	if l.Epsilon != nil {

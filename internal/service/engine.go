@@ -31,6 +31,10 @@ type Options struct {
 	// CacheSize is the LRU result cache capacity in entries (default: 64;
 	// negative disables caching).
 	CacheSize int
+	// MaxFinishedJobs bounds the job log: once more than this many jobs are
+	// in a terminal state, the oldest-finished are evicted from the log
+	// (default: 512; negative keeps every job forever).
+	MaxFinishedJobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -45,6 +49,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheSize == 0 {
 		o.CacheSize = 64
+	}
+	if o.MaxFinishedJobs == 0 {
+		o.MaxFinishedJobs = 512
 	}
 	return o
 }
@@ -73,10 +80,11 @@ type Engine struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
-	mu     sync.RWMutex
-	seq    int
-	jobs   map[string]*job
-	closed bool
+	mu       sync.RWMutex
+	seq      int
+	jobs     map[string]*job
+	finished []*job // terminal jobs in finish order, for retention eviction
+	closed   bool
 }
 
 // job is the engine-internal job record. status is guarded by mu; the input
@@ -123,12 +131,14 @@ func (j *job) start() bool {
 	return true
 }
 
-// finish finalizes the job exactly once; later calls are no-ops.
-func (j *job) finish(res *Result, err error) {
+// finish finalizes the job exactly once; later calls are no-ops. It reports
+// whether this call performed the transition, so exactly one caller retires
+// the job into the engine's finished log.
+func (j *job) finish(res *Result, err error) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status.State.Terminal() {
-		return
+		return false
 	}
 	now := time.Now()
 	j.status.Finished = &now
@@ -153,6 +163,7 @@ func (j *job) finish(res *Result, err error) {
 	// start() gate.
 	j.cancel()
 	j.p, j.aux = nil, nil
+	return true
 }
 
 // NewEngine builds an engine over the store. Call Start to launch the
@@ -179,16 +190,46 @@ func (e *Engine) Start() {
 			defer e.wg.Done()
 			for j := range e.queue {
 				if j.ctx.Err() != nil || !j.start() {
-					j.finish(nil, context.Canceled)
+					if j.finish(nil, context.Canceled) {
+						e.retire(j)
+					}
 					continue
 				}
 				res, err := e.run(j)
 				if err == nil {
 					e.cache.Put(j.key, res)
 				}
-				j.finish(res, err)
+				if j.finish(res, err) {
+					e.retire(j)
+				}
 			}
 		}()
+	}
+}
+
+// retire records a terminal job in the finished log and evicts the
+// oldest-finished jobs beyond the retention limit.
+func (e *Engine) retire(j *job) {
+	e.mu.Lock()
+	e.retireLocked(j)
+	e.mu.Unlock()
+}
+
+func (e *Engine) retireLocked(j *job) {
+	if e.opts.MaxFinishedJobs < 0 {
+		return
+	}
+	if _, ok := e.jobs[j.status.ID]; !ok {
+		// Deleted between finish() and retire(): don't resurrect a ghost
+		// entry that would pin the result and consume a retention slot.
+		return
+	}
+	e.finished = append(e.finished, j)
+	for len(e.finished) > e.opts.MaxFinishedJobs {
+		old := e.finished[0]
+		e.finished[0] = nil
+		e.finished = e.finished[1:]
+		delete(e.jobs, old.status.ID)
 	}
 }
 
@@ -265,7 +306,9 @@ func (e *Engine) Submit(spec Spec) (Status, error) {
 		e.seq++
 		e.jobs[j.status.ID] = j
 		j.status.Cached = true
-		j.finish(res, nil)
+		if j.finish(res, nil) {
+			e.retireLocked(j)
+		}
 		return j.snapshot(), nil
 	}
 	select {
@@ -337,7 +380,33 @@ func (e *Engine) Cancel(id string) error {
 	}
 	j.cancel()
 	if state == StatePending {
-		j.finish(nil, context.Canceled)
+		if j.finish(nil, context.Canceled) {
+			e.retire(j)
+		}
+	}
+	return nil
+}
+
+// Delete purges a terminal job from the job log, freeing its result. A job
+// that is still pending or running reports ErrNotFinished — cancel it first.
+func (e *Engine) Delete(id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return &ErrNotFound{Kind: "job", ID: id}
+	}
+	if !j.snapshot().State.Terminal() {
+		return fmt.Errorf("%w: job %s is not terminal; cancel it before deleting", ErrNotFinished, id)
+	}
+	delete(e.jobs, id)
+	// Drop the finished-log entry too, so the job's result is freed now and
+	// the ghost does not consume a retention slot.
+	for i, fj := range e.finished {
+		if fj == j {
+			e.finished = append(e.finished[:i], e.finished[i+1:]...)
+			break
+		}
 	}
 	return nil
 }
@@ -399,16 +468,14 @@ func (sp Spec) attackConfig(aux *dataset.Table) core.AttackConfig {
 }
 
 // release anonymizes p at level k and suppresses the sensitive columns —
-// the enterprise release step shared by every job type.
+// the enterprise release step shared by every job type. The suppression is a
+// zero-copy column-mask view over the anonymizer's output.
 func release(p *dataset.Table, anon core.Anonymizer, k int) (*dataset.Table, error) {
 	out, err := anon.Anonymize(p, k)
 	if err != nil {
 		return nil, err
 	}
-	for _, c := range out.Schema().IndicesOf(dataset.Sensitive) {
-		out.SuppressColumn(c)
-	}
-	return out, nil
+	return out.WithSuppressed(out.Schema().IndicesOf(dataset.Sensitive)...), nil
 }
 
 func (e *Engine) runAnonymize(j *job) (*Result, error) {

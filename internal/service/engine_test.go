@@ -285,3 +285,66 @@ func TestShutdownRejectsNewJobs(t *testing.T) {
 		t.Fatal("submit after shutdown must fail")
 	}
 }
+
+func TestDeleteJob(t *testing.T) {
+	e, p, _, _ := testFixture(t, service.Options{Workers: 1, CacheSize: -1})
+	e.Start()
+	st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, e, st.ID)
+	if err := e.Delete(st.ID); err != nil {
+		t.Fatalf("delete finished job: %v", err)
+	}
+	if _, err := e.Job(st.ID); err == nil {
+		t.Error("deleted job still listed")
+	}
+	var nf *service.ErrNotFound
+	if err := e.Delete(st.ID); !errors.As(err, &nf) {
+		t.Errorf("second delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDeleteRunningJobRefused(t *testing.T) {
+	// Engine never started: the job stays pending (non-terminal) forever.
+	e, p, _, _ := testFixture(t, service.Options{Workers: 1})
+	st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(st.ID); !errors.Is(err, service.ErrNotFinished) {
+		t.Fatalf("delete pending job = %v, want ErrNotFinished", err)
+	}
+	if _, err := e.Job(st.ID); err != nil {
+		t.Errorf("refused delete removed the job: %v", err)
+	}
+}
+
+func TestFinishedJobRetention(t *testing.T) {
+	e, p, _, _ := testFixture(t, service.Options{Workers: 1, CacheSize: -1, MaxFinishedJobs: 3})
+	e.Start()
+	var ids []string
+	for i := 0; i < 6; i++ {
+		st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 2 + i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, e, st.ID)
+		ids = append(ids, st.ID)
+	}
+	if got := len(e.Jobs()); got != 3 {
+		t.Fatalf("job log holds %d jobs, want 3 (retention)", got)
+	}
+	// The survivors are the newest three, in order.
+	for _, id := range ids[:3] {
+		if _, err := e.Job(id); err == nil {
+			t.Errorf("evicted job %s still listed", id)
+		}
+	}
+	for _, id := range ids[3:] {
+		if _, err := e.Job(id); err != nil {
+			t.Errorf("retained job %s missing: %v", id, err)
+		}
+	}
+}

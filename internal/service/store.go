@@ -123,14 +123,16 @@ func seqOf(id string) int {
 	return n
 }
 
-// HashTable content-hashes a table via its canonical CSV serialization, so
-// equal schemas+cells produce equal hashes regardless of how the table was
-// built. This keys the job result cache, where a collision would serve one
-// client another's cached release — hence a cryptographic hash, not a
-// checksum; its cost is negligible next to any job.
+// HashTable content-hashes a table via its canonical columnar fingerprint,
+// so equal schemas+cells produce equal hashes regardless of how the table
+// was built. This keys the job result cache, where a collision would serve
+// one client another's cached release — hence a cryptographic hash, not a
+// checksum. Hashing the column buffers (float bits, dictionary bytes)
+// instead of rendering every cell through the CSV writer keeps Submit cheap
+// on large uploads.
 func HashTable(t *dataset.Table) (string, error) {
 	h := sha256.New()
-	if err := dataset.WriteCSV(h, t); err != nil {
+	if err := t.WriteFingerprint(h); err != nil {
 		return "", fmt.Errorf("service: hash table: %w", err)
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil

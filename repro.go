@@ -168,6 +168,15 @@ func (s *Scenario) Sweep(minK, maxK int, anon core.Anonymizer, est fusion.Estima
 	return core.Sweep(s.P, anon, s.attack(est), minK, maxK)
 }
 
+// SweepParallel is Sweep with the levels evaluated concurrently; results are
+// identical to Sweep's. Workers bounds the concurrency (0 → one per level).
+func (s *Scenario) SweepParallel(minK, maxK int, anon core.Anonymizer, est fusion.Estimator, workers int) ([]core.LevelResult, error) {
+	if anon == nil {
+		anon = microagg.New()
+	}
+	return core.SweepParallel(s.P, anon, s.attack(est), minK, maxK, workers)
+}
+
 // FREDOptions configures RunFRED. Zero values auto-calibrate thresholds the
 // way the paper did — "based on experimental observations" — via a probe
 // sweep (see CalibrateThresholds).
