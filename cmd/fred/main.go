@@ -7,18 +7,23 @@
 //
 //	fred -p p.csv -q q.csv -lo 40000 -hi 160000 \
 //	     [-tp T] [-tu T] [-mink 2] [-maxk 16] [-scheme mdav|mondrian] \
-//	     [-out optimal.csv] [-literal-loop]
+//	     [-workers N] [-out optimal.csv] [-literal-loop]
 //
-// When -tp and -tu are both zero, thresholds are auto-calibrated from a
-// probe sweep the way the paper set them "based on experimental
-// observations".
+// The sweep streams: levels print as a live table the moment each completes
+// (in k order, even with -workers > 1), so a long sweep on a big cohort
+// shows progress instead of going dark until the end. The sweep runs once —
+// when -tp and -tu are both zero, thresholds are auto-calibrated from the
+// streamed series the way the paper set them "based on experimental
+// observations", with no second probe sweep.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro"
 	"repro/internal/core"
@@ -40,6 +45,7 @@ func main() {
 	minK := flag.Int("mink", 2, "first anonymization level")
 	maxK := flag.Int("maxk", 16, "last anonymization level")
 	scheme := flag.String("scheme", "mdav", "mdav or mondrian")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = NumCPU)")
 	out := flag.String("out", "", "optional output CSV for the optimal release")
 	literal := flag.Bool("literal-loop", false, "use the pseudocode's literal stopping rule")
 	markdown := flag.Bool("markdown", false, "emit the run report as Markdown")
@@ -69,29 +75,67 @@ func main() {
 		log.Fatalf("unknown scheme %q", *scheme)
 	}
 	atk := core.AttackConfig{Aux: q, SensitiveRange: fusion.Range{Lo: *lo, Hi: *hi}}
-
-	useTp, useTu := *tp, *tu
-	if useTp == 0 && useTu == 0 {
-		probe, err := core.Sweep(p, anon, atk, *minK, *maxK)
-		if err != nil {
-			log.Fatal(err)
-		}
-		useTp, useTu, err = repro.CalibrateThresholds(probe)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("auto-calibrated thresholds: Tp = %.6g, Tu = %.6g\n", useTp, useTu)
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.NumCPU()
 	}
 
-	res, err := core.Run(p, core.Config{
+	cfg := core.Config{
 		Anonymizer:       anon,
 		Attack:           atk,
-		Tp:               useTp,
-		Tu:               useTu,
+		Tp:               *tp,
+		Tu:               *tu,
 		MinK:             *minK,
 		MaxK:             *maxK,
 		LiteralPaperLoop: *literal,
+	}
+	// With explicit thresholds the stopping rule is decidable per level, so
+	// the stream halts the sweep the moment it fires — exactly Algorithm 1's
+	// loop. Auto-calibration needs the full series first; the stop rule is
+	// applied to the streamed levels afterwards, with no second sweep.
+	explicit := *tp != 0 || *tu != 0
+
+	fmt.Printf("sweeping k = %d..%d on %d workers\n", *minK, *maxK, nWorkers)
+	fmt.Printf("%4s  %13s  %13s  %13s  %12s\n", "k", "P∘P' (before)", "P∘P̂ (after)", "gain G", "utility U")
+	var levels []core.LevelResult
+	err = core.SweepStream(context.Background(), p, core.StreamConfig{
+		Anonymizer: anon,
+		Attack:     atk,
+		MinK:       *minK,
+		MaxK:       *maxK,
+		Workers:    nWorkers,
+		Tp:         *tp,
+	}, func(lr core.LevelResult) error {
+		levels = append(levels, lr)
+		fmt.Printf("%4d  %13.6g  %13.6g  %13.6g  %12.6g\n",
+			lr.K, lr.Before, lr.After, lr.Gain, lr.Utility)
+		if explicit && cfg.StopsAfter(lr) {
+			return core.ErrStopSweep
+		}
+		return nil
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	if !explicit {
+		cfg.Tp, cfg.Tu, err = repro.CalibrateThresholds(levels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("auto-calibrated thresholds: Tp = %.6g, Tu = %.6g\n", cfg.Tp, cfg.Tu)
+		// Truncate the series where Algorithm 1's stopping rule would have
+		// ended the sweep under the calibrated thresholds.
+		for i, lr := range levels {
+			if cfg.StopsAfter(lr) {
+				levels = levels[:i+1]
+				break
+			}
+		}
+	}
+
+	res, err := core.Decide(levels, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,7 +6,11 @@
 //
 // Upload tables as two-header CSV, submit anonymize / attack / fred-sweep /
 // assess jobs, poll, download results (see the repository README for curl
-// examples). SIGINT/SIGTERM drain in-flight jobs before exit.
+// examples). Sweeps execute on the streaming pipeline: follow a running
+// job's per-level results live on GET /v1/jobs/{id}/events (Server-Sent
+// Events; NDJSON with Accept: application/x-ndjson), or poll its status for
+// the partial level series. Cancellation interrupts a sweep between levels,
+// not just between jobs. SIGINT/SIGTERM drain in-flight jobs before exit.
 package main
 
 import (

@@ -9,10 +9,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/fusion"
@@ -272,16 +272,15 @@ func comparisonColumns(p *dataset.Table) []string {
 	return cols
 }
 
-// Run executes FRED Anonymization (Algorithm 1) on the private table p.
+// Run executes FRED Anonymization (Algorithm 1) on the private table p: a
+// sequential SweepStream under the configured stopping rule, then Decide's
+// threshold filter and H-objective argmax.
 func Run(p *dataset.Table, cfg Config) (*Result, error) {
 	if cfg.Anonymizer == nil {
 		return nil, errors.New("core: config needs an anonymizer")
 	}
 	if p == nil || p.NumRows() == 0 {
 		return nil, errors.New("core: empty private table")
-	}
-	if cfg.HOpts.W1 == 0 && cfg.HOpts.W2 == 0 {
-		cfg.HOpts = metrics.DefaultHOptions()
 	}
 	minK := cfg.MinK
 	if minK == 0 {
@@ -298,81 +297,33 @@ func Run(p *dataset.Table, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: MaxK %d below MinK %d", maxK, minK)
 	}
 
-	sc := NewSweepContext(p, cfg.Attack)
-	res := &Result{}
-	for k := minK; k <= maxK; k++ {
-		lr, err := sc.RunLevel(cfg.Anonymizer, k, cfg.Tp)
-		if err != nil {
-			// The anonymizer legitimately runs out of records (k > n);
-			// treat that as the end of the sweep rather than a failure.
-			if k > minK && isTooFewRecords(err) {
-				break
-			}
-			return nil, fmt.Errorf("core: level k=%d: %w", k, err)
+	var levels []LevelResult
+	err := SweepStream(context.Background(), p, StreamConfig{
+		Anonymizer: cfg.Anonymizer,
+		Attack:     cfg.Attack,
+		MinK:       minK,
+		MaxK:       maxK,
+		Workers:    1,
+		Tp:         cfg.Tp,
+	}, func(lr LevelResult) error {
+		levels = append(levels, lr)
+		if cfg.StopsAfter(lr) {
+			return ErrStopSweep
 		}
-		res.Levels = append(res.Levels, lr)
-		if lr.Candidate {
-			res.Candidates = append(res.Candidates, len(res.Levels)-1)
-		}
-		if cfg.LiteralPaperLoop {
-			// Pseudocode line 20: "until U_level ≥ Tu".
-			if lr.Utility >= cfg.Tu {
-				break
-			}
-		} else if lr.Utility < cfg.Tu {
-			// Prose rule: sweep while the release stays useful.
-			break
-		}
-	}
-	if len(res.Candidates) == 0 {
-		return res, ErrNoCandidate
-	}
-	dis := make([]float64, len(res.Candidates))
-	utl := make([]float64, len(res.Candidates))
-	for i, li := range res.Candidates {
-		dis[i] = res.Levels[li].After
-		utl[i] = res.Levels[li].Utility
-	}
-	h, err := metrics.HSeries(dis, utl, cfg.HOpts)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.H = h
-	best, hmax, err := metrics.ArgMax(h)
-	if err != nil {
-		return nil, err
-	}
-	opt := res.Levels[res.Candidates[best]]
-	res.OptimalK = opt.K
-	res.Hmax = hmax
-	res.Optimal = opt.Release
-	return res, nil
+	return Decide(levels, cfg)
 }
 
 // Sweep evaluates every level in [minK, maxK] unconditionally — the series
 // behind Figures 4–7, which the paper plots for k = 2..16 regardless of
 // thresholds. A sweep that outgrows the table ends early rather than
-// failing.
+// failing. It is SweepStream with a single worker, collected into a slice.
 func Sweep(p *dataset.Table, anon Anonymizer, atk AttackConfig, minK, maxK int) ([]LevelResult, error) {
-	if anon == nil {
-		return nil, errors.New("core: sweep needs an anonymizer")
-	}
-	if minK < 2 || maxK < minK {
-		return nil, fmt.Errorf("core: invalid sweep range [%d, %d]", minK, maxK)
-	}
-	sc := NewSweepContext(p, atk)
-	var out []LevelResult
-	for k := minK; k <= maxK; k++ {
-		lr, err := sc.RunLevel(anon, k, 0)
-		if err != nil {
-			if k > minK && isTooFewRecords(err) {
-				break
-			}
-			return nil, fmt.Errorf("core: level k=%d: %w", k, err)
-		}
-		out = append(out, lr)
-	}
-	return out, nil
+	return sweepCollect(p, anon, atk, minK, maxK, 1)
 }
 
 // SweepParallel is Sweep with the levels evaluated concurrently — they are
@@ -380,50 +331,23 @@ func Sweep(p *dataset.Table, anon Anonymizer, atk AttackConfig, minK, maxK int) 
 // Sweep's (same order, deterministic); only wall time changes. Workers
 // bounds the concurrency (0 means one worker per level).
 func SweepParallel(p *dataset.Table, anon Anonymizer, atk AttackConfig, minK, maxK, workers int) ([]LevelResult, error) {
-	if anon == nil {
-		return nil, errors.New("core: sweep needs an anonymizer")
-	}
-	if minK < 2 || maxK < minK {
-		return nil, fmt.Errorf("core: invalid sweep range [%d, %d]", minK, maxK)
-	}
-	n := maxK - minK + 1
-	if workers <= 0 || workers > n {
-		workers = n
-	}
-	type slot struct {
-		lr  LevelResult
-		err error
-	}
-	sc := NewSweepContext(p, atk)
-	results := make([]slot, n)
-	ks := make(chan int, n)
-	for k := minK; k <= maxK; k++ {
-		ks <- k
-	}
-	close(ks)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range ks {
-				lr, err := sc.RunLevel(anon, k, 0)
-				results[k-minK] = slot{lr, err}
-			}
-		}()
-	}
-	wg.Wait()
+	return sweepCollect(p, anon, atk, minK, maxK, workers)
+}
+
+func sweepCollect(p *dataset.Table, anon Anonymizer, atk AttackConfig, minK, maxK, workers int) ([]LevelResult, error) {
 	var out []LevelResult
-	for i, s := range results {
-		if s.err != nil {
-			// Same early-termination contract as Sweep: higher levels that
-			// outgrow the table end the series.
-			if i > 0 && isTooFewRecords(s.err) {
-				break
-			}
-			return nil, fmt.Errorf("core: level k=%d: %w", minK+i, s.err)
-		}
-		out = append(out, s.lr)
+	err := SweepStream(context.Background(), p, StreamConfig{
+		Anonymizer: anon,
+		Attack:     atk,
+		MinK:       minK,
+		MaxK:       maxK,
+		Workers:    workers,
+	}, func(lr LevelResult) error {
+		out = append(out, lr)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// ErrStopSweep is the sentinel an emit callback returns to end a streaming
+// sweep early without error: the levels emitted so far form the series and
+// SweepStream returns nil. Any other callback error aborts the sweep and is
+// returned as-is.
+var ErrStopSweep = errors.New("core: stop sweep")
+
+// StreamConfig parameterizes SweepStream.
+type StreamConfig struct {
+	// Anonymizer is Basic_Anonymization. Required.
+	Anonymizer Anonymizer
+	// Attack is the simulated fusion adversary.
+	Attack AttackConfig
+	// MinK and MaxK bound the sweep (MinK ≥ 2, MaxK ≥ MinK).
+	MinK, MaxK int
+	// Workers bounds level concurrency; 0 means one worker per level.
+	// Whatever the worker count, levels are emitted in ascending k order.
+	Workers int
+	// Tp is the protection threshold recorded in each LevelResult's
+	// Candidate flag (0 marks every level a candidate, as in plain sweeps).
+	Tp float64
+}
+
+// SweepStream is the streaming sweep executor every sweep entry point is
+// built on: it evaluates levels MinK..MaxK on a bounded worker pool over one
+// shared SweepContext and calls emit with each LevelResult in ascending k
+// order as soon as it — and every level below it — has completed. A reorder
+// buffer bridges completion order and emission order, so concurrency never
+// changes what the consumer observes.
+//
+// Invariants:
+//
+//   - Emission is k-ordered and gap-free: emit(k) happens only after every
+//     level in [MinK, k] was emitted or the sweep ended.
+//   - Early stop: a level above MinK failing with the "k exceeds the table"
+//     condition (EndsSweep) ends the series cleanly — emit never sees it and
+//     SweepStream returns nil. The same condition at MinK is an error.
+//   - Any other level error aborts the sweep with "core: level k=%d: …",
+//     after all lower levels were emitted.
+//   - emit returning ErrStopSweep ends the sweep without error; any other
+//     emit error aborts the sweep and is returned verbatim. In-flight higher
+//     levels are discarded either way.
+//   - Cancelling ctx aborts promptly with ctx.Err(); workers stop picking up
+//     new levels and nothing further is emitted.
+//
+// emit runs on the calling goroutine; it may block (e.g. writing an HTTP
+// response) without stalling more than the in-flight workers.
+func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit func(LevelResult) error) error {
+	if cfg.Anonymizer == nil {
+		return errors.New("core: sweep needs an anonymizer")
+	}
+	minK, maxK := cfg.MinK, cfg.MaxK
+	if minK < 2 || maxK < minK {
+		return fmt.Errorf("core: invalid sweep range [%d, %d]", minK, maxK)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := maxK - minK + 1
+	workers := cfg.Workers
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+
+	sc := NewSweepContext(p, cfg.Attack)
+
+	// A single worker is the old sequential loop: run it inline, without
+	// goroutines, so a consumer stop (Run's Algorithm 1 stopping rule) never
+	// pays for a speculative level past the stop point. With parallel
+	// workers that speculation is inherent — in-flight levels above a stop
+	// are cancelled and discarded.
+	if workers == 1 {
+		for k := minK; k <= maxK; k++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lr, err := sc.RunLevel(cfg.Anonymizer, k, cfg.Tp)
+			if err != nil {
+				if k > minK && isTooFewRecords(err) {
+					return nil
+				}
+				return fmt.Errorf("core: level k=%d: %w", k, err)
+			}
+			// A cancel that landed while RunLevel was executing must not
+			// leak one more emission — same contract as the parallel path.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := emit(lr); err != nil {
+				if errors.Is(err, ErrStopSweep) {
+					return nil
+				}
+				return err
+			}
+		}
+		return nil
+	}
+
+	type slot struct {
+		k   int
+		lr  LevelResult
+		err error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+
+	// Dispatcher: feeds levels one at a time so a cancel (or early stop)
+	// keeps workers from picking up work past the stop point.
+	ks := make(chan int)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(ks)
+		for k := minK; k <= maxK; k++ {
+			select {
+			case ks <- k:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// results is buffered to the whole sweep so workers never block on send:
+	// cancel() alone winds the pool down.
+	results := make(chan slot, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range ks {
+				lr, err := sc.RunLevel(cfg.Anonymizer, k, cfg.Tp)
+				results <- slot{k: k, lr: lr, err: err}
+			}
+		}()
+	}
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	// Reorder buffer: results arrive in completion order, levels leave in k
+	// order.
+	pending := make(map[int]slot, workers)
+	for next := minK; next <= maxK; {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		s, ok := pending[next]
+		if !ok {
+			select {
+			case r := <-results:
+				pending[r.k] = r
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		delete(pending, next)
+		if s.err != nil {
+			if next > minK && isTooFewRecords(s.err) {
+				// The anonymizer legitimately outgrew the table: the series
+				// ends here rather than failing.
+				return nil
+			}
+			return fmt.Errorf("core: level k=%d: %w", next, s.err)
+		}
+		if err := emit(s.lr); err != nil {
+			if errors.Is(err, ErrStopSweep) {
+				return nil
+			}
+			return err
+		}
+		next++
+	}
+	return nil
+}
+
+// StopsAfter reports whether Algorithm 1's stopping rule ends the sweep
+// after this level: the prose rule stops once utility falls below Tu, the
+// literal pseudocode rule ("repeat … until U_level ≥ Tu") as soon as a
+// release is useful.
+func (cfg Config) StopsAfter(lr LevelResult) bool {
+	if cfg.LiteralPaperLoop {
+		return lr.Utility >= cfg.Tu
+	}
+	return lr.Utility < cfg.Tu
+}
+
+// Decide applies Algorithm 1's selection to a swept (possibly truncated)
+// series: the Tp candidate filter, the weighted objective H over the
+// candidates, and the argmax. It records candidacy on the series in place
+// and returns the partial Result alongside ErrNoCandidate when no level
+// passes the filter. Run is SweepStream + Decide; callers that stream a
+// sweep themselves (e.g. a CLI printing levels live) reuse it to reach
+// Run's exact decision without a second sweep — provided they also apply
+// Run's Tu stopping rule (Config.StopsAfter) as truncation first. The
+// service's fred-sweep job deliberately deviates: it sweeps the full
+// requested range and filters candidacy by both thresholds instead of
+// truncating at Tu (see service.Engine's runFREDSweep).
+func Decide(levels []LevelResult, cfg Config) (*Result, error) {
+	if cfg.HOpts.W1 == 0 && cfg.HOpts.W2 == 0 {
+		cfg.HOpts = metrics.DefaultHOptions()
+	}
+	res := &Result{Levels: levels}
+	for i := range res.Levels {
+		res.Levels[i].Candidate = res.Levels[i].After >= cfg.Tp
+		if res.Levels[i].Candidate {
+			res.Candidates = append(res.Candidates, i)
+		}
+	}
+	if len(res.Candidates) == 0 {
+		return res, ErrNoCandidate
+	}
+	dis := make([]float64, len(res.Candidates))
+	utl := make([]float64, len(res.Candidates))
+	for i, li := range res.Candidates {
+		dis[i] = res.Levels[li].After
+		utl[i] = res.Levels[li].Utility
+	}
+	h, err := metrics.HSeries(dis, utl, cfg.HOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.H = h
+	best, hmax, err := metrics.ArgMax(h)
+	if err != nil {
+		return nil, err
+	}
+	opt := res.Levels[res.Candidates[best]]
+	res.OptimalK = opt.K
+	res.Hmax = hmax
+	res.Optimal = opt.Release
+	return res, nil
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/microagg"
+)
+
+// TestSweepStreamOrderedUnderParallelWorkers: whatever the worker count,
+// levels are emitted gap-free in ascending k order and bit-identical to the
+// sequential sweep.
+func TestSweepStreamOrderedUnderParallelWorkers(t *testing.T) {
+	p, q := universityFixture(t, 40)
+	atk := AttackConfig{Aux: q, SensitiveRange: salaryRange()}
+	seq, err := Sweep(p, microagg.New(), atk, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 4, 16} {
+		var got []LevelResult
+		err := SweepStream(context.Background(), p, StreamConfig{
+			Anonymizer: microagg.New(),
+			Attack:     atk,
+			MinK:       2,
+			MaxK:       12,
+			Workers:    workers,
+		}, func(lr LevelResult) error {
+			got = append(got, lr)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(seq) {
+			t.Fatalf("workers=%d: emitted %d levels, want %d", workers, len(got), len(seq))
+		}
+		for i, lr := range got {
+			if lr.K != i+2 {
+				t.Fatalf("workers=%d: emission %d has k=%d, want %d (k-order violated)", workers, i, lr.K, i+2)
+			}
+			if lr.Before != seq[i].Before || lr.After != seq[i].After ||
+				lr.Gain != seq[i].Gain || lr.Utility != seq[i].Utility {
+				t.Errorf("workers=%d k=%d: streamed level differs from sequential", workers, lr.K)
+			}
+		}
+	}
+}
+
+// TestSweepStreamEarlyStopPastTable: a level above MinK outgrowing the table
+// ends the series cleanly; the same condition at MinK is an error.
+func TestSweepStreamEarlyStopPastTable(t *testing.T) {
+	p, q := universityFixture(t, 10)
+	atk := AttackConfig{Aux: q, SensitiveRange: salaryRange()}
+	var ks []int
+	err := SweepStream(context.Background(), p, StreamConfig{
+		Anonymizer: microagg.New(),
+		Attack:     atk,
+		MinK:       2,
+		MaxK:       40,
+		Workers:    4,
+	}, func(lr LevelResult) error {
+		ks = append(ks, lr.K)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("early stop must not be an error: %v", err)
+	}
+	if len(ks) == 0 || ks[len(ks)-1] > 10 {
+		t.Errorf("emitted ks = %v, want a series ending at or before k=10", ks)
+	}
+	for i, k := range ks {
+		if k != i+2 {
+			t.Fatalf("emission %d has k=%d: early stop broke k-order", i, k)
+		}
+	}
+
+	// MinK itself exceeding the table is a sweep error, not an early stop.
+	err = SweepStream(context.Background(), p, StreamConfig{
+		Anonymizer: microagg.New(),
+		Attack:     atk,
+		MinK:       11,
+		MaxK:       20,
+	}, func(LevelResult) error { return nil })
+	if err == nil {
+		t.Error("first level exceeding the table must fail the sweep")
+	}
+}
+
+// TestSweepStreamCancellation: cancelling the context mid-sweep aborts
+// promptly with context.Canceled and stops emission.
+func TestSweepStreamCancellation(t *testing.T) {
+	p, q := universityFixture(t, 40)
+	atk := AttackConfig{Aux: q, SensitiveRange: salaryRange()}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	err := SweepStream(ctx, p, StreamConfig{
+		Anonymizer: microagg.New(),
+		Attack:     atk,
+		MinK:       2,
+		MaxK:       30,
+		Workers:    2,
+	}, func(lr LevelResult) error {
+		emitted++
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted != 1 {
+		t.Errorf("emitted %d levels after cancel, want 1", emitted)
+	}
+
+	// A context cancelled before the sweep starts emits nothing.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	err = SweepStream(pre, p, StreamConfig{
+		Anonymizer: microagg.New(),
+		Attack:     atk,
+		MinK:       2,
+		MaxK:       6,
+	}, func(LevelResult) error {
+		t.Error("emit called under a pre-cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepStreamStopSentinel: emit returning ErrStopSweep ends the sweep
+// without error; any other emit error aborts and surfaces verbatim.
+func TestSweepStreamStopSentinel(t *testing.T) {
+	p, q := universityFixture(t, 40)
+	atk := AttackConfig{Aux: q, SensitiveRange: salaryRange()}
+	var got []LevelResult
+	err := SweepStream(context.Background(), p, StreamConfig{
+		Anonymizer: microagg.New(),
+		Attack:     atk,
+		MinK:       2,
+		MaxK:       16,
+		Workers:    4,
+	}, func(lr LevelResult) error {
+		got = append(got, lr)
+		if len(got) == 3 {
+			return ErrStopSweep
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ErrStopSweep must end the sweep cleanly: %v", err)
+	}
+	if len(got) != 3 || got[2].K != 4 {
+		t.Fatalf("stopped series = %d levels (last k=%d), want 3 ending at k=4", len(got), got[len(got)-1].K)
+	}
+
+	boom := fmt.Errorf("emit exploded")
+	err = SweepStream(context.Background(), p, StreamConfig{
+		Anonymizer: microagg.New(),
+		Attack:     atk,
+		MinK:       2,
+		MaxK:       6,
+	}, func(LevelResult) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("emit error = %v, want the callback's error verbatim", err)
+	}
+}
+
+// TestSweepStreamValidation mirrors the Sweep/SweepParallel contracts.
+func TestSweepStreamValidation(t *testing.T) {
+	p, _ := universityFixture(t, 10)
+	noop := func(LevelResult) error { return nil }
+	if err := SweepStream(context.Background(), p, StreamConfig{MinK: 2, MaxK: 4}, noop); err == nil {
+		t.Error("nil anonymizer accepted")
+	}
+	if err := SweepStream(context.Background(), p, StreamConfig{Anonymizer: microagg.New(), MinK: 1, MaxK: 4}, noop); err == nil {
+		t.Error("minK=1 accepted")
+	}
+	if err := SweepStream(context.Background(), p, StreamConfig{Anonymizer: microagg.New(), MinK: 5, MaxK: 4}, noop); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+// TestDecideMatchesRun: Decide over a streamed series reaches Run's exact
+// decision — same candidates, same H, same optimal level.
+func TestDecideMatchesRun(t *testing.T) {
+	p, q := universityFixture(t, 40)
+	atk := AttackConfig{Aux: q, SensitiveRange: salaryRange()}
+	probe, err := Sweep(p, microagg.New(), atk, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := probe[4].After
+	tu := probe[12].Utility
+	cfg := Config{Anonymizer: microagg.New(), Attack: atk, Tp: tp, Tu: tu, MaxK: 16}
+
+	want, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay Run's loop on the probe series: truncate at the stopping rule,
+	// then Decide.
+	levels := probe
+	for i, lr := range levels {
+		if cfg.StopsAfter(lr) {
+			levels = levels[:i+1]
+			break
+		}
+	}
+	got, err := Decide(levels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OptimalK != want.OptimalK || got.Hmax != want.Hmax {
+		t.Errorf("Decide picked k=%d (H=%g), Run picked k=%d (H=%g)",
+			got.OptimalK, got.Hmax, want.OptimalK, want.Hmax)
+	}
+	if len(got.Candidates) != len(want.Candidates) || len(got.Levels) != len(want.Levels) {
+		t.Errorf("Decide: %d candidates over %d levels, Run: %d over %d",
+			len(got.Candidates), len(got.Levels), len(want.Candidates), len(want.Levels))
+	}
+}

@@ -1,0 +1,58 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleJobEvents streams a job's incremental events — per-level sweep
+// results with running threshold calibration and progress, closed by the
+// terminal status — as Server-Sent Events, or as newline-delimited JSON when
+// the client asks for it (Accept: application/x-ndjson). The stream replays
+// everything the job has already emitted, so subscribing late (or to a
+// finished job) still yields the full series. The connection closes when
+// the job reaches a terminal state or the client disconnects; a cancel
+// mid-sweep ends the stream promptly with a terminal status event.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	events, err := s.engine.Stream(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	ndjson := strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+	}
+	// Tell buffering reverse proxies to pass events through as they happen.
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush()
+	for ev := range events {
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if ndjson {
+			if _, err := fmt.Fprintf(w, "%s\n", payload); err != nil {
+				return
+			}
+		} else {
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, payload); err != nil {
+				return
+			}
+		}
+		flush()
+	}
+}

@@ -11,8 +11,10 @@
 //	DELETE /v1/tables/{id}       drop a table
 //	POST   /v1/jobs              submit a job (JSON service.Spec)
 //	GET    /v1/jobs              list jobs
-//	GET    /v1/jobs/{id}         poll job status
+//	GET    /v1/jobs/{id}         poll job status (includes per-level partials)
 //	GET    /v1/jobs/{id}/result  download the result (CSV; JSON for assess)
+//	GET    /v1/jobs/{id}/events  stream per-level results live (SSE; NDJSON
+//	                             with Accept: application/x-ndjson)
 //	POST   /v1/jobs/{id}/cancel  cancel a pending or running job
 //	DELETE /v1/jobs/{id}         purge a terminal job (409 while running)
 //	GET    /v1/healthz           liveness probe
@@ -57,6 +59,7 @@ func New(store *service.Store, engine *service.Engine, logger *log.Logger) *Serv
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	return s

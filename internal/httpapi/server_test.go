@@ -1,6 +1,7 @@
 package httpapi_test
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -22,9 +23,18 @@ import (
 // httptest server. When start is false the engine's workers stay parked, so
 // submitted jobs remain pending (for testing the not-finished paths).
 func newTestServer(t *testing.T, start bool) (*httptest.Server, *service.Store) {
+	ts, store, _ := newTestServerEngine(t, start, service.Options{Workers: 2, SweepWorkers: 4})
+	return ts, store
+}
+
+// newTestServerEngine additionally hands back the engine, for tests that
+// need to start the workers only after setting up observers (event-stream
+// tests subscribe first so streaming is observed deterministically) or to
+// tune the worker counts.
+func newTestServerEngine(t *testing.T, start bool, opts service.Options) (*httptest.Server, *service.Store, *service.Engine) {
 	t.Helper()
 	store := service.NewStore()
-	engine := service.NewEngine(store, service.Options{Workers: 2, SweepWorkers: 4})
+	engine := service.NewEngine(store, opts)
 	if start {
 		engine.Start()
 	}
@@ -35,7 +45,7 @@ func newTestServer(t *testing.T, start bool) (*httptest.Server, *service.Store) 
 	})
 	ts := httptest.NewServer(httpapi.New(store, engine, nil))
 	t.Cleanup(ts.Close)
-	return ts, store
+	return ts, store, engine
 }
 
 func decodeJSON(t *testing.T, r io.Reader, v any) {
@@ -371,6 +381,190 @@ func pollJob(t *testing.T, baseURL, id string) service.Status {
 			t.Fatalf("job %s still %s at deadline", id, st.State)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// sseData extracts the data payloads from a Server-Sent Events stream body.
+func sseData(t *testing.T, r io.Reader) []string {
+	t.Helper()
+	var out []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			out = append(out, strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read event stream: %v", err)
+	}
+	return out
+}
+
+// TestEndToEndJobEventStream is the streaming e2e: submit a fred-sweep and
+// read GET /v1/jobs/{id}/events to completion. The stream must deliver at
+// least two per-level events — in k order, with running calibration and
+// advancing progress — before the terminal status event, then close. The
+// subscription is opened while the job is still pending (the engine starts
+// after the stream is connected), so every level event is observed live,
+// ahead of the terminal state, not replayed after the fact.
+func TestEndToEndJobEventStream(t *testing.T) {
+	ts, _, engine := newTestServerEngine(t, false, service.Options{Workers: 2, SweepWorkers: 4})
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pInfo := uploadTable(t, ts.URL, "P", sc.P)
+	qInfo := uploadTable(t, ts.URL, "Q", sc.Q)
+	st := submitJob(t, ts.URL, service.Spec{
+		Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
+		MinK: 2, MaxK: 16,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	})
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+	// Connected and subscribed to a still-pending job; now let it run.
+	engine.Start()
+
+	var events []service.Event
+	for _, data := range sseData(t, resp.Body) {
+		var ev service.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad event payload %q: %v", data, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) < 3 {
+		t.Fatalf("stream delivered %d events, want ≥ 2 levels + terminal", len(events))
+	}
+	levels, terminal := events[:len(events)-1], events[len(events)-1]
+	if len(levels) < 2 {
+		t.Fatalf("saw %d level events before the terminal status, want ≥ 2", len(levels))
+	}
+	lastProgress := 0.0
+	for i, ev := range levels {
+		if ev.Type != service.EventLevel || ev.Level == nil {
+			t.Fatalf("event %d is %q, want an in-stream level event", i, ev.Type)
+		}
+		if ev.Level.K != i+2 {
+			t.Errorf("level event %d has k=%d, want %d", i, ev.Level.K, i+2)
+		}
+		if ev.Progress <= lastProgress {
+			t.Errorf("k=%d: progress %g did not advance past %g", ev.Level.K, ev.Progress, lastProgress)
+		}
+		lastProgress = ev.Progress
+		if i >= 2 && ev.Calibration == nil {
+			t.Errorf("k=%d: missing running calibration", ev.Level.K)
+		}
+	}
+	if terminal.Type != service.EventStatus || terminal.Status == nil {
+		t.Fatalf("last event is %q, want the terminal status", terminal.Type)
+	}
+	if terminal.Status.State != service.StateDone {
+		t.Fatalf("job ended %s: %s", terminal.Status.State, terminal.Status.Error)
+	}
+	if optK := int(terminal.Status.Summary["optimal_k"]); optK < 2 || optK > 16 {
+		t.Fatalf("optimal k %d outside the sweep range", optK)
+	}
+	// The status endpoint agrees and carries the final per-level series.
+	final := pollJob(t, ts.URL, st.ID)
+	if len(final.Levels) != len(levels) {
+		t.Fatalf("status has %d levels, stream delivered %d", len(final.Levels), len(levels))
+	}
+}
+
+// TestJobEventStreamCancelMidSweep cancels a long sweep after its first
+// level event and requires the NDJSON event stream to end promptly with a
+// canceled terminal status. The stream is connected before the engine
+// starts, so the cancel provably lands with ~98 of 99 levels still unswept.
+func TestJobEventStreamCancelMidSweep(t *testing.T) {
+	// One worker and one sweep worker: the sweep runs serially (slow, on a
+	// big cohort) and leaves the scheduler room for the stream reads and the
+	// cancel round-trip even on a single-CPU machine.
+	ts, _, engine := newTestServerEngine(t, false, service.Options{Workers: 1, SweepWorkers: 1})
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pInfo := uploadTable(t, ts.URL, "P", sc.P)
+	qInfo := uploadTable(t, ts.URL, "Q", sc.Q)
+	st := submitJob(t, ts.URL, service.Spec{
+		Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
+		MinK: 2, MaxK: 100,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	})
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q, want application/x-ndjson", ct)
+	}
+	engine.Start()
+
+	// Read events line by line; cancel over HTTP at the first level event,
+	// then require the stream to terminate within a tight deadline — ~98
+	// levels were still unswept, so a prompt EOF proves the cancellation
+	// interrupted the sweep rather than waiting it out.
+	var canceledAt time.Time
+	var terminal *service.Event
+	levelEvents := 0
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		var ev service.Event
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("bad ndjson line %q: %v", scanner.Text(), err)
+		}
+		switch ev.Type {
+		case service.EventLevel:
+			levelEvents++
+			if canceledAt.IsZero() {
+				cancelResp, err := http.Post(ts.URL+"/v1/jobs/"+st.ID+"/cancel", "", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cancelResp.Body.Close()
+				if cancelResp.StatusCode != http.StatusAccepted {
+					t.Fatalf("cancel status %d", cancelResp.StatusCode)
+				}
+				canceledAt = time.Now()
+			}
+		case service.EventStatus:
+			terminal = &ev
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	if levelEvents == 0 || canceledAt.IsZero() {
+		t.Fatal("no level event arrived before the sweep finished")
+	}
+	if terminal == nil {
+		t.Fatal("stream ended without a terminal status event")
+	}
+	if terminal.Status.State != service.StateCanceled {
+		t.Fatalf("terminal state %s, want canceled", terminal.Status.State)
+	}
+	if waited := time.Since(canceledAt); waited > 30*time.Second {
+		t.Fatalf("stream took %s to end after cancel", waited)
+	}
+	if levelEvents >= 99 {
+		t.Fatalf("stream delivered %d level events after a mid-sweep cancel", levelEvents)
 	}
 }
 

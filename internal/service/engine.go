@@ -23,7 +23,7 @@ type Options struct {
 	// Workers is the size of the job worker pool (default: NumCPU).
 	Workers int
 	// SweepWorkers bounds the intra-job concurrency of a fred-sweep's
-	// core.SweepParallel calls (default: Workers).
+	// core.SweepStream executor (default: Workers).
 	SweepWorkers int
 	// QueueDepth bounds the pending-job queue; submissions beyond it fail
 	// fast with ErrQueueFull (default: 256).
@@ -66,9 +66,11 @@ var ErrNotFinished = errors.New("service: job has not finished")
 var ErrAlreadyFinished = errors.New("service: job already finished")
 
 // Engine runs jobs asynchronously on a bounded worker pool. Submit enqueues
-// and returns immediately; callers poll Job / block on Wait, then fetch the
-// payload with Result. Identical submissions (same table contents, same
-// spec) are served from an LRU cache without re-running the sweep.
+// and returns immediately; callers poll Job, block on Wait (which parks on
+// the job's done channel — no polling), or subscribe to Stream for
+// incremental per-level events, then fetch the payload with Result.
+// Identical submissions (same table contents, same spec) are served from an
+// LRU cache without re-running the sweep.
 type Engine struct {
 	store *Store
 	opts  Options
@@ -101,6 +103,11 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+	// events is the append-only per-job event log streamed by Engine.Stream;
+	// notify is closed and replaced at every append (and at finish) to wake
+	// blocked subscribers. Both guarded by mu.
+	events []Event
+	notify chan struct{}
 }
 
 func (j *job) snapshot() Status {
@@ -156,6 +163,11 @@ func (j *job) finish(res *Result, err error) bool {
 		j.status.Error = err.Error()
 	}
 	close(j.done)
+	if err == nil && res != nil && len(res.Levels) > 0 {
+		// Adopt the result's level summaries: they carry the final candidate
+		// flags the streamed partials could not know under auto-calibration.
+		j.status.Levels = res.Levels
+	}
 	// Release the job's child context so finished jobs do not accumulate
 	// on the engine's base context, and drop the captured input tables so
 	// a deleted store table is not pinned for the daemon's lifetime. The
@@ -163,6 +175,8 @@ func (j *job) finish(res *Result, err error) bool {
 	// start() gate.
 	j.cancel()
 	j.p, j.aux = nil, nil
+	// Wake subscribers so they observe the terminal state and close out.
+	j.broadcastLocked()
 	return true
 }
 
@@ -195,7 +209,7 @@ func (e *Engine) Start() {
 					}
 					continue
 				}
-				res, err := e.run(j)
+				res, err := e.run(j.ctx, j)
 				if err == nil {
 					e.cache.Put(j.key, res)
 				}
@@ -301,6 +315,7 @@ func (e *Engine) Submit(spec Spec) (Status, error) {
 		ctx:    ctx,
 		cancel: cancel,
 		done:   make(chan struct{}),
+		notify: make(chan struct{}),
 	}
 	if res, ok := e.cache.Get(j.key); ok {
 		e.seq++
@@ -365,8 +380,10 @@ func (e *Engine) Result(id string) (*Result, error) {
 }
 
 // Cancel cancels a pending or running job. Pending jobs finalize
-// immediately; running jobs stop at their next cancellation point. A job
-// already in a terminal state reports ErrAlreadyFinished.
+// immediately; running jobs stop at their next cancellation point — for a
+// fred-sweep that is between levels, mid-sweep, because the cancellation
+// propagates through the job context into the streaming sweep executor. A
+// job already in a terminal state reports ErrAlreadyFinished.
 func (e *Engine) Cancel(id string) error {
 	j, err := e.get(id)
 	if err != nil {
@@ -411,7 +428,10 @@ func (e *Engine) Delete(id string) error {
 	return nil
 }
 
-// Wait blocks until the job reaches a terminal state or ctx expires.
+// Wait blocks until the job reaches a terminal state or ctx expires. It
+// parks on the job's done channel (closed exactly once by finish), so a
+// cancellation that interrupts a sweep mid-flight unblocks every waiter
+// immediately — there is no polling loop or sleep anywhere on this path.
 func (e *Engine) Wait(ctx context.Context, id string) (Status, error) {
 	j, err := e.get(id)
 	if err != nil {
@@ -437,16 +457,20 @@ func (e *Engine) get(id string) (*job, error) {
 
 // --- job execution ----------------------------------------------------------
 
-func (e *Engine) run(j *job) (*Result, error) {
+// run dispatches a started job. ctx is the job's cancellation context,
+// threaded through every workload so Cancel (and engine shutdown) interrupts
+// work mid-flight — for sweeps, between levels — rather than only between
+// jobs.
+func (e *Engine) run(ctx context.Context, j *job) (*Result, error) {
 	switch j.spec.Type {
 	case JobAnonymize:
-		return e.runAnonymize(j)
+		return e.runAnonymize(ctx, j)
 	case JobAttack:
-		return e.runAttack(j)
+		return e.runAttack(ctx, j)
 	case JobFREDSweep:
-		return e.runFREDSweep(j)
+		return e.runFREDSweep(ctx, j)
 	case JobAssess:
-		return e.runAssess(j)
+		return e.runAssess(ctx, j)
 	default:
 		return nil, fmt.Errorf("service: unknown job type %q", j.spec.Type)
 	}
@@ -478,8 +502,8 @@ func release(p *dataset.Table, anon core.Anonymizer, k int) (*dataset.Table, err
 	return out.WithSuppressed(out.Schema().IndicesOf(dataset.Sensitive)...), nil
 }
 
-func (e *Engine) runAnonymize(j *job) (*Result, error) {
-	if err := j.ctx.Err(); err != nil {
+func (e *Engine) runAnonymize(ctx context.Context, j *job) (*Result, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	rel, err := release(j.p, anonymizerFor(j.spec.Scheme), j.spec.K)
@@ -489,13 +513,13 @@ func (e *Engine) runAnonymize(j *job) (*Result, error) {
 	return &Result{Table: rel}, nil
 }
 
-func (e *Engine) runAttack(j *job) (*Result, error) {
+func (e *Engine) runAttack(ctx context.Context, j *job) (*Result, error) {
 	rel, err := release(j.p, anonymizerFor(j.spec.Scheme), j.spec.K)
 	if err != nil {
 		return nil, err
 	}
 	j.setProgress(0.5)
-	if err := j.ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	phat, before, after, err := core.Attack(j.p, rel, j.spec.attackConfig(j.aux))
@@ -505,7 +529,7 @@ func (e *Engine) runAttack(j *job) (*Result, error) {
 	return &Result{Table: phat, Before: before, After: after}, nil
 }
 
-func (e *Engine) runAssess(j *job) (*Result, error) {
+func (e *Engine) runAssess(ctx context.Context, j *job) (*Result, error) {
 	sens := j.p.Schema().NamesOf(dataset.Sensitive)
 	if len(sens) != 1 {
 		return nil, fmt.Errorf("service: assess needs exactly one sensitive column, table has %d", len(sens))
@@ -515,7 +539,7 @@ func (e *Engine) runAssess(j *job) (*Result, error) {
 		return nil, err
 	}
 	j.setProgress(0.4)
-	if err := j.ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	phat, _, _, err := core.Attack(j.p, rel, j.spec.attackConfig(j.aux))
@@ -531,38 +555,45 @@ func (e *Engine) runAssess(j *job) (*Result, error) {
 }
 
 // runFREDSweep is Algorithm 1 as a service job: the level sweep runs through
-// core.SweepParallel in chunks of SweepWorkers so cancellation and progress
-// have a checkpoint between chunks, then the threshold filter and the
-// H-objective argmax pick the fusion-resilient release.
-func (e *Engine) runFREDSweep(j *job) (*Result, error) {
+// core.SweepStream on SweepWorkers workers, so levels arrive in k order as
+// they complete. Each completed level advances progress, is stored on the
+// running job as a partial result, and is published to Engine.Stream
+// subscribers together with the running threshold calibration over the
+// prefix. Cancellation interrupts the sweep between levels. The threshold
+// filter and the H-objective argmax then pick the fusion-resilient release.
+//
+// The selection deliberately differs from core.Run/Decide: the service
+// sweeps the full requested range (the client asked for — and receives —
+// the whole series) and filters candidacy by BOTH thresholds, where
+// Algorithm 1 truncates the sweep at the first level below Tu and filters
+// by Tp alone. On a non-monotone utility series the two can admit
+// different candidate sets.
+func (e *Engine) runFREDSweep(ctx context.Context, j *job) (*Result, error) {
 	sp := j.spec
-	anon := anonymizerFor(sp.Scheme)
-	atk := sp.attackConfig(j.aux)
 	total := sp.MaxK - sp.MinK + 1
-	chunk := e.opts.SweepWorkers
+	// With explicit thresholds, per-level candidacy is decidable as levels
+	// stream; under auto-calibration it is settled only after the sweep.
+	explicit := sp.Tp != 0 || sp.Tu != 0
 	var levels []core.LevelResult
-	for lo := sp.MinK; lo <= sp.MaxK; lo += chunk {
-		if err := j.ctx.Err(); err != nil {
-			return nil, err
+	err := core.SweepStream(ctx, j.p, core.StreamConfig{
+		Anonymizer: anonymizerFor(sp.Scheme),
+		Attack:     sp.attackConfig(j.aux),
+		MinK:       sp.MinK,
+		MaxK:       sp.MaxK,
+		Workers:    e.opts.SweepWorkers,
+	}, func(lr core.LevelResult) error {
+		levels = append(levels, lr)
+		ls := summarizeLevel(lr)
+		ls.Candidate = explicit && lr.After >= sp.Tp && lr.Utility >= sp.Tu
+		var cal *Calibration
+		if tp, tu, calErr := core.CalibrateThresholds(levels); calErr == nil {
+			cal = &Calibration{Tp: tp, Tu: tu}
 		}
-		hi := lo + chunk - 1
-		if hi > sp.MaxK {
-			hi = sp.MaxK
-		}
-		part, err := core.SweepParallel(j.p, anon, atk, lo, hi, e.opts.SweepWorkers)
-		if err != nil {
-			// Only "k exceeds the table" at a chunk boundary ends the
-			// series; any other error fails the job.
-			if len(levels) > 0 && core.EndsSweep(err) {
-				break
-			}
-			return nil, err
-		}
-		levels = append(levels, part...)
-		j.setProgress(0.95 * float64(len(levels)) / float64(total))
-		if len(part) < hi-lo+1 {
-			break
-		}
+		j.recordLevel(ls, cal, 0.95*float64(len(levels))/float64(total))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	tp, tu := sp.Tp, sp.Tu

@@ -321,6 +321,230 @@ func TestDeleteRunningJobRefused(t *testing.T) {
 	}
 }
 
+// collectEvents drains a Stream subscription to completion and returns the
+// level events and the terminal status event.
+func collectEvents(t *testing.T, ch <-chan service.Event) ([]service.Event, service.Event) {
+	t.Helper()
+	var levels []service.Event
+	var terminal service.Event
+	sawTerminal := false
+	timeout := time.After(60 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				if !sawTerminal {
+					t.Fatal("stream closed without a terminal status event")
+				}
+				return levels, terminal
+			}
+			if sawTerminal {
+				t.Fatalf("event %q after the terminal status event", ev.Type)
+			}
+			switch ev.Type {
+			case service.EventLevel:
+				if ev.Level == nil {
+					t.Fatal("level event without a level payload")
+				}
+				levels = append(levels, ev)
+			case service.EventStatus:
+				if ev.Status == nil || !ev.Status.State.Terminal() {
+					t.Fatalf("status event not terminal: %+v", ev.Status)
+				}
+				terminal = ev
+				sawTerminal = true
+			default:
+				t.Fatalf("unknown event type %q", ev.Type)
+			}
+		case <-timeout:
+			t.Fatal("stream did not complete in time")
+		}
+	}
+}
+
+// TestStreamDeliversOrderedLevels: a Stream subscription on a running sweep
+// sees every level in k order with per-level progress advancing, running
+// calibration once three levels are in, and a terminal done status.
+func TestStreamDeliversOrderedLevels(t *testing.T) {
+	e, p, q, _ := testFixture(t, service.Options{Workers: 2, SweepWorkers: 4})
+	e.Start()
+	st, err := e.Submit(sweepSpec(p, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	ch, err := e.Stream(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, terminal := collectEvents(t, ch)
+	if len(levels) < 2 {
+		t.Fatalf("saw %d level events, want ≥ 2", len(levels))
+	}
+	prevProgress := 0.0
+	for i, ev := range levels {
+		if ev.Level.K != i+2 {
+			t.Errorf("level event %d has k=%d, want %d (k-order)", i, ev.Level.K, i+2)
+		}
+		if ev.Progress <= prevProgress {
+			t.Errorf("k=%d: progress %g did not advance past %g (per-level granularity)",
+				ev.Level.K, ev.Progress, prevProgress)
+		}
+		prevProgress = ev.Progress
+		if i >= 2 && ev.Calibration == nil {
+			t.Errorf("k=%d: no running calibration after ≥ 3 levels", ev.Level.K)
+		}
+	}
+	if terminal.Status.State != service.StateDone {
+		t.Fatalf("terminal state %s (%s), want done", terminal.Status.State, terminal.Status.Error)
+	}
+	// The terminal snapshot carries the final level series with candidate
+	// flags settled by calibration.
+	if len(terminal.Status.Levels) != len(levels) {
+		t.Errorf("terminal status has %d levels, stream delivered %d",
+			len(terminal.Status.Levels), len(levels))
+	}
+	anyCandidate := false
+	for _, ls := range terminal.Status.Levels {
+		anyCandidate = anyCandidate || ls.Candidate
+	}
+	if !anyCandidate {
+		t.Error("no candidate levels in the finished sweep's series")
+	}
+}
+
+// TestStreamReplaysFinishedAndCachedJobs: subscribing after completion (or
+// to a cache-hit job whose levels never streamed) replays the full series
+// before the terminal status.
+func TestStreamReplaysFinishedAndCachedJobs(t *testing.T) {
+	e, p, q, _ := testFixture(t, service.Options{Workers: 2, SweepWorkers: 4})
+	e.Start()
+	st, err := e.Submit(sweepSpec(p, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, e, st.ID)
+	if st.State != service.StateDone {
+		t.Fatalf("state %s (%s)", st.State, st.Error)
+	}
+	want := int(st.Summary["levels"])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ch, err := e.Stream(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, terminal := collectEvents(t, ch)
+	if len(levels) != want {
+		t.Fatalf("replay delivered %d level events, want %d", len(levels), want)
+	}
+	if terminal.Status.State != service.StateDone {
+		t.Fatalf("terminal state %s", terminal.Status.State)
+	}
+
+	// The identical resubmission finishes instantly from the cache; its
+	// stream still replays the level series.
+	st2, err := e.Submit(sweepSpec(p, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatal("resubmission must hit the cache")
+	}
+	ch2, err := e.Stream(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels2, terminal2 := collectEvents(t, ch2)
+	if len(levels2) != want {
+		t.Fatalf("cached replay delivered %d level events, want %d", len(levels2), want)
+	}
+	if terminal2.Status.State != service.StateDone || !terminal2.Status.Cached {
+		t.Fatalf("cached terminal: state %s cached %v", terminal2.Status.State, terminal2.Status.Cached)
+	}
+}
+
+// TestCancelRunningSweepMidFlight: cancelling a running fred-sweep
+// propagates through the job context into the streaming executor, ending the
+// job (and every Wait and Stream on it) promptly, with the partial level
+// series preserved on the status.
+func TestCancelRunningSweepMidFlight(t *testing.T) {
+	// A big cohort and a wide range keep the sweep busy long enough that the
+	// cancel provably lands mid-flight.
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := service.NewStore()
+	pInfo, err := store.Put("P", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qInfo, err := store.Put("Q", sc.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := service.NewEngine(store, service.Options{Workers: 1, SweepWorkers: 2})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		e.Shutdown(ctx)
+	})
+
+	st, err := e.Submit(service.Spec{
+		Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
+		MinK: 2, MaxK: 100,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Subscribe while the job is still pending, then start the workers and
+	// cancel as soon as the first level lands: the sweep still has ~98
+	// levels to go, so a canceled terminal state can only mean mid-sweep
+	// interruption.
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	ch, err := e.Stream(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	var sawLevel bool
+	for ev := range ch {
+		if ev.Type == service.EventLevel && !sawLevel {
+			sawLevel = true
+			if err := e.Cancel(st.ID); err != nil {
+				t.Fatalf("cancel running job: %v", err)
+			}
+		}
+		if ev.Type == service.EventStatus {
+			if ev.Status.State != service.StateCanceled {
+				t.Fatalf("terminal state %s, want canceled (cancel did not interrupt the sweep)", ev.Status.State)
+			}
+		}
+	}
+	if !sawLevel {
+		t.Fatal("no level event before the job finished")
+	}
+
+	// Wait unblocks immediately on the done channel, and the partial levels
+	// survive on the canceled status.
+	st = waitDone(t, e, st.ID)
+	if st.State != service.StateCanceled {
+		t.Fatalf("state %s, want canceled", st.State)
+	}
+	if len(st.Levels) == 0 || len(st.Levels) >= 99 {
+		t.Fatalf("canceled sweep kept %d partial levels, want a strict mid-sweep prefix", len(st.Levels))
+	}
+	if _, err := e.Result(st.ID); err == nil {
+		t.Fatal("canceled job must not yield a result")
+	}
+}
+
 func TestFinishedJobRetention(t *testing.T) {
 	e, p, _, _ := testFixture(t, service.Options{Workers: 1, CacheSize: -1, MaxFinishedJobs: 3})
 	e.Start()

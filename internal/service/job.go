@@ -140,10 +140,15 @@ type Status struct {
 	Error  string `json:"error,omitempty"`
 	// Summary carries the headline numbers of a finished job (optimal k,
 	// dissimilarities, breach rates, …) keyed by metric name.
-	Summary  map[string]float64 `json:"summary,omitempty"`
-	Created  time.Time          `json:"created"`
-	Started  *time.Time         `json:"started,omitempty"`
-	Finished *time.Time         `json:"finished,omitempty"`
+	Summary map[string]float64 `json:"summary,omitempty"`
+	// Levels holds the per-level partial results of a fred-sweep, appended
+	// as each level completes — a poll mid-sweep sees the series so far. On
+	// completion it is replaced by the final summaries, whose candidate
+	// flags reflect the (possibly auto-calibrated) thresholds.
+	Levels   []LevelSummary `json:"levels,omitempty"`
+	Created  time.Time      `json:"created"`
+	Started  *time.Time     `json:"started,omitempty"`
+	Finished *time.Time     `json:"finished,omitempty"`
 }
 
 // LevelSummary is the JSON-friendly projection of one core.LevelResult —
@@ -204,13 +209,17 @@ func (r *Result) summarize(t JobType) map[string]float64 {
 	return m
 }
 
+func summarizeLevel(lr core.LevelResult) LevelSummary {
+	return LevelSummary{
+		K: lr.K, Before: lr.Before, After: lr.After,
+		Gain: lr.Gain, Utility: lr.Utility, Candidate: lr.Candidate,
+	}
+}
+
 func summarizeLevels(levels []core.LevelResult) []LevelSummary {
 	out := make([]LevelSummary, len(levels))
 	for i, lr := range levels {
-		out[i] = LevelSummary{
-			K: lr.K, Before: lr.Before, After: lr.After,
-			Gain: lr.Gain, Utility: lr.Utility, Candidate: lr.Candidate,
-		}
+		out[i] = summarizeLevel(lr)
 	}
 	return out
 }

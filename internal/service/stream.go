@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+)
+
+// EventType discriminates streamed job events.
+type EventType string
+
+// The event types. A job's stream is zero or more level events followed by
+// exactly one status event carrying the terminal snapshot.
+const (
+	// EventLevel reports one completed sweep level, in ascending k order.
+	EventLevel EventType = "level"
+	// EventStatus carries the terminal status snapshot and always closes the
+	// stream.
+	EventStatus EventType = "status"
+)
+
+// Calibration carries the running threshold calibration — CalibrateThresholds
+// over the levels streamed so far. It accompanies level events once at least
+// three levels have completed, so a subscriber watching a long sweep sees
+// where the thresholds are converging before the sweep ends.
+type Calibration struct {
+	Tp float64 `json:"tp"`
+	Tu float64 `json:"tu"`
+}
+
+// Event is one incremental update from a job's execution, delivered through
+// Engine.Stream and the GET /v1/jobs/{id}/events endpoint.
+type Event struct {
+	Type EventType `json:"type"`
+	// Job is the emitting job's ID.
+	Job string `json:"job"`
+	// Level is the completed level for level events. Its Candidate flag is
+	// authoritative only when the job's thresholds were explicit; under
+	// auto-calibration candidacy is decided once the sweep completes and the
+	// terminal result carries the final flags.
+	Level *LevelSummary `json:"level,omitempty"`
+	// Calibration is the running (Tp, Tu) over the prefix, for level events
+	// with ≥ 3 levels behind them.
+	Calibration *Calibration `json:"calibration,omitempty"`
+	// Progress mirrors Status.Progress at emission time.
+	Progress float64 `json:"progress,omitempty"`
+	// Status is the terminal snapshot, set only on status events.
+	Status *Status `json:"status,omitempty"`
+}
+
+// Stream subscribes to a job's event feed. The returned channel first
+// replays every event the job has already recorded (so late subscribers see
+// the full per-level series), then delivers live events as levels complete,
+// then a final status event with the terminal snapshot, and closes. For a
+// job that is already terminal — including cache hits, whose levels were
+// never streamed — the recorded or result-derived levels are replayed before
+// the status event. Cancelling ctx detaches the subscriber; the job itself
+// is unaffected.
+func (e *Engine) Stream(ctx context.Context, id string) (<-chan Event, error) {
+	j, err := e.get(id)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan Event, 8)
+	go func() {
+		defer close(out)
+		i := 0
+		for {
+			evs, notify, terminal := j.eventsSince(i)
+			if terminal && i == 0 && len(evs) == 0 {
+				// Terminal with nothing recorded (a cache hit, or a job that
+				// finished before event recording existed): synthesize the
+				// level series from the result so the stream stays useful.
+				evs = j.replayEvents()
+			}
+			for _, ev := range evs {
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					return
+				}
+				i++
+			}
+			if terminal {
+				st := j.snapshot()
+				select {
+				case out <- Event{Type: EventStatus, Job: st.ID, Progress: st.Progress, Status: &st}:
+				case <-ctx.Done():
+				}
+				return
+			}
+			select {
+			case <-notify:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// eventsSince returns the events recorded at index i and beyond, the channel
+// closed at the next broadcast, and whether the job is terminal. Recorded
+// events are append-only and immutable, so the returned slice is safe to
+// read without the lock.
+func (j *job) eventsSince(i int) ([]Event, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.events[i:], j.notify, j.status.State.Terminal()
+}
+
+// replayEvents synthesizes level events from a terminal job's result, for
+// subscribers to jobs whose levels were never streamed (cache hits).
+func (j *job) replayEvents() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil || len(j.result.Levels) == 0 {
+		return nil
+	}
+	cal := &Calibration{Tp: j.result.Tp, Tu: j.result.Tu}
+	evs := make([]Event, len(j.result.Levels))
+	for i := range j.result.Levels {
+		lev := j.result.Levels[i]
+		evs[i] = Event{
+			Type:        EventLevel,
+			Job:         j.status.ID,
+			Level:       &lev,
+			Calibration: cal,
+			Progress:    j.status.Progress,
+		}
+	}
+	return evs
+}
+
+// recordLevel stores a completed sweep level on the running job, advances
+// progress, and publishes the level event to subscribers. It is a no-op once
+// the job is terminal (a cancel can race the last in-flight level).
+func (j *job) recordLevel(ls LevelSummary, cal *Calibration, progress float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State.Terminal() {
+		return
+	}
+	j.status.Levels = append(j.status.Levels, ls)
+	j.status.Progress = progress
+	lev := ls
+	j.events = append(j.events, Event{
+		Type:        EventLevel,
+		Job:         j.status.ID,
+		Level:       &lev,
+		Calibration: cal,
+		Progress:    progress,
+	})
+	j.broadcastLocked()
+}
+
+// broadcastLocked wakes every subscriber blocked on the current notify
+// channel. Callers must hold j.mu.
+func (j *job) broadcastLocked() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
