@@ -1,16 +1,27 @@
-// Command served runs the anonymization service daemon: the in-memory table
-// store and async job engine of internal/service behind the REST API of
+// Command served runs the anonymization service daemon: the table store and
+// async job engine of internal/service behind the REST API of
 // internal/httpapi.
 //
 //	served -addr :8080 -workers 8 -cache 64
+//	served -addr :8080 -data-dir /var/lib/served -table-ttl 72h
 //
 // Upload tables as two-header CSV, submit anonymize / attack / fred-sweep /
 // assess jobs, poll, download results (see the repository README for curl
 // examples). Sweeps execute on the streaming pipeline: follow a running
 // job's per-level results live on GET /v1/jobs/{id}/events (Server-Sent
-// Events; NDJSON with Accept: application/x-ndjson), or poll its status for
-// the partial level series. Cancellation interrupts a sweep between levels,
-// not just between jobs. SIGINT/SIGTERM drain in-flight jobs before exit.
+// Events; NDJSON with Accept: application/x-ndjson), reconnect with
+// Last-Event-ID / ?after= to skip the replay, or poll its status for the
+// partial level series. Cancellation interrupts a sweep between levels, not
+// just between jobs. SIGINT/SIGTERM drain in-flight jobs before exit.
+//
+// With -data-dir the storage plane is durable: tables persist as columnar
+// snapshots, the job log as a write-ahead log with per-level sweep
+// checkpoints. After a crash — kill -9 included — the next boot reloads
+// every table, restores finished jobs (results included) and re-submits
+// interrupted fred-sweeps with a resume point, so they continue from their
+// last checkpointed level and finish byte-identical to an uninterrupted
+// run. -table-ttl evicts tables unreferenced by live jobs after the given
+// age.
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 
 	"repro/internal/httpapi"
 	"repro/internal/service"
+	"repro/internal/service/diskstore"
 )
 
 func main() {
@@ -37,28 +49,92 @@ func main() {
 		queue    = flag.Int("queue", 256, "pending job queue depth")
 		retain   = flag.Int("retain", 512, "finished jobs kept in the job log (negative keeps all)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		dataDir  = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+		tableTTL = flag.Duration("table-ttl", 0, "evict tables unreferenced by live jobs after this age (0 disables)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "served ", log.LstdFlags)
-	store := service.NewStore()
-	engine := service.NewEngine(store, service.Options{
+
+	opts := service.Options{
 		Workers:         *workers,
 		SweepWorkers:    *sweepers,
 		QueueDepth:      *queue,
 		CacheSize:       *cache,
 		MaxFinishedJobs: *retain,
-	})
+	}
+	var store *service.Store
+	var ds *diskstore.Store
+	if *dataDir != "" {
+		var err error
+		if ds, err = diskstore.Open(*dataDir); err != nil {
+			logger.Fatalf("open data dir: %v", err)
+		}
+		store = service.NewStoreWith(ds)
+		opts.JobLog = ds
+	} else {
+		store = service.NewStore()
+	}
+	if err := store.Open(); err != nil {
+		logger.Fatalf("load tables: %v", err)
+	}
+	engine := service.NewEngine(store, opts)
+	// Recover before Start and before serving: restored jobs reclaim their
+	// IDs and interrupted sweeps enqueue with their resume points.
+	recovered, err := engine.Recover()
+	if err != nil {
+		logger.Fatalf("recover job log: %v", err)
+	}
+	if *dataDir != "" {
+		resumed := 0
+		for _, rj := range recovered {
+			if rj.Resumed {
+				resumed++
+				if n := len(rj.Status.Levels); n > 0 {
+					logger.Printf("resuming interrupted %s %s at k=%d (%d levels checkpointed)",
+						rj.Status.Type, rj.Status.ID, rj.Status.Levels[n-1].K+1, n)
+				} else {
+					logger.Printf("re-running interrupted %s %s from the start", rj.Status.Type, rj.Status.ID)
+				}
+			}
+		}
+		logger.Printf("recovered %d tables, %d jobs (%d resumed) from %s",
+			len(store.List()), len(recovered), resumed, *dataDir)
+	}
 	engine.Start()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *tableTTL > 0 {
+		interval := *tableTTL / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		if interval > time.Minute {
+			interval = time.Minute
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					for _, info := range engine.EvictTables(*tableTTL) {
+						logger.Printf("evicted table %s (%s, age > %s)", info.ID, info.Name, *tableTTL)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           httpapi.New(store, engine, logger),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -78,6 +154,11 @@ func main() {
 	}
 	if err := engine.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Printf("engine shutdown: %v", err)
+	}
+	if ds != nil {
+		if err := ds.Close(); err != nil {
+			logger.Printf("close data dir: %v", err)
+		}
 	}
 	logger.Printf("bye")
 }

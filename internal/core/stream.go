@@ -24,6 +24,14 @@ type StreamConfig struct {
 	Attack AttackConfig
 	// MinK and MaxK bound the sweep (MinK ≥ 2, MaxK ≥ MinK).
 	MinK, MaxK int
+	// StartK, when non-zero, resumes the sweep mid-range: levels in
+	// [MinK, StartK) are neither evaluated nor emitted — the caller already
+	// holds them, e.g. replayed from durable checkpoints — and emission
+	// begins at StartK. Must satisfy MinK ≤ StartK ≤ MaxK; zero starts at
+	// MinK. The early-stop rule still anchors at MinK: a resumed first level
+	// outgrowing the table ends the series cleanly rather than erroring,
+	// because lower levels exist in the caller's seed.
+	StartK int
 	// Workers bounds level concurrency; 0 means one worker per level.
 	// Whatever the worker count, levels are emitted in ascending k order.
 	Workers int
@@ -42,7 +50,9 @@ type StreamConfig struct {
 // Invariants:
 //
 //   - Emission is k-ordered and gap-free: emit(k) happens only after every
-//     level in [MinK, k] was emitted or the sweep ended.
+//     level in [MinK, k] was emitted or the sweep ended. A resume point
+//     (StartK) shifts the series start: emission is then gap-free over
+//     [StartK, k], the caller holding [MinK, StartK) from its checkpoints.
 //   - Early stop: a level above MinK failing with the "k exceeds the table"
 //     condition (EndsSweep) ends the series cleanly — emit never sees it and
 //     SweepStream returns nil. The same condition at MinK is an error.
@@ -64,10 +74,17 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 	if minK < 2 || maxK < minK {
 		return fmt.Errorf("core: invalid sweep range [%d, %d]", minK, maxK)
 	}
+	first := minK
+	if cfg.StartK != 0 {
+		if cfg.StartK < minK || cfg.StartK > maxK {
+			return fmt.Errorf("core: resume point StartK=%d outside sweep range [%d, %d]", cfg.StartK, minK, maxK)
+		}
+		first = cfg.StartK
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	n := maxK - minK + 1
+	n := maxK - first + 1
 	workers := cfg.Workers
 	if workers <= 0 || workers > n {
 		workers = n
@@ -81,7 +98,7 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 	// workers that speculation is inherent — in-flight levels above a stop
 	// are cancelled and discarded.
 	if workers == 1 {
-		for k := minK; k <= maxK; k++ {
+		for k := first; k <= maxK; k++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -122,7 +139,7 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 	go func() {
 		defer wg.Done()
 		defer close(ks)
-		for k := minK; k <= maxK; k++ {
+		for k := first; k <= maxK; k++ {
 			select {
 			case ks <- k:
 			case <-ctx.Done():
@@ -152,7 +169,7 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 	// Reorder buffer: results arrive in completion order, levels leave in k
 	// order.
 	pending := make(map[int]slot, workers)
-	for next := minK; next <= maxK; {
+	for next := first; next <= maxK; {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -12,11 +13,24 @@ import (
 // terminal status — as Server-Sent Events, or as newline-delimited JSON when
 // the client asks for it (Accept: application/x-ndjson). The stream replays
 // everything the job has already emitted, so subscribing late (or to a
-// finished job) still yields the full series. The connection closes when
-// the job reaches a terminal state or the client disconnects; a cancel
-// mid-sweep ends the stream promptly with a terminal status event.
+// finished job) still yields the full series.
+//
+// Streams are resumable: every event carries a monotonic sequence number
+// (the SSE id: field, also the "seq" JSON field), and a reconnecting client
+// presenting it — the standard Last-Event-ID header an EventSource sends
+// automatically, or an explicit ?after=<seq> query parameter — skips the
+// already-delivered replay. The sequence numbers are durable: they survive a
+// server restart, so a cursor taken before a crash stays valid after
+// recovery. The connection closes when the job reaches a terminal state or
+// the client disconnects; a cancel mid-sweep ends the stream promptly with a
+// terminal status event.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	events, err := s.engine.Stream(r.Context(), r.PathValue("id"))
+	after, err := resumeCursor(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	events, err := s.engine.StreamAfter(r.Context(), r.PathValue("id"), after)
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -49,10 +63,35 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		} else {
+			if ev.Seq != 0 {
+				if _, err := fmt.Fprintf(w, "id: %d\n", ev.Seq); err != nil {
+					return
+				}
+			}
 			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, payload); err != nil {
 				return
 			}
 		}
 		flush()
 	}
+}
+
+// resumeCursor extracts the resume sequence from the SSE Last-Event-ID
+// header or ?after=. The header wins when both are present: an EventSource
+// reconnects to its original URL (a possibly stale ?after=) but advances
+// Last-Event-ID to the newest event it processed, so the header is always
+// the fresher cursor. Zero means "from the beginning".
+func resumeCursor(r *http.Request) (uint64, error) {
+	raw := strings.TrimSpace(r.Header.Get("Last-Event-ID"))
+	if raw == "" {
+		raw = r.URL.Query().Get("after")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	after, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid resume cursor %q: want the numeric seq of the last received event", raw)
+	}
+	return after, nil
 }

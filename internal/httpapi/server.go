@@ -14,14 +14,19 @@
 //	GET    /v1/jobs/{id}         poll job status (includes per-level partials)
 //	GET    /v1/jobs/{id}/result  download the result (CSV; JSON for assess)
 //	GET    /v1/jobs/{id}/events  stream per-level results live (SSE; NDJSON
-//	                             with Accept: application/x-ndjson)
+//	                             with Accept: application/x-ndjson). Resumable:
+//	                             pass Last-Event-ID or ?after=<seq> to skip
+//	                             already-delivered events after a reconnect
 //	POST   /v1/jobs/{id}/cancel  cancel a pending or running job
 //	DELETE /v1/jobs/{id}         purge a terminal job (409 while running)
 //	GET    /v1/healthz           liveness probe
 //
 // The engine also evicts the oldest finished jobs beyond its retention
 // limit (service.Options.MaxFinishedJobs), so the job log stays bounded
-// even without explicit DELETEs.
+// even without explicit DELETEs. When the service runs on the durable
+// storage plane (served -data-dir), tables, finished jobs and sweep
+// checkpoints additionally survive restarts, and event sequence numbers
+// stay valid across them.
 package httpapi
 
 import (

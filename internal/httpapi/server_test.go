@@ -636,3 +636,110 @@ func TestEndToEndFREDSweep(t *testing.T) {
 		t.Fatalf("cache returned different optimum: %v vs %d", st2.Summary["optimal_k"], optK)
 	}
 }
+
+// fetchEvents reads a full event stream (NDJSON for easy parsing) with the
+// given resume cursor headers/query and returns the decoded events.
+func fetchEvents(t *testing.T, baseURL, id, query, lastEventID string) []service.Event {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, baseURL+"/v1/jobs/"+id+"/events"+query, nil)
+	req.Header.Set("Accept", "application/x-ndjson")
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	var events []service.Event
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		if len(strings.TrimSpace(scanner.Text())) == 0 {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("bad ndjson line %q: %v", scanner.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// TestJobEventStreamResume: a reconnecting client presenting the seq of the
+// last event it processed — via ?after= or the SSE Last-Event-ID header —
+// skips the already-delivered replay and receives only the events past its
+// cursor, closed by the terminal status.
+func TestJobEventStreamResume(t *testing.T) {
+	ts, _ := newTestServer(t, true)
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pInfo := uploadTable(t, ts.URL, "P", sc.P)
+	qInfo := uploadTable(t, ts.URL, "Q", sc.Q)
+	st := submitJob(t, ts.URL, service.Spec{
+		Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
+		MinK: 2, MaxK: 10,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	})
+	if st = pollJob(t, ts.URL, st.ID); st.State != service.StateDone {
+		t.Fatalf("sweep ended %s: %s", st.State, st.Error)
+	}
+
+	full := fetchEvents(t, ts.URL, st.ID, "", "")
+	if len(full) < 4 {
+		t.Fatalf("full stream delivered %d events, want ≥ 3 levels + terminal", len(full))
+	}
+	levels := full[:len(full)-1]
+	for i, ev := range levels {
+		if ev.Type != service.EventLevel || ev.Seq == 0 {
+			t.Fatalf("level event %d lacks a resume seq: %+v", i, ev)
+		}
+		if i > 0 && ev.Seq <= levels[i-1].Seq {
+			t.Fatalf("event seqs not increasing: %d after %d", ev.Seq, levels[i-1].Seq)
+		}
+	}
+
+	// Reconnect as if the connection dropped after the second level.
+	cursor := levels[1].Seq
+	for name, resumed := range map[string][]service.Event{
+		"after-query":   fetchEvents(t, ts.URL, st.ID, fmt.Sprintf("?after=%d", cursor), ""),
+		"last-event-id": fetchEvents(t, ts.URL, st.ID, "", fmt.Sprintf("%d", cursor)),
+	} {
+		wantLevels := len(levels) - 2
+		if len(resumed) != wantLevels+1 {
+			t.Fatalf("%s: resumed stream delivered %d events, want %d levels + terminal",
+				name, len(resumed), wantLevels)
+		}
+		for i, ev := range resumed[:wantLevels] {
+			if ev.Seq != levels[i+2].Seq || ev.Level.K != levels[i+2].Level.K {
+				t.Fatalf("%s: resumed event %d is seq %d k=%d, want seq %d k=%d",
+					name, i, ev.Seq, ev.Level.K, levels[i+2].Seq, levels[i+2].Level.K)
+			}
+		}
+		if last := resumed[len(resumed)-1]; last.Type != service.EventStatus || last.Status == nil {
+			t.Fatalf("%s: resumed stream did not close with a terminal status", name)
+		}
+	}
+
+	// A cursor past everything still yields the terminal status.
+	tail := fetchEvents(t, ts.URL, st.ID, fmt.Sprintf("?after=%d", levels[len(levels)-1].Seq), "")
+	if len(tail) != 1 || tail[0].Type != service.EventStatus {
+		t.Fatalf("cursor-past-all stream = %+v, want only the terminal status", tail)
+	}
+
+	// A malformed cursor is a client error.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/events?after=banana", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed cursor status %d, want 400", resp.StatusCode)
+	}
+}

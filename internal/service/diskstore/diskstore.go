@@ -1,0 +1,429 @@
+// Package diskstore is the disk-backed storage plane behind the service: a
+// service.TableBackend persisting tables as content-addressed columnar
+// snapshots, and a service.JobBackend persisting the job log as a JSON-lines
+// write-ahead log. With both plugged in, `served -data-dir` survives
+// restarts: uploaded tables reload, finished jobs keep their results, and
+// interrupted fred-sweeps resume from their last checkpointed level.
+//
+// Layout under the data directory:
+//
+//	tables/<sha256>.snap   columnar table snapshots (dataset.WriteSnapshot),
+//	                       content-addressed — identical uploads share a file
+//	results/<sha256>.snap  job result tables ("blobs"), same format
+//	tables.json            table metadata (service.TableInfo list), rewritten
+//	                       atomically (tmp + rename) on every change
+//	jobs.wal               the job WAL: one JSON service.WALRecord per line,
+//	                       appended flushed (kill -9 safe), fsynced on
+//	                       terminal records, compacted by Engine.Recover
+//
+// A torn final WAL line — the signature of a crash mid-append — is ignored
+// on replay; corruption anywhere earlier fails recovery loudly.
+package diskstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/service"
+)
+
+// Store implements service.TableBackend and service.JobBackend over one
+// data directory. It is safe for concurrent use.
+type Store struct {
+	dir string
+
+	// mu guards the table metadata (infos + tables.json) and serializes
+	// snapshot dedup against last-reference deletes. walMu guards the WAL
+	// handle. They are deliberately separate: a long table-snapshot upload
+	// must not stall WAL appends — every submission and every running
+	// sweep's checkpoint/event publication goes through the WAL.
+	mu    sync.Mutex
+	infos map[string]service.TableInfo // table id → metadata
+
+	walMu sync.Mutex
+	wal   *os.File
+	lock  *os.File
+}
+
+// Open creates (if needed) and opens a data directory, taking an exclusive
+// lock on it — a second process pointed at the same directory is refused
+// rather than allowed to interleave a divergent history into the WAL. The
+// returned Store serves as both the table backend (service.NewStoreWith)
+// and the job log (service.Options.JobLog).
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"", "tables", "results"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("diskstore: %w", err)
+		}
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, infos: make(map[string]service.TableInfo), lock: lock}
+	if err := s.loadMeta(); err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	s.sweepOrphans()
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		unlockDir(lock)
+		return nil, fmt.Errorf("diskstore: open wal: %w", err)
+	}
+	s.wal = wal
+	return s, nil
+}
+
+// sweepOrphans removes crash debris at boot (best-effort, under the
+// directory lock): temp files a kill between CreateTemp and Rename left
+// behind, and table snapshots no metadata references — a PutTable whose
+// tables.json write never landed. Result blobs are NOT swept here: they are
+// referenced from the job WAL, which this layer does not interpret.
+func (s *Store) sweepOrphans() {
+	for _, pat := range []string{
+		filepath.Join(s.dir, ".meta-*"),
+		filepath.Join(s.dir, "tables", ".snap-*"),
+		filepath.Join(s.dir, "results", ".snap-*"),
+	} {
+		matches, _ := filepath.Glob(pat)
+		for _, m := range matches {
+			os.Remove(m) //nolint:errcheck
+		}
+	}
+	referenced := make(map[string]bool, len(s.infos))
+	for _, info := range s.infos {
+		referenced[info.Hash] = true
+	}
+	snaps, _ := filepath.Glob(filepath.Join(s.dir, "tables", "*.snap"))
+	for _, path := range snaps {
+		hash := strings.TrimSuffix(filepath.Base(path), ".snap")
+		if !referenced[hash] {
+			os.Remove(path) //nolint:errcheck
+		}
+	}
+}
+
+// Close flushes and closes the job WAL and releases the directory lock.
+// Call it after Engine.Shutdown — a graceful exit must not rely on the next
+// crash recovery.
+func (s *Store) Close() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	unlockDir(s.lock)
+	s.lock = nil
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Sync()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.wal = nil
+	return err
+}
+
+func (s *Store) walPath() string  { return filepath.Join(s.dir, "jobs.wal") }
+func (s *Store) metaPath() string { return filepath.Join(s.dir, "tables.json") }
+func (s *Store) tablePath(hash string) string {
+	return filepath.Join(s.dir, "tables", hash+".snap")
+}
+func (s *Store) blobPath(hash string) string {
+	return filepath.Join(s.dir, "results", hash+".snap")
+}
+
+// --- TableBackend -----------------------------------------------------------
+
+// PutTable persists the table as a content-addressed snapshot plus a
+// metadata entry. The snapshot write is atomic (tmp + rename), so a crash
+// mid-upload leaves either the previous state or the complete new one. The
+// whole put runs under s.mu so the dedup check (snapshot already exists)
+// cannot race DeleteTable's last-reference removal of the same hash —
+// otherwise a delete could unlink the file a just-deduped upload's metadata
+// is about to reference.
+func (s *Store) PutTable(rec service.TableRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeSnapshot(s.tablePath(rec.Info.Hash), rec.Table); err != nil {
+		return err
+	}
+	s.infos[rec.Info.ID] = rec.Info
+	return s.writeMetaLocked()
+}
+
+// DeleteTable drops the metadata entry and, when no other table shares the
+// content hash, the snapshot file. Unknown ids are a no-op.
+func (s *Store) DeleteTable(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.infos[id]
+	if !ok {
+		return nil
+	}
+	delete(s.infos, id)
+	shared := false
+	for _, other := range s.infos {
+		if other.Hash == info.Hash {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		if err := os.Remove(s.tablePath(info.Hash)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("diskstore: remove snapshot: %w", err)
+		}
+	}
+	return s.writeMetaLocked()
+}
+
+// LoadTables reloads every persisted table. A metadata entry whose snapshot
+// is missing or corrupt fails the load: a durable store that silently drops
+// tables is worse than one that refuses to start.
+func (s *Store) LoadTables() ([]service.TableRecord, error) {
+	s.mu.Lock()
+	infos := make([]service.TableInfo, 0, len(s.infos))
+	for _, info := range s.infos {
+		infos = append(infos, info)
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	recs := make([]service.TableRecord, 0, len(infos))
+	for _, info := range infos {
+		t, err := s.readSnapshot(s.tablePath(info.Hash))
+		if err != nil {
+			return nil, fmt.Errorf("diskstore: load table %s: %w", info.ID, err)
+		}
+		recs = append(recs, service.TableRecord{Info: info, Table: t})
+	}
+	return recs, nil
+}
+
+// PutBlob persists a result table under its content hash. Existing blobs
+// are left untouched — content addressing makes re-puts no-ops.
+func (s *Store) PutBlob(hash string, t *dataset.Table) error {
+	return s.writeSnapshot(s.blobPath(hash), t)
+}
+
+// GetBlob reloads a result table by content hash.
+func (s *Store) GetBlob(hash string) (*dataset.Table, error) {
+	t, err := s.readSnapshot(s.blobPath(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, &service.ErrNotFound{Kind: "blob", ID: hash}
+	}
+	return t, err
+}
+
+// Durable reports that this backend outlives the process.
+func (s *Store) Durable() bool { return true }
+
+// writeSnapshot writes a columnar snapshot atomically, skipping the write
+// when the content-addressed file already exists.
+func (s *Store) writeSnapshot(path string, t *dataset.Table) error {
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after the rename
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	if err := t.WriteSnapshot(bw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) readSnapshot(path string) (*dataset.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadSnapshot(f)
+}
+
+// loadMeta reads tables.json; a missing file is an empty store.
+func (s *Store) loadMeta() error {
+	raw, err := os.ReadFile(s.metaPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("diskstore: read metadata: %w", err)
+	}
+	var infos []service.TableInfo
+	if err := json.Unmarshal(raw, &infos); err != nil {
+		return fmt.Errorf("diskstore: parse metadata: %w", err)
+	}
+	for _, info := range infos {
+		s.infos[info.ID] = info
+	}
+	return nil
+}
+
+// writeMetaLocked rewrites tables.json atomically. Callers hold s.mu.
+func (s *Store) writeMetaLocked() error {
+	infos := make([]service.TableInfo, 0, len(s.infos))
+	for _, info := range s.infos {
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	raw, err := json.MarshalIndent(infos, "", "  ")
+	if err != nil {
+		return fmt.Errorf("diskstore: marshal metadata: %w", err)
+	}
+	return atomicWrite(s.metaPath(), append(raw, '\n'))
+}
+
+// atomicWrite writes data to path via a synced temp file and rename.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".meta-*")
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+// --- JobBackend -------------------------------------------------------------
+
+// AppendWAL appends one JSON line to the job WAL and flushes it to the OS:
+// appended records survive kill -9. fsync is reserved for SyncWAL (terminal
+// records and shutdown), trading power-loss durability on checkpoints for
+// per-level append cost.
+func (s *Store) AppendWAL(rec *service.WALRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("diskstore: marshal wal record: %w", err)
+	}
+	raw = append(raw, '\n')
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return errors.New("diskstore: wal is closed")
+	}
+	if _, err := s.wal.Write(raw); err != nil {
+		return fmt.Errorf("diskstore: append wal: %w", err)
+	}
+	return nil
+}
+
+// SyncWAL fsyncs the WAL to stable storage.
+func (s *Store) SyncWAL() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// ReplayWAL streams every WAL record to fn in append order. Only an
+// UNTERMINATED final line is forgiven: AppendWAL writes each record in one
+// buffer whose last byte is the newline, so a crash mid-append can persist
+// any prefix of a record but never its trailing newline — a
+// newline-terminated line that fails to parse is genuine corruption (bit
+// rot, sector damage) and fails recovery loudly, wherever it sits.
+func (s *Store) ReplayWAL(fn func(service.WALRecord) error) error {
+	f, err := os.Open(s.walPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("diskstore: open wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	for lineNo := 1; ; lineNo++ {
+		line, err := r.ReadBytes('\n')
+		torn := errors.Is(err, io.EOF) && len(line) > 0
+		if len(bytes.TrimSpace(line)) > 0 {
+			var rec service.WALRecord
+			if uerr := json.Unmarshal(line, &rec); uerr != nil {
+				if torn {
+					// The unterminated final line is the crash's torn
+					// append. Everything before it stands.
+					return nil
+				}
+				return fmt.Errorf("diskstore: wal line %d corrupt: %w", lineNo, uerr)
+			}
+			if ferr := fn(rec); ferr != nil {
+				return ferr
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("diskstore: read wal: %w", err)
+		}
+	}
+}
+
+// CompactWAL atomically replaces the WAL with recs — the live image
+// Engine.Recover computes — and reopens the append handle on the new file.
+func (s *Store) CompactWAL(recs []*service.WALRecord) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("diskstore: marshal wal record: %w", err)
+		}
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if err := atomicWrite(s.walPath(), buf.Bytes()); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		s.wal.Close() //nolint:errcheck // superseded handle, contents already renamed over
+	}
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.wal = nil
+		return fmt.Errorf("diskstore: reopen wal: %w", err)
+	}
+	s.wal = wal
+	return nil
+}

@@ -1,0 +1,713 @@
+package diskstore_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/service"
+	"repro/internal/service/diskstore"
+)
+
+// openPlane opens a full disk-backed storage plane on dir: disk store,
+// table store (loaded), engine (not yet recovered or started).
+func openPlane(t *testing.T, dir string, opts service.Options) (*diskstore.Store, *service.Store, *service.Engine) {
+	t.Helper()
+	ds, err := diskstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+	store := service.NewStoreWith(ds)
+	if err := store.Open(); err != nil {
+		t.Fatal(err)
+	}
+	opts.JobLog = ds
+	engine := service.NewEngine(store, opts)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+	})
+	return ds, store, engine
+}
+
+func fingerprintHex(t *testing.T, tab *dataset.Table) string {
+	t.Helper()
+	h, err := service.HashTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func waitDone(t *testing.T, e *service.Engine, id string) service.Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := e.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("wait %s: %v (state %s)", id, err, st.State)
+	}
+	return st
+}
+
+func sweepSpec(p, q string) service.Spec {
+	return service.Spec{
+		Type: service.JobFREDSweep, Table: p, Aux: q,
+		MinK: 2, MaxK: 10,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	}
+}
+
+// runUninterrupted runs one fred-sweep to completion on a fresh disk plane
+// and returns the data dir, the job ID, the final status and result.
+func runUninterrupted(t *testing.T) (string, string, service.Status, *service.Result) {
+	t.Helper()
+	dir := t.TempDir()
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, store, engine := openPlane(t, dir, service.Options{Workers: 2, SweepWorkers: 2})
+	pInfo, err := store.Put("P", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qInfo, err := store.Put("Q", sc.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	engine.Start()
+	st, err := engine.Submit(sweepSpec(pInfo.ID, qInfo.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, engine, st.ID)
+	if st.State != service.StateDone {
+		t.Fatalf("state %s (%s), want done", st.State, st.Error)
+	}
+	res, err := engine.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shut down and release the directory cleanly so the test can
+	// manipulate it and reopen — the lock refuses concurrent opens.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := engine.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, st.ID, st, res
+}
+
+// TestDiskTableBackendRoundTrip: tables persisted on one plane reload on
+// the next with bit-identical fingerprints; deletes drop the files.
+func TestDiskTableBackendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 7, N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds1, store1, _ := openPlane(t, dir, service.Options{Workers: 1})
+	pInfo, err := store1.Put("P", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qInfo, err := store1.Put("Q", sc.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, store2, _ := openPlane(t, dir, service.Options{Workers: 1})
+	list := store2.List()
+	if len(list) != 2 {
+		t.Fatalf("reloaded %d tables, want 2", len(list))
+	}
+	p2, p2Info, err := store2.Get(pInfo.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2Info.Hash != pInfo.Hash || fingerprintHex(t, p2) != pInfo.Hash {
+		t.Fatal("reloaded table's fingerprint changed")
+	}
+	if !p2.Equal(sc.P) {
+		t.Fatal("reloaded table differs cellwise from the upload")
+	}
+	// A fresh Put must not collide with recovered IDs.
+	extra, err := store2.Put("extra", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra.ID == pInfo.ID || extra.ID == qInfo.ID {
+		t.Fatalf("recovered store reissued handle %s", extra.ID)
+	}
+	// Deleting one of two tables sharing a hash must keep the snapshot.
+	if err := store2.Delete(extra.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store2.Get(pInfo.ID); err != nil {
+		t.Fatalf("delete of duplicate removed the survivor: %v", err)
+	}
+	if err := store2.Delete(pInfo.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tables", pInfo.Hash+".snap")); !os.IsNotExist(err) {
+		t.Fatal("last delete of a hash left its snapshot file behind")
+	}
+}
+
+// TestDiskWALReplayToleratesTornTail: a crash mid-append leaves a torn
+// final line; replay keeps everything before it and ends cleanly.
+func TestDiskWALReplayToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := diskstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := ds.AppendWAL(&service.WALRecord{Seq: uint64(i), Kind: service.WALDelete, JobID: "job-x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: a partial record without its newline.
+	f, err := os.OpenFile(filepath.Join(dir, "jobs.wal"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":4,"kind":"st`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ds2, err := diskstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	var seqs []uint64
+	if err := ds2.ReplayWAL(func(rec service.WALRecord) error {
+		seqs = append(seqs, rec.Seq)
+		return nil
+	}); err != nil {
+		t.Fatalf("torn tail must not fail replay: %v", err)
+	}
+	if len(seqs) != 3 || seqs[2] != 3 {
+		t.Fatalf("replayed seqs %v, want [1 2 3]", seqs)
+	}
+}
+
+// TestRecoverRestoresTerminalJobsDisk: a restart after a clean run restores
+// the finished job — status, levels, result table — and identical
+// resubmissions hit the re-seeded cache.
+func TestRecoverRestoresTerminalJobsDisk(t *testing.T) {
+	dir, jobID, want, wantRes := runUninterrupted(t)
+	wantHash := fingerprintHex(t, wantRes.Table)
+
+	_, store, engine := openPlane(t, dir, service.Options{Workers: 2, SweepWorkers: 2})
+	recovered, err := engine.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Start()
+	if len(recovered) != 1 || recovered[0].Resumed {
+		t.Fatalf("recovered %+v, want one non-resumed terminal job", recovered)
+	}
+	st, err := engine.Job(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone || len(st.Levels) != len(want.Levels) {
+		t.Fatalf("recovered job: state %s with %d levels, want done with %d", st.State, len(st.Levels), len(want.Levels))
+	}
+	res, err := engine.Result(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalK != wantRes.OptimalK ||
+		math.Float64bits(res.Hmax) != math.Float64bits(wantRes.Hmax) ||
+		math.Float64bits(res.Tp) != math.Float64bits(wantRes.Tp) ||
+		math.Float64bits(res.Tu) != math.Float64bits(wantRes.Tu) {
+		t.Fatalf("recovered result scalars differ: %+v vs %+v", res, wantRes)
+	}
+	if res.Table == nil || fingerprintHex(t, res.Table) != wantHash {
+		t.Fatal("recovered result table is not byte-identical to the original")
+	}
+	// The cache was re-seeded: an identical submission is an instant hit.
+	tables := store.List()
+	st2, err := engine.Submit(sweepSpec(tables[0].ID, tables[1].ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatal("identical post-restart submission missed the re-seeded cache")
+	}
+}
+
+// truncateWAL rewrites dir's jobs.wal keeping the submission record and the
+// first keepLevels checkpoints of jobID — the exact on-disk image a SIGKILL
+// between the keepLevels'th and the next checkpoint leaves behind.
+func truncateWAL(t *testing.T, dir, jobID string, keepLevels int) {
+	t.Helper()
+	path := filepath.Join(dir, "jobs.wal")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	levels := 0
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec service.WALRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.JobID != jobID {
+			continue
+		}
+		keep := false
+		switch rec.Kind {
+		case service.WALJob:
+			keep = true
+		case service.WALLevel:
+			if levels < keepLevels {
+				keep = true
+				levels++
+			}
+		}
+		if keep {
+			out.Write(line)
+			out.WriteByte('\n')
+		}
+	}
+	if levels != keepLevels {
+		t.Fatalf("WAL held %d level checkpoints, want ≥ %d to build the crash image", levels, keepLevels)
+	}
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverResumesInterruptedSweepDisk is the crash-recovery acceptance
+// test: a fred-sweep killed after two checkpointed levels (the WAL image a
+// SIGKILL mid-sweep leaves) is re-submitted on the next boot with a StartK
+// resume point, continues from level three, and finishes with a final level
+// series, candidate flags and release table byte-identical to the
+// uninterrupted run.
+func TestRecoverResumesInterruptedSweepDisk(t *testing.T) {
+	dir, jobID, want, wantRes := runUninterrupted(t)
+	wantHash := fingerprintHex(t, wantRes.Table)
+	const checkpointed = 2
+	truncateWAL(t, dir, jobID, checkpointed)
+
+	_, _, engine := openPlane(t, dir, service.Options{Workers: 2, SweepWorkers: 2})
+	recovered, err := engine.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || !recovered[0].Resumed {
+		t.Fatalf("recovered %+v, want one resumed job", recovered)
+	}
+	if got := recovered[0].Status; got.ID != jobID || !got.Resumed || len(got.Levels) != checkpointed {
+		t.Fatalf("resumed job snapshot %+v, want %s seeded with %d levels", got, jobID, checkpointed)
+	}
+
+	// Subscribe before starting the workers: the stream must replay the two
+	// checkpointed levels (original seqs) and then deliver only the resumed
+	// tail live — never a duplicate of the prefix.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	events, err := engine.Stream(ctx, jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Start()
+
+	var ks []int
+	var lastSeq uint64
+	for ev := range events {
+		if ev.Type == service.EventLevel {
+			ks = append(ks, ev.Level.K)
+			if ev.Seq <= lastSeq {
+				t.Fatalf("event seqs not increasing: %d after %d", ev.Seq, lastSeq)
+			}
+			lastSeq = ev.Seq
+		}
+		if ev.Type == service.EventStatus {
+			break
+		}
+	}
+	for i, k := range ks {
+		if k != i+2 {
+			t.Fatalf("streamed ks %v: resumed feed is not the gap-free full series", ks)
+		}
+	}
+	if len(ks) != len(want.Levels) {
+		t.Fatalf("streamed %d levels, want %d", len(ks), len(want.Levels))
+	}
+
+	st := waitDone(t, engine, jobID)
+	if st.State != service.StateDone {
+		t.Fatalf("resumed job state %s (%s), want done", st.State, st.Error)
+	}
+	if !st.Resumed {
+		t.Fatal("finished job lost its resumed marker")
+	}
+
+	res, err := engine.Result(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != len(wantRes.Levels) {
+		t.Fatalf("resumed run swept %d levels, uninterrupted %d", len(res.Levels), len(wantRes.Levels))
+	}
+	for i := range res.Levels {
+		a, b := res.Levels[i], wantRes.Levels[i]
+		if a.K != b.K || a.Candidate != b.Candidate ||
+			math.Float64bits(a.Before) != math.Float64bits(b.Before) ||
+			math.Float64bits(a.After) != math.Float64bits(b.After) ||
+			math.Float64bits(a.Gain) != math.Float64bits(b.Gain) ||
+			math.Float64bits(a.Utility) != math.Float64bits(b.Utility) {
+			t.Fatalf("level %d differs after resume:\n got %+v\nwant %+v", i, a, b)
+		}
+	}
+	if res.OptimalK != wantRes.OptimalK ||
+		math.Float64bits(res.Hmax) != math.Float64bits(wantRes.Hmax) ||
+		math.Float64bits(res.Tp) != math.Float64bits(wantRes.Tp) ||
+		math.Float64bits(res.Tu) != math.Float64bits(wantRes.Tu) {
+		t.Fatalf("resumed decision differs: k=%d H=%g vs k=%d H=%g", res.OptimalK, res.Hmax, wantRes.OptimalK, wantRes.Hmax)
+	}
+	if fingerprintHex(t, res.Table) != wantHash {
+		t.Fatal("resumed run's release table is not byte-identical to the uninterrupted run's")
+	}
+}
+
+// TestRecoverResumePointPastSeriesDisk: a crash after the final checkpoint
+// but before the terminal record resumes with StartK past every remaining
+// level — the re-run evaluates nothing new and still reaches the identical
+// decision.
+func TestRecoverResumePointPastSeriesDisk(t *testing.T) {
+	dir, jobID, want, wantRes := runUninterrupted(t)
+	truncateWAL(t, dir, jobID, len(want.Levels))
+
+	_, _, engine := openPlane(t, dir, service.Options{Workers: 1, SweepWorkers: 1})
+	recovered, err := engine.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || !recovered[0].Resumed {
+		t.Fatalf("recovered %+v, want one resumed job", recovered)
+	}
+	engine.Start()
+	st := waitDone(t, engine, jobID)
+	if st.State != service.StateDone {
+		t.Fatalf("state %s (%s), want done", st.State, st.Error)
+	}
+	res, err := engine.Result(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalK != wantRes.OptimalK || math.Float64bits(res.Hmax) != math.Float64bits(wantRes.Hmax) {
+		t.Fatalf("fully-checkpointed resume decided k=%d, want %d", res.OptimalK, wantRes.OptimalK)
+	}
+	if fingerprintHex(t, res.Table) != fingerprintHex(t, wantRes.Table) {
+		t.Fatal("fully-checkpointed resume rebuilt a different release table")
+	}
+}
+
+// TestDiskEvictTablesTTL: the TTL sweep evicts unreferenced expired tables
+// from the store and the disk, but spares tables referenced by live jobs.
+func TestDiskEvictTablesTTL(t *testing.T) {
+	dir := t.TempDir()
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, store, engine := openPlane(t, dir, service.Options{Workers: 1})
+	pInfo, err := store.Put("P", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qInfo, err := store.Put("Q", sc.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine not started: the job pins its table while pending.
+	if _, err := engine.Submit(service.Spec{Type: service.JobAnonymize, Table: pInfo.ID, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	evicted := engine.EvictTables(0)
+	if len(evicted) != 1 || evicted[0].ID != qInfo.ID {
+		t.Fatalf("evicted %+v, want exactly the unreferenced table %s", evicted, qInfo.ID)
+	}
+	if _, _, err := store.Get(qInfo.ID); err == nil {
+		t.Fatal("evicted table still served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tables", qInfo.Hash+".snap")); !os.IsNotExist(err) {
+		t.Fatal("evicted table's snapshot file survived")
+	}
+	if _, _, err := store.Get(pInfo.ID); err != nil {
+		t.Fatalf("referenced table was evicted: %v", err)
+	}
+}
+
+// TestDiskStoreLockRefusesSecondOpen: a data directory held by a live
+// process cannot be opened again — two writers would interleave divergent
+// WAL histories.
+func TestDiskStoreLockRefusesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := diskstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diskstore.Open(dir); err == nil {
+		t.Fatal("second Open of a locked data dir succeeded")
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := diskstore.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	ds2.Close()
+}
+
+// TestRecoverKeepsCursorsAcrossSecondRestartDisk: WAL compaction preserves
+// terminal jobs' level checkpoints, so an event-stream resume cursor taken
+// before the first restart still works after a second one — the client
+// gets nothing but the terminal status, never a duplicated replay.
+func TestRecoverKeepsCursorsAcrossSecondRestartDisk(t *testing.T) {
+	dir, jobID, want, _ := runUninterrupted(t)
+
+	// Restart #1: recover (compacts the WAL), note the last level seq, close.
+	ds1, _, engine1 := openPlane(t, dir, service.Options{Workers: 1})
+	if _, err := engine1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	events, err := engine1.Stream(ctx, jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cursor uint64
+	levels1 := 0
+	for ev := range events {
+		if ev.Type == service.EventLevel {
+			levels1++
+			if ev.Seq == 0 {
+				t.Fatal("restart #1 lost the durable event seqs")
+			}
+			cursor = ev.Seq
+		}
+	}
+	if levels1 != len(want.Levels) {
+		t.Fatalf("restart #1 replayed %d levels, want %d", levels1, len(want.Levels))
+	}
+	if err := engine1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart #2: the compacted WAL must still carry the checkpoints, so
+	// the pre-crash cursor skips the whole replay.
+	_, _, engine2 := openPlane(t, dir, service.Options{Workers: 1})
+	if _, err := engine2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := engine2.StreamAfter(ctx, jobID, cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []service.Event
+	for ev := range resumed {
+		got = append(got, ev)
+	}
+	if len(got) != 1 || got[0].Type != service.EventStatus {
+		t.Fatalf("resume after second restart delivered %d events (%+v), want only the terminal status", len(got), got)
+	}
+}
+
+// TestRecoverNeverReissuesDeletedJobIDsDisk: the compaction high-water
+// marker keeps the job-ID and event-seq counters from regressing when a
+// deleted job's records are dropped — across two restarts, a new submission
+// must not reuse the deleted job's ID (a stale client polling the old URL
+// would silently read an unrelated job).
+func TestRecoverNeverReissuesDeletedJobIDsDisk(t *testing.T) {
+	dir, jobID, _, _ := runUninterrupted(t)
+
+	// Restart #1: delete the finished job, then shut down cleanly.
+	ds1, _, engine1 := openPlane(t, dir, service.Options{Workers: 1})
+	if _, err := engine1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine1.Delete(jobID); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := engine1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart #2: the deleted job's records are compacted away; the marker
+	// must still keep its ID retired.
+	_, store2, engine2 := openPlane(t, dir, service.Options{Workers: 1})
+	if _, err := engine2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	engine2.Start()
+	tables := store2.List()
+	st, err := engine2.Submit(service.Spec{Type: service.JobAnonymize, Table: tables[0].ID, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == jobID {
+		t.Fatalf("restarted engine reissued deleted job ID %s", jobID)
+	}
+	waitDone(t, engine2, st.ID)
+}
+
+// craftWAL opens a fresh plane, stores P and Q, appends the given records
+// to the WAL and closes — building an arbitrary crash image for recovery
+// tests that cannot be produced deterministically by killing a live run.
+func craftWAL(t *testing.T, recs func(p, q string) []service.WALRecord) string {
+	t.Helper()
+	dir := t.TempDir()
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := diskstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := service.NewStoreWith(ds)
+	pInfo, err := store.Put("P", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qInfo, err := store.Put("Q", sc.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs(pInfo.ID, qInfo.ID) {
+		rec := recs(pInfo.ID, qInfo.ID)[i]
+		if err := ds.AppendWAL(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func levelRecord(seq uint64, k int) service.WALRecord {
+	return service.WALRecord{
+		Seq: seq, Kind: service.WALLevel, JobID: "job-1",
+		Level: &service.LevelSummary{K: k, Before: 1, After: 1, Gain: 0, Utility: 0.5},
+	}
+}
+
+// TestRecoverHonorsDurableCancelDisk: a WAL holding an accepted cancel but
+// no terminal record (the crash beat the worker to it) replays as a
+// canceled terminal job with the strict level prefix — never as an
+// interrupted job that re-runs the cancelled work.
+func TestRecoverHonorsDurableCancelDisk(t *testing.T) {
+	created := time.Now().Round(0)
+	dir := craftWAL(t, func(p, q string) []service.WALRecord {
+		spec := sweepSpec(p, q)
+		return []service.WALRecord{
+			{Seq: 1, Kind: service.WALJob, JobID: "job-1", JobSeq: 1, Spec: &spec, Created: &created},
+			levelRecord(2, 2),
+			levelRecord(3, 3),
+			{Seq: 4, Kind: service.WALCancel, JobID: "job-1"},
+		}
+	})
+	_, _, engine := openPlane(t, dir, service.Options{Workers: 1})
+	recovered, err := engine.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Start()
+	if len(recovered) != 1 || recovered[0].Resumed {
+		t.Fatalf("recovered %+v, want one terminal (non-resumed) job", recovered)
+	}
+	st := waitDone(t, engine, "job-1")
+	if st.State != service.StateCanceled {
+		t.Fatalf("state %s, want canceled (durable cancel honored)", st.State)
+	}
+	if len(st.Levels) != 2 || st.Levels[0].K != 2 || st.Levels[1].K != 3 {
+		t.Fatalf("canceled job kept levels %+v, want the checkpointed prefix k=2,3", st.Levels)
+	}
+	if _, err := engine.Result("job-1"); err == nil {
+		t.Fatal("canceled job must not yield a result")
+	}
+}
+
+// TestRecoverDiscardsGappedSeedDisk: a WAL whose level checkpoints have a
+// gap (a dropped append) must not seed the resume — splicing a gapped
+// prefix would duplicate or skip levels — and the sweep re-runs from
+// scratch, still finishing correctly.
+func TestRecoverDiscardsGappedSeedDisk(t *testing.T) {
+	created := time.Now().Round(0)
+	dir := craftWAL(t, func(p, q string) []service.WALRecord {
+		spec := sweepSpec(p, q)
+		return []service.WALRecord{
+			{Seq: 1, Kind: service.WALJob, JobID: "job-1", JobSeq: 1, Spec: &spec, Created: &created},
+			levelRecord(2, 2),
+			levelRecord(3, 3),
+			levelRecord(4, 5), // gap: k=4 missing
+		}
+	})
+	_, _, engine := openPlane(t, dir, service.Options{Workers: 1})
+	recovered, err := engine.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || !recovered[0].Resumed {
+		t.Fatalf("recovered %+v, want one resumed job", recovered)
+	}
+	if n := len(recovered[0].Status.Levels); n != 0 {
+		t.Fatalf("gapped seed kept %d levels, want 0 (full re-run)", n)
+	}
+	engine.Start()
+	st := waitDone(t, engine, "job-1")
+	if st.State != service.StateDone {
+		t.Fatalf("state %s (%s), want done", st.State, st.Error)
+	}
+	// The re-run swept the full range: a gap-free series from MinK.
+	for i, ls := range st.Levels {
+		if ls.K != i+2 {
+			t.Fatalf("re-run series %+v has a gap at position %d", st.Levels, i)
+		}
+	}
+}

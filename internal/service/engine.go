@@ -35,11 +35,19 @@ type Options struct {
 	// in a terminal state, the oldest-finished are evicted from the log
 	// (default: 512; negative keeps every job forever).
 	MaxFinishedJobs int
+	// JobLog is the durable write-ahead log behind the job engine: every
+	// submission, per-level sweep checkpoint and terminal status is appended
+	// to it, and Engine.Recover replays it after a restart. Nil keeps the
+	// pre-durability behavior (an ephemeral in-memory log).
+	JobLog JobBackend
 }
 
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.NumCPU()
+	}
+	if o.JobLog == nil {
+		o.JobLog = NewMemJobBackend()
 	}
 	if o.SweepWorkers <= 0 {
 		o.SweepWorkers = o.Workers
@@ -82,6 +90,11 @@ type Engine struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	// walMu serializes WAL appends and guards eventSeq, so sequence numbers
+	// are monotonic AND appear in the log in order.
+	walMu    sync.Mutex
+	eventSeq uint64
+
 	mu       sync.RWMutex
 	seq      int
 	jobs     map[string]*job
@@ -108,6 +121,19 @@ type job struct {
 	// blocked subscribers. Both guarded by mu.
 	events []Event
 	notify chan struct{}
+	// termSeq is the event sequence number of the terminal status record,
+	// assigned by logTerminal (best-effort: a subscriber racing the WAL
+	// append may observe it as zero). Guarded by mu.
+	termSeq uint64
+	// resume seeds a recovered fred-sweep with its checkpointed levels so
+	// the sweep restarts at startK instead of MinK. Set only by Recover.
+	resume *resumeSeed
+}
+
+// resumeSeed carries a recovered sweep's checkpointed prefix.
+type resumeSeed struct {
+	startK int
+	levels []LevelSummary
 }
 
 func (j *job) snapshot() Status {
@@ -204,46 +230,127 @@ func (e *Engine) Start() {
 			defer e.wg.Done()
 			for j := range e.queue {
 				if j.ctx.Err() != nil || !j.start() {
-					if j.finish(nil, context.Canceled) {
-						e.retire(j)
-					}
+					e.finalize(j, nil, context.Canceled)
 					continue
 				}
 				res, err := e.run(j.ctx, j)
 				if err == nil {
 					e.cache.Put(j.key, res)
 				}
-				if j.finish(res, err) {
-					e.retire(j)
-				}
+				e.finalize(j, res, err)
 			}
 		}()
 	}
 }
 
-// retire records a terminal job in the finished log and evicts the
-// oldest-finished jobs beyond the retention limit.
-func (e *Engine) retire(j *job) {
+// finalize finishes a job exactly once, writes its terminal WAL record,
+// retires it into the finished log and logs any retention evictions. It must
+// not be called while holding e.mu (it performs WAL I/O and takes the lock
+// itself).
+func (e *Engine) finalize(j *job, res *Result, err error) bool {
+	if !j.finish(res, err) {
+		return false
+	}
+	e.logTerminal(j)
 	e.mu.Lock()
-	e.retireLocked(j)
+	evicted := e.retireLocked(j)
 	e.mu.Unlock()
+	e.logDeletes(evicted)
+	return true
 }
 
-func (e *Engine) retireLocked(j *job) {
+// retireLocked records a terminal job in the finished log, evicts the
+// oldest-finished jobs beyond the retention limit and returns the evicted
+// IDs for WAL retraction. Callers hold e.mu.
+func (e *Engine) retireLocked(j *job) []string {
 	if e.opts.MaxFinishedJobs < 0 {
-		return
+		return nil
 	}
 	if _, ok := e.jobs[j.status.ID]; !ok {
 		// Deleted between finish() and retire(): don't resurrect a ghost
 		// entry that would pin the result and consume a retention slot.
-		return
+		return nil
 	}
 	e.finished = append(e.finished, j)
+	var evicted []string
 	for len(e.finished) > e.opts.MaxFinishedJobs {
 		old := e.finished[0]
 		e.finished[0] = nil
 		e.finished = e.finished[1:]
 		delete(e.jobs, old.status.ID)
+		evicted = append(evicted, old.status.ID)
+	}
+	return evicted
+}
+
+// appendWAL assigns the next event sequence number to rec and appends it to
+// the job log. Append errors degrade durability, not availability: the
+// running job proceeds and the error is reported to the caller for paths
+// that can refuse (Submit).
+func (e *Engine) appendWAL(rec *WALRecord) (uint64, error) {
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	e.eventSeq++
+	rec.Seq = e.eventSeq
+	return rec.Seq, e.opts.JobLog.AppendWAL(rec)
+}
+
+// logTerminal appends a job's terminal status record — and, for a done job
+// on a durable store, the result projection plus the result table's blob —
+// then syncs the log: terminal records are the ones a crash must not lose.
+func (e *Engine) logTerminal(j *job) {
+	st := j.snapshot()
+	rec := &WALRecord{Kind: WALStatus, JobID: st.ID, Status: &st}
+	if st.State == StateDone {
+		rec.Result = e.resultRecord(j)
+	}
+	seq, err := e.appendWAL(rec)
+	if err != nil {
+		// Not durable: the terminal event must not advertise a sequence
+		// number recovery could reissue (see recordLevel).
+		seq = 0
+	} else {
+		e.opts.JobLog.SyncWAL() //nolint:errcheck // durability is best-effort here
+	}
+	j.mu.Lock()
+	j.termSeq = seq
+	j.mu.Unlock()
+}
+
+// resultRecord builds the durable projection of a done job's result,
+// persisting the result table as a content-addressed blob. Ephemeral stores
+// skip the blob work entirely.
+func (e *Engine) resultRecord(j *job) *ResultRecord {
+	j.mu.Lock()
+	res := j.result
+	j.mu.Unlock()
+	if res == nil || !e.store.Durable() {
+		return nil
+	}
+	rec := &ResultRecord{
+		Levels:     res.Levels,
+		OptimalK:   res.OptimalK,
+		Hmax:       res.Hmax,
+		Tp:         res.Tp,
+		Tu:         res.Tu,
+		Before:     res.Before,
+		After:      res.After,
+		Assessment: res.Assessment,
+	}
+	if res.Table != nil {
+		if h, err := HashTable(res.Table); err == nil {
+			if err := e.store.PutBlob(h, res.Table); err == nil {
+				rec.TableHash = h
+			}
+		}
+	}
+	return rec
+}
+
+// logDeletes appends WAL retractions for jobs dropped from the log.
+func (e *Engine) logDeletes(ids []string) {
+	for _, id := range ids {
+		e.appendWAL(&WALRecord{Kind: WALDelete, JobID: id}) //nolint:errcheck
 	}
 }
 
@@ -262,14 +369,18 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		e.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		e.cancelAll()
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Flush the job log last: every in-flight job has written its terminal
+	// record by now.
+	e.opts.JobLog.SyncWAL() //nolint:errcheck
+	return err
 }
 
 // Submit validates the spec, resolves its tables, and enqueues the job. A
@@ -280,59 +391,83 @@ func (e *Engine) Submit(spec Spec) (Status, error) {
 	if err := spec.validate(); err != nil {
 		return Status{}, err
 	}
-	p, pInfo, err := e.store.Get(spec.Table)
+	p, aux, key, err := e.resolveInputs(spec)
 	if err != nil {
 		return Status{}, err
 	}
-	var aux *dataset.Table
-	var auxHash string
-	if spec.Aux != "" {
-		var auxInfo TableInfo
-		aux, auxInfo, err = e.store.Get(spec.Aux)
-		if err != nil {
-			return Status{}, err
-		}
-		auxHash = auxInfo.Hash
-	}
 
-	// The closed check, registration and enqueue share one critical
-	// section: Shutdown closes the queue under the same mutex, so Submit
-	// can never send on a closed channel, and a rejected submission never
-	// leaks a job record.
+	// ID assignment is its own short critical section; the WAL append (disk
+	// I/O) runs outside e.mu so a slow submission never stalls job reads,
+	// polls or stream subscriptions.
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return Status{}, errors.New("service: engine is shut down")
 	}
+	e.seq++
 	ctx, cancel := context.WithCancel(e.baseCtx)
+	now := time.Now()
 	j := &job{
-		status: Status{ID: fmt.Sprintf("job-%d", e.seq+1), Type: spec.Type, State: StatePending, Created: time.Now()},
-		seq:    e.seq + 1,
+		status: Status{ID: fmt.Sprintf("job-%d", e.seq), Type: spec.Type, State: StatePending, Created: now},
+		seq:    e.seq,
 		spec:   spec,
 		p:      p,
 		aux:    aux,
-		key:    spec.cacheKey(pInfo.Hash, auxHash),
+		key:    key,
 		ctx:    ctx,
 		cancel: cancel,
 		done:   make(chan struct{}),
 		notify: make(chan struct{}),
 	}
+	// Register before releasing the lock: a submission must be visible to
+	// EvictTables (which spares tables referenced by live jobs) for the
+	// whole window the WAL append below may block on disk. A refused
+	// submission unregisters itself.
+	e.jobs[j.status.ID] = j
+	e.mu.Unlock()
+	unregister := func() {
+		e.mu.Lock()
+		delete(e.jobs, j.status.ID)
+		e.mu.Unlock()
+		cancel()
+	}
+	// The WAL submission record is written before the job becomes runnable:
+	// a crash at any later point replays as an interrupted job and is
+	// re-run — a submission is never silently lost. A WAL append failure
+	// refuses the submission outright.
+	if _, err := e.appendWAL(&WALRecord{Kind: WALJob, JobID: j.status.ID, JobSeq: j.seq, Spec: &spec, Created: &now}); err != nil {
+		unregister()
+		return Status{}, fmt.Errorf("service: append job log: %w", err)
+	}
+	retract := func(reason error) (Status, error) {
+		unregister()
+		// Retract the never-enqueued submission so replay does not re-run it.
+		e.appendWAL(&WALRecord{Kind: WALDelete, JobID: j.status.ID}) //nolint:errcheck
+		return Status{}, reason
+	}
+	// The enqueue shares one critical section with the closed check:
+	// Shutdown closes the queue under the same mutex, so Submit can never
+	// send on a closed channel.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return retract(errors.New("service: engine is shut down"))
+	}
 	if res, ok := e.cache.Get(j.key); ok {
-		e.seq++
-		e.jobs[j.status.ID] = j
+		e.mu.Unlock()
+		// The job is already visible, so the status write takes its lock.
+		j.mu.Lock()
 		j.status.Cached = true
-		if j.finish(res, nil) {
-			e.retireLocked(j)
-		}
+		j.mu.Unlock()
+		e.finalize(j, res, nil)
 		return j.snapshot(), nil
 	}
 	select {
 	case e.queue <- j:
-		e.seq++
-		e.jobs[j.status.ID] = j
+		e.mu.Unlock()
 	default:
-		cancel()
-		return Status{}, ErrQueueFull
+		e.mu.Unlock()
+		return retract(ErrQueueFull)
 	}
 	return j.snapshot(), nil
 }
@@ -376,6 +511,11 @@ func (e *Engine) Result(id string) (*Result, error) {
 		}
 		return nil, ErrNotFinished
 	}
+	if j.result == nil {
+		// A job recovered from the log whose result could not be rebuilt
+		// (e.g. its blob predates the crash-recovery format).
+		return nil, fmt.Errorf("service: job %s finished before the last restart and its result is no longer available", id)
+	}
 	return j.result, nil
 }
 
@@ -395,25 +535,30 @@ func (e *Engine) Cancel(id string) error {
 	if state.Terminal() {
 		return fmt.Errorf("%w: job %s is %s", ErrAlreadyFinished, id, state)
 	}
+	// The cancellation is journaled before anything else: a crash after
+	// Cancel returns but before the worker unwinds and writes the terminal
+	// status must not replay the job as interrupted and re-run it.
+	e.appendWAL(&WALRecord{Kind: WALCancel, JobID: id}) //nolint:errcheck
 	j.cancel()
 	if state == StatePending {
-		if j.finish(nil, context.Canceled) {
-			e.retire(j)
-		}
+		e.finalize(j, nil, context.Canceled)
 	}
 	return nil
 }
 
-// Delete purges a terminal job from the job log, freeing its result. A job
-// that is still pending or running reports ErrNotFinished — cancel it first.
+// Delete purges a terminal job from the job log, freeing its result and
+// retracting it from the durable log. A job that is still pending or running
+// reports ErrNotFinished — cancel it first. The job's result blob, if any,
+// stays in the blob space: blobs are content-addressed and may be shared.
 func (e *Engine) Delete(id string) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	j, ok := e.jobs[id]
 	if !ok {
+		e.mu.Unlock()
 		return &ErrNotFound{Kind: "job", ID: id}
 	}
 	if !j.snapshot().State.Terminal() {
+		e.mu.Unlock()
 		return fmt.Errorf("%w: job %s is not terminal; cancel it before deleting", ErrNotFinished, id)
 	}
 	delete(e.jobs, id)
@@ -425,6 +570,8 @@ func (e *Engine) Delete(id string) error {
 			break
 		}
 	}
+	e.mu.Unlock()
+	e.appendWAL(&WALRecord{Kind: WALDelete, JobID: id}) //nolint:errcheck
 	return nil
 }
 
@@ -443,6 +590,25 @@ func (e *Engine) Wait(ctx context.Context, id string) (Status, error) {
 	case <-ctx.Done():
 		return j.snapshot(), ctx.Err()
 	}
+}
+
+// resolveInputs fetches a spec's tables from the store and builds its cache
+// key. Submit and the crash-recovery resubmission path share it, so the two
+// can never diverge on resolution or key semantics.
+func (e *Engine) resolveInputs(spec Spec) (p, aux *dataset.Table, key string, err error) {
+	p, pInfo, err := e.store.Get(spec.Table)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	var auxHash string
+	if spec.Aux != "" {
+		var auxInfo TableInfo
+		if aux, auxInfo, err = e.store.Get(spec.Aux); err != nil {
+			return nil, nil, "", err
+		}
+		auxHash = auxInfo.Hash
+	}
+	return p, aux, spec.cacheKey(pInfo.Hash, auxHash), nil
 }
 
 func (e *Engine) get(id string) (*job, error) {
@@ -574,26 +740,44 @@ func (e *Engine) runFREDSweep(ctx context.Context, j *job) (*Result, error) {
 	// With explicit thresholds, per-level candidacy is decidable as levels
 	// stream; under auto-calibration it is settled only after the sweep.
 	explicit := sp.Tp != 0 || sp.Tu != 0
-	var levels []core.LevelResult
-	err := core.SweepStream(ctx, j.p, core.StreamConfig{
-		Anonymizer: anonymizerFor(sp.Scheme),
-		Attack:     sp.attackConfig(j.aux),
-		MinK:       sp.MinK,
-		MaxK:       sp.MaxK,
-		Workers:    e.opts.SweepWorkers,
-	}, func(lr core.LevelResult) error {
-		levels = append(levels, lr)
-		ls := summarizeLevel(lr)
-		ls.Candidate = explicit && lr.After >= sp.Tp && lr.Utility >= sp.Tu
-		var cal *Calibration
-		if tp, tu, calErr := core.CalibrateThresholds(levels); calErr == nil {
-			cal = &Calibration{Tp: tp, Tu: tu}
+	// A recovered job seeds the series with its checkpointed levels and
+	// resumes the stream at startK; the level numbers round-tripped the WAL
+	// losslessly, so the final series is bit-identical to an uninterrupted
+	// run. Seeded levels carry no Release/Phat tables — those are
+	// recomputed on demand below.
+	levels := make([]core.LevelResult, 0, total)
+	startK := 0
+	if j.resume != nil {
+		for _, ls := range j.resume.levels {
+			levels = append(levels, core.LevelResult{
+				K: ls.K, Before: ls.Before, After: ls.After,
+				Gain: ls.Gain, Utility: ls.Utility, Candidate: ls.Candidate,
+			})
 		}
-		j.recordLevel(ls, cal, 0.95*float64(len(levels))/float64(total))
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		startK = j.resume.startK
+	}
+	if startK <= sp.MaxK {
+		err := core.SweepStream(ctx, j.p, core.StreamConfig{
+			Anonymizer: anonymizerFor(sp.Scheme),
+			Attack:     sp.attackConfig(j.aux),
+			MinK:       sp.MinK,
+			MaxK:       sp.MaxK,
+			StartK:     startK,
+			Workers:    e.opts.SweepWorkers,
+		}, func(lr core.LevelResult) error {
+			levels = append(levels, lr)
+			ls := summarizeLevel(lr)
+			ls.Candidate = explicit && lr.After >= sp.Tp && lr.Utility >= sp.Tu
+			var cal *Calibration
+			if tp, tu, calErr := core.CalibrateThresholds(levels); calErr == nil {
+				cal = &Calibration{Tp: tp, Tu: tu}
+			}
+			e.recordLevel(j, ls, cal, 0.95*float64(len(levels))/float64(total))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	tp, tu := sp.Tp, sp.Tu
@@ -626,8 +810,19 @@ func (e *Engine) runFREDSweep(ctx context.Context, j *job) (*Result, error) {
 		return nil, err
 	}
 	opt := levels[cand[best]]
+	relTable := opt.Release
+	if relTable == nil {
+		// The argmax landed on a seeded (checkpointed) level whose release
+		// table was not persisted. Recompute it: anonymization is
+		// deterministic, so the rebuilt release is byte-identical to the one
+		// the interrupted run would have produced.
+		var err error
+		if relTable, err = release(j.p, anonymizerFor(sp.Scheme), opt.K); err != nil {
+			return nil, err
+		}
+	}
 	return &Result{
-		Table:    opt.Release,
+		Table:    relTable,
 		Levels:   summarizeLevels(levels),
 		OptimalK: opt.K,
 		Hmax:     hmax,

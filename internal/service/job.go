@@ -136,8 +136,12 @@ type Status struct {
 	// Progress advances 0 → 1 while running.
 	Progress float64 `json:"progress"`
 	// Cached reports that the result was served from the LRU cache.
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Resumed reports that the job was interrupted by a crash and
+	// re-submitted by Engine.Recover — fred-sweeps continue from their last
+	// checkpointed level rather than restarting.
+	Resumed bool   `json:"resumed,omitempty"`
+	Error   string `json:"error,omitempty"`
 	// Summary carries the headline numbers of a finished job (optimal k,
 	// dissimilarities, breach rates, …) keyed by metric name.
 	Summary map[string]float64 `json:"summary,omitempty"`

@@ -1,9 +1,18 @@
-// Package service is the serving layer over the FRED core: an in-memory
-// table store plus an asynchronous job engine with a bounded worker pool,
-// per-job progress/cancellation, and an LRU result cache. It is the
-// subsystem behind internal/httpapi and cmd/served — the paper's workload
-// (an enterprise re-running FRED over evolving releases against web-fusion
+// Package service is the serving layer over the FRED core: a table store
+// plus an asynchronous job engine with a bounded worker pool, per-job
+// progress/cancellation, and an LRU result cache. It is the subsystem
+// behind internal/httpapi and cmd/served — the paper's workload (an
+// enterprise re-running FRED over evolving releases against web-fusion
 // adversaries) run as a service instead of a one-shot CLI.
+//
+// Storage is pluggable (see DESIGN.md): the store persists through a
+// TableBackend and the engine journals through a JobBackend write-ahead
+// log. The in-memory backends preserve the ephemeral behavior;
+// internal/service/diskstore makes the plane durable — tables as columnar
+// snapshots, jobs and per-level sweep checkpoints in a WAL — and
+// Engine.Recover rebuilds the service after a restart, re-submitting
+// interrupted fred-sweeps with a resume point so they finish byte-identical
+// to an uninterrupted run.
 package service
 
 import (
@@ -33,13 +42,17 @@ type TableInfo struct {
 	Created time.Time `json:"created"`
 }
 
-// Store is a concurrency-safe in-memory table store. Tables are immutable
-// once stored: Get hands out the stored pointer and every job clones before
-// mutating, matching dataset.Table's concurrent-reads contract.
+// Store is the concurrency-safe table store: the ID-assignment and caching
+// layer over a TableBackend. Every table stays resident in memory (jobs hold
+// live pointers); the backend decides whether tables additionally survive
+// restarts. Tables are immutable once stored: Get hands out the stored
+// pointer and every job clones before mutating, matching dataset.Table's
+// concurrent-reads contract.
 type Store struct {
-	mu     sync.RWMutex
-	seq    int
-	tables map[string]storedTable
+	mu      sync.RWMutex
+	backend TableBackend
+	seq     int
+	tables  map[string]storedTable
 }
 
 type storedTable struct {
@@ -47,9 +60,48 @@ type storedTable struct {
 	table *dataset.Table
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store over the ephemeral in-memory backend.
 func NewStore() *Store {
-	return &Store{tables: make(map[string]storedTable)}
+	return NewStoreWith(NewMemTableBackend())
+}
+
+// NewStoreWith returns an empty store persisting through backend. Call Open
+// to load previously persisted tables.
+func NewStoreWith(backend TableBackend) *Store {
+	return &Store{backend: backend, tables: make(map[string]storedTable)}
+}
+
+// Open loads every table persisted in the backend into the store and
+// restores the ID sequence past the highest loaded handle. It is the first
+// half of crash recovery (Engine.Recover replays the job log second) and
+// must run before the store starts serving.
+func (s *Store) Open() error {
+	recs, err := s.backend.LoadTables()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range recs {
+		s.tables[rec.Info.ID] = storedTable{info: rec.Info, table: rec.Table}
+		if n := seqOf(rec.Info.ID); n > s.seq {
+			s.seq = n
+		}
+	}
+	return nil
+}
+
+// Durable reports whether the store's backend outlives the process.
+func (s *Store) Durable() bool { return s.backend.Durable() }
+
+// PutBlob persists an auxiliary table (a job result) keyed by content hash.
+func (s *Store) PutBlob(hash string, t *dataset.Table) error {
+	return s.backend.PutBlob(hash, t)
+}
+
+// Blob loads an auxiliary table by content hash.
+func (s *Store) Blob(hash string) (*dataset.Table, error) {
+	return s.backend.GetBlob(hash)
 }
 
 // ErrNotFound is returned for unknown table or job IDs.
@@ -57,8 +109,10 @@ type ErrNotFound struct{ Kind, ID string }
 
 func (e *ErrNotFound) Error() string { return fmt.Sprintf("service: no %s %q", e.Kind, e.ID) }
 
-// Put stores a table under a fresh ID and returns its metadata. The caller
-// must not mutate the table afterwards.
+// Put stores a table under a fresh ID and returns its metadata. The table
+// is persisted through the backend before it becomes visible — a durable
+// store never lists a table it could not reload. The caller must not mutate
+// the table afterwards.
 func (s *Store) Put(name string, t *dataset.Table) (TableInfo, error) {
 	if t == nil || t.NumRows() == 0 {
 		return TableInfo{}, fmt.Errorf("service: refusing to store an empty table")
@@ -68,7 +122,6 @@ func (s *Store) Put(name string, t *dataset.Table) (TableInfo, error) {
 		return TableInfo{}, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.seq++
 	info := TableInfo{
 		ID:      fmt.Sprintf("tbl-%d", s.seq),
@@ -78,7 +131,15 @@ func (s *Store) Put(name string, t *dataset.Table) (TableInfo, error) {
 		Hash:    h,
 		Created: time.Now(),
 	}
+	s.mu.Unlock()
+	// Backend I/O (a snapshot write, for disk backends) runs outside the
+	// lock so slow uploads never block concurrent Gets.
+	if err := s.backend.PutTable(TableRecord{Info: info, Table: t}); err != nil {
+		return TableInfo{}, fmt.Errorf("service: persist table: %w", err)
+	}
+	s.mu.Lock()
 	s.tables[info.ID] = storedTable{info: info, table: t}
+	s.mu.Unlock()
 	return info, nil
 }
 
@@ -105,16 +166,48 @@ func (s *Store) List() []TableInfo {
 	return out
 }
 
-// Delete removes a table. Jobs already holding the pointer keep working —
-// tables are immutable, so this only frees the handle.
+// Delete removes a table from the store and its backend. The backend goes
+// first: if its delete fails, the in-memory entry survives, so the client
+// can retry and a restart cannot resurrect a table the API reported gone.
+// Jobs already holding the pointer keep working — tables are immutable, so
+// this only frees the handle.
 func (s *Store) Delete(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tables[id]; !ok {
+	s.mu.RLock()
+	_, ok := s.tables[id]
+	s.mu.RUnlock()
+	if !ok {
 		return &ErrNotFound{Kind: "table", ID: id}
 	}
+	if err := s.backend.DeleteTable(id); err != nil {
+		return fmt.Errorf("service: delete table: %w", err)
+	}
+	s.mu.Lock()
 	delete(s.tables, id)
+	s.mu.Unlock()
 	return nil
+}
+
+// Evict removes every table created at or before cutoff for which keep
+// returns false, from the store and its backend, returning the evicted
+// metadata. It is the TTL garbage collection primitive; Engine.EvictTables
+// supplies the keep predicate that protects tables referenced by live jobs.
+func (s *Store) Evict(cutoff time.Time, keep func(TableInfo) bool) []TableInfo {
+	s.mu.RLock()
+	var victims []TableInfo
+	for _, st := range s.tables {
+		if !st.info.Created.After(cutoff) && (keep == nil || !keep(st.info)) {
+			victims = append(victims, st.info)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(victims, func(i, j int) bool { return seqOf(victims[i].ID) < seqOf(victims[j].ID) })
+	evicted := victims[:0]
+	for _, info := range victims {
+		if err := s.Delete(info.ID); err == nil {
+			evicted = append(evicted, info)
+		}
+	}
+	return evicted
 }
 
 func seqOf(id string) int {

@@ -30,6 +30,11 @@ type Calibration struct {
 // Engine.Stream and the GET /v1/jobs/{id}/events endpoint.
 type Event struct {
 	Type EventType `json:"type"`
+	// Seq is the engine-wide monotonic event sequence number, shared with
+	// the durable job log: it is the resume cursor for Last-Event-ID /
+	// ?after= reconnects. Zero on synthesized replay events (cache hits),
+	// which have no durable identity and are always resent.
+	Seq uint64 `json:"seq,omitempty"`
 	// Job is the emitting job's ID.
 	Job string `json:"job"`
 	// Level is the completed level for level events. Its Candidate flag is
@@ -55,6 +60,15 @@ type Event struct {
 // the status event. Cancelling ctx detaches the subscriber; the job itself
 // is unaffected.
 func (e *Engine) Stream(ctx context.Context, id string) (<-chan Event, error) {
+	return e.StreamAfter(ctx, id, 0)
+}
+
+// StreamAfter is Stream with a resume cursor: recorded events whose sequence
+// number is at or below after are skipped, so a reconnecting client that
+// remembers the last seq it processed (the SSE Last-Event-ID) resumes
+// without the replay. Synthesized replay events (seq 0, cache hits) and the
+// terminal status event are always delivered.
+func (e *Engine) StreamAfter(ctx context.Context, id string, after uint64) (<-chan Event, error) {
 	j, err := e.get(id)
 	if err != nil {
 		return nil, err
@@ -75,17 +89,23 @@ func (e *Engine) Stream(ctx context.Context, id string) (<-chan Event, error) {
 				evs = j.replayEvents()
 			}
 			for _, ev := range evs {
+				i++
+				if after > 0 && ev.Seq != 0 && ev.Seq <= after {
+					continue
+				}
 				select {
 				case out <- ev:
 				case <-ctx.Done():
 					return
 				}
-				i++
 			}
 			if terminal {
 				st := j.snapshot()
+				j.mu.Lock()
+				seq := j.termSeq
+				j.mu.Unlock()
 				select {
-				case out <- Event{Type: EventStatus, Job: st.ID, Progress: st.Progress, Status: &st}:
+				case out <- Event{Type: EventStatus, Seq: seq, Job: st.ID, Progress: st.Progress, Status: &st}:
 				case <-ctx.Done():
 				}
 				return
@@ -133,10 +153,31 @@ func (j *job) replayEvents() []Event {
 	return evs
 }
 
-// recordLevel stores a completed sweep level on the running job, advances
-// progress, and publishes the level event to subscribers. It is a no-op once
-// the job is terminal (a cancel can race the last in-flight level).
-func (j *job) recordLevel(ls LevelSummary, cal *Calibration, progress float64) {
+// recordLevel checkpoints a completed sweep level: the WAL record is
+// appended first (durability before visibility — a level a subscriber has
+// seen is a level recovery can replay), then the level is stored on the
+// running job, progress advances, and the event is published to
+// subscribers. It is a no-op once the job is terminal (a cancel can race
+// the last in-flight level; the stray WAL checkpoint lands after the
+// terminal record and recovery discards it, so the rebuilt event feed
+// always agrees with Status.Levels).
+func (e *Engine) recordLevel(j *job, ls LevelSummary, cal *Calibration, progress float64) {
+	lev := ls
+	seq, err := e.appendWAL(&WALRecord{
+		Kind:        WALLevel,
+		JobID:       j.status.ID,
+		Level:       &lev,
+		Calibration: cal,
+		Progress:    progress,
+	})
+	if err != nil {
+		// The checkpoint never became durable, so the event must not carry
+		// its sequence number: after a crash the recovered counter would
+		// reissue it to a different event, and a client resuming from this
+		// cursor would silently skip that event. Seq 0 means "no durable
+		// identity — always resent", which is exactly right here.
+		seq = 0
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status.State.Terminal() {
@@ -144,9 +185,9 @@ func (j *job) recordLevel(ls LevelSummary, cal *Calibration, progress float64) {
 	}
 	j.status.Levels = append(j.status.Levels, ls)
 	j.status.Progress = progress
-	lev := ls
 	j.events = append(j.events, Event{
 		Type:        EventLevel,
+		Seq:         seq,
 		Job:         j.status.ID,
 		Level:       &lev,
 		Calibration: cal,
