@@ -492,11 +492,11 @@ func BenchmarkSweepParallel(b *testing.B) {
 // scenario's P and Q, as submitted through the service layer.
 func benchServiceSpec(b *testing.B, store *service.Store, sc *Scenario) service.Spec {
 	b.Helper()
-	pInfo, err := store.Put("P", sc.P)
+	pInfo, err := store.Put(service.DefaultTenant, "P", sc.P)
 	if err != nil {
 		b.Fatal(err)
 	}
-	qInfo, err := store.Put("Q", sc.Q)
+	qInfo, err := store.Put(service.DefaultTenant, "Q", sc.Q)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -510,11 +510,11 @@ func benchServiceSpec(b *testing.B, store *service.Store, sc *Scenario) service.
 // runServiceJob submits one job and blocks until it completes.
 func runServiceJob(b *testing.B, e *service.Engine, spec service.Spec) service.Status {
 	b.Helper()
-	st, err := e.Submit(spec)
+	st, err := e.Submit(service.DefaultTenant, spec)
 	if err != nil {
 		b.Fatal(err)
 	}
-	st, err = e.Wait(context.Background(), st.ID)
+	st, err = e.Wait(context.Background(), service.DefaultTenant, st.ID)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -565,7 +565,7 @@ func BenchmarkServiceFREDSweep(b *testing.B) {
 func BenchmarkServiceAnonymize(b *testing.B) {
 	sc := benchScenario(b)
 	store := service.NewStore()
-	pInfo, err := store.Put("P", sc.P)
+	pInfo, err := store.Put(service.DefaultTenant, "P", sc.P)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -4,6 +4,15 @@
 //
 //	served -addr :8080 -workers 8 -cache 64
 //	served -addr :8080 -data-dir /var/lib/served -table-ttl 72h
+//	served -addr :8080 -keys-file /etc/served/keys -quota-jobs 4
+//
+// With -keys-file the API is multi-tenant: each line of the file maps an
+// API key to a tenant (`tenant key [tables=N] [jobs=N] [cache=N]`), every
+// request must present its key (Authorization: Bearer, or X-API-Key), and
+// each tenant sees only its own tables, jobs and event streams. The
+// -quota-* flags set the default per-tenant quotas; the optional key-file
+// fields override them per tenant. Without -keys-file the API is open and
+// single-namespace, as before.
 //
 // Upload tables as two-header CSV, submit anonymize / attack / fred-sweep /
 // assess jobs, poll, download results (see the repository README for curl
@@ -51,10 +60,28 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		dataDir  = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 		tableTTL = flag.Duration("table-ttl", 0, "evict tables unreferenced by live jobs after this age (0 disables)")
+		keysFile = flag.String("keys-file", "", "API key file enabling multi-tenant auth (empty = open, single namespace)")
+		qTables  = flag.Int("quota-tables", 0, "default per-tenant max resident tables (0 = unlimited)")
+		qJobs    = flag.Int("quota-jobs", 0, "default per-tenant max concurrent jobs (0 = unlimited)")
+		qCache   = flag.Int("quota-cache", 0, "default per-tenant result-cache share (0 = unlimited)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "served ", log.LstdFlags)
+
+	var serverOpts []httpapi.Option
+	quotas := &service.Quotas{
+		Default: service.Quota{MaxTables: *qTables, MaxJobs: *qJobs, CacheShare: *qCache},
+	}
+	if *keysFile != "" {
+		cfg, err := httpapi.LoadKeysFile(*keysFile)
+		if err != nil {
+			logger.Fatalf("load keys file: %v", err)
+		}
+		quotas.PerTenant = cfg.Quotas
+		serverOpts = append(serverOpts, httpapi.WithAuth(cfg.Auth))
+		logger.Printf("multi-tenant auth enabled (%d tenant quota overrides)", len(cfg.Quotas))
+	}
 
 	opts := service.Options{
 		Workers:         *workers,
@@ -62,6 +89,7 @@ func main() {
 		QueueDepth:      *queue,
 		CacheSize:       *cache,
 		MaxFinishedJobs: *retain,
+		Quotas:          quotas,
 	}
 	var store *service.Store
 	var ds *diskstore.Store
@@ -99,7 +127,7 @@ func main() {
 			}
 		}
 		logger.Printf("recovered %d tables, %d jobs (%d resumed) from %s",
-			len(store.List()), len(recovered), resumed, *dataDir)
+			len(store.ListAll()), len(recovered), resumed, *dataDir)
 	}
 	engine.Start()
 
@@ -121,7 +149,7 @@ func main() {
 				select {
 				case <-tick.C:
 					for _, info := range engine.EvictTables(*tableTTL) {
-						logger.Printf("evicted table %s (%s, age > %s)", info.ID, info.Name, *tableTTL)
+						logger.Printf("evicted table %s/%s (%s, age > %s)", info.Tenant, info.ID, info.Name, *tableTTL)
 					}
 				case <-ctx.Done():
 					return
@@ -132,7 +160,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(store, engine, logger),
+		Handler:           httpapi.New(store, engine, logger, serverOpts...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -191,7 +191,7 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 	if sr.err == nil && (ncols > 1<<20 || nrows > 1<<40) {
 		return nil, fmt.Errorf("dataset: read snapshot: implausible shape %d×%d", nrows, ncols)
 	}
-	cols := make([]Column, 0, ncols)
+	cols := make([]Column, 0, min(ncols, snapAllocChunk))
 	for i := uint64(0); i < ncols && sr.err == nil; i++ {
 		name := sr.str()
 		class := AttrClass(sr.byte())
@@ -209,7 +209,7 @@ func ReadSnapshot(r io.Reader) (*Table, error) {
 		return nil, fmt.Errorf("dataset: read snapshot: %w", err)
 	}
 	t := &Table{schema: schema, nrows: int(nrows)}
-	t.cols = make([]*colData, 0, ncols)
+	t.cols = make([]*colData, 0, min(ncols, snapAllocChunk))
 	for i := uint64(0); i < ncols; i++ {
 		c, err := sr.column(schema.Column(int(i)).Kind, int(nrows))
 		if err != nil {
@@ -284,11 +284,20 @@ func (s *snapReader) str() string {
 		s.err = fmt.Errorf("implausible string length %d", n)
 		return ""
 	}
-	buf := make([]byte, n)
-	if !s.fill(buf) {
-		return ""
+	// Grow by chunks as bytes actually arrive: a corrupt length header must
+	// fail with a read error, not allocate a gigabyte before the stream
+	// runs dry (see snapAllocChunk).
+	tmp := make([]byte, min(n, snapAllocChunk))
+	out := make([]byte, 0, len(tmp))
+	for read := uint64(0); read < n; {
+		c := min(n-read, snapAllocChunk)
+		if !s.fill(tmp[:c]) {
+			return ""
+		}
+		out = append(out, tmp[:c]...)
+		read += c
 	}
-	return string(buf)
+	return string(out)
 }
 
 // snapAllocChunk caps upfront allocation while decoding length-prefixed

@@ -1,0 +1,203 @@
+package httpapi
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// This file implements API-key authentication and the tenant dimension of
+// the HTTP layer. Every request (except the liveness probe) resolves to a
+// tenant before any handler runs: with an Auth configured, the bearer key
+// names the tenant; without one, everything runs as service.DefaultTenant —
+// the pre-tenancy single-namespace behavior.
+
+// ctxKeyTenant carries the authenticated tenant through the request context.
+type ctxKeyTenant struct{}
+
+// tenantFrom returns the tenant the middleware resolved for this request.
+func tenantFrom(r *http.Request) string {
+	if t, ok := r.Context().Value(ctxKeyTenant{}).(string); ok {
+		return t
+	}
+	return service.DefaultTenant
+}
+
+// Auth authenticates requests by API key and maps each key to its tenant.
+// Keys are held only as SHA-256 digests: the presented key is hashed and
+// the digests compared with crypto/subtle's constant-time comparison, so
+// neither a memory disclosure nor a timing oracle reveals key material.
+type Auth struct {
+	// keys maps sha256(key) → tenant. Lookup iterates every entry with a
+	// constant-time compare rather than indexing, so the comparison cost
+	// does not depend on which (or whether a) key matched.
+	keys []authKey
+}
+
+type authKey struct {
+	digest [sha256.Size]byte
+	tenant string
+}
+
+// NewAuth builds an authenticator from a key → tenant map. Tenant names
+// must satisfy service.ValidateTenant.
+func NewAuth(keyTenants map[string]string) (*Auth, error) {
+	if len(keyTenants) == 0 {
+		return nil, fmt.Errorf("httpapi: no API keys configured")
+	}
+	a := &Auth{}
+	for key, tenant := range keyTenants {
+		if err := service.ValidateTenant(tenant); err != nil {
+			return nil, fmt.Errorf("httpapi: %w", err)
+		}
+		if len(key) < 8 {
+			return nil, fmt.Errorf("httpapi: API key for tenant %q is shorter than 8 characters", tenant)
+		}
+		a.keys = append(a.keys, authKey{digest: sha256.Sum256([]byte(key)), tenant: tenant})
+	}
+	return a, nil
+}
+
+// Authenticate resolves a presented key to its tenant. The scan always
+// visits every configured key with a constant-time digest comparison.
+func (a *Auth) Authenticate(key string) (string, bool) {
+	digest := sha256.Sum256([]byte(key))
+	tenant, found := "", false
+	for i := range a.keys {
+		if subtle.ConstantTimeCompare(digest[:], a.keys[i].digest[:]) == 1 {
+			tenant, found = a.keys[i].tenant, true
+		}
+	}
+	return tenant, found
+}
+
+// KeysConfig is a parsed key file: the authenticator plus any per-tenant
+// quota overrides declared alongside the keys.
+type KeysConfig struct {
+	Auth   *Auth
+	Quotas map[string]service.Quota
+}
+
+// ParseKeys reads the API key file format:
+//
+//	# comment
+//	<tenant> <key> [tables=N] [jobs=N] [cache=N]
+//
+// One key per line, whitespace separated; a tenant may own several keys.
+// The optional k=v fields override that tenant's quota (last line wins).
+func ParseKeys(r io.Reader) (*KeysConfig, error) {
+	cfg := &KeysConfig{Quotas: make(map[string]service.Quota)}
+	keyTenants := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("httpapi: keys file line %d: want `tenant key [tables=N] [jobs=N] [cache=N]`", lineNo)
+		}
+		tenant, key := fields[0], fields[1]
+		if err := service.ValidateTenant(tenant); err != nil {
+			return nil, fmt.Errorf("httpapi: keys file line %d: %w", lineNo, err)
+		}
+		if other, dup := keyTenants[key]; dup && other != tenant {
+			return nil, fmt.Errorf("httpapi: keys file line %d: key already assigned to tenant %q", lineNo, other)
+		}
+		keyTenants[key] = tenant
+		if len(fields) > 2 {
+			q := cfg.Quotas[tenant]
+			for _, f := range fields[2:] {
+				name, val, ok := strings.Cut(f, "=")
+				n, err := strconv.Atoi(val)
+				if !ok || err != nil {
+					return nil, fmt.Errorf("httpapi: keys file line %d: bad quota field %q", lineNo, f)
+				}
+				switch name {
+				case "tables":
+					q.MaxTables = n
+				case "jobs":
+					q.MaxJobs = n
+				case "cache":
+					q.CacheShare = n
+				default:
+					return nil, fmt.Errorf("httpapi: keys file line %d: unknown quota %q (want tables, jobs or cache)", lineNo, name)
+				}
+			}
+			cfg.Quotas[tenant] = q
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("httpapi: read keys file: %w", err)
+	}
+	auth, err := NewAuth(keyTenants)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Auth = auth
+	return cfg, nil
+}
+
+// LoadKeysFile parses the key file at path.
+func LoadKeysFile(path string) (*KeysConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: open keys file: %w", err)
+	}
+	defer f.Close()
+	return ParseKeys(f)
+}
+
+// bearerKey extracts the API key from Authorization: Bearer <key> or, as a
+// curl-friendly fallback, the X-API-Key header. The scheme name is matched
+// case-insensitively — HTTP auth schemes are (RFC 9110 §11.1), and some
+// client libraries emit "bearer".
+func bearerKey(r *http.Request) (string, bool) {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if scheme, key, ok := strings.Cut(h, " "); ok && strings.EqualFold(scheme, "Bearer") {
+			if key = strings.TrimSpace(key); key != "" {
+				return key, true
+			}
+		}
+		return "", false
+	}
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return key, true
+	}
+	return "", false
+}
+
+// withAuth resolves the request's tenant before any handler runs. Without
+// an authenticator every request is the default tenant; with one, a missing
+// or malformed credential is 401 and an unknown key 403, both as JSON. The
+// liveness probe stays open — a load balancer holds no key.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tenant := service.DefaultTenant
+		if s.auth != nil && r.URL.Path != "/v1/healthz" {
+			key, ok := bearerKey(r)
+			if !ok {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="repro"`)
+				writeError(w, http.StatusUnauthorized, "missing API key: send Authorization: Bearer <key>")
+				return
+			}
+			t, found := s.auth.Authenticate(key)
+			if !found {
+				writeError(w, http.StatusForbidden, "unknown API key")
+				return
+			}
+			tenant = t
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKeyTenant{}, tenant)))
+	})
+}

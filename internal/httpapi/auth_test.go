@@ -1,0 +1,397 @@
+package httpapi_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/httpapi"
+	"repro/internal/service"
+)
+
+// tenantClient wraps a base URL with one tenant's API key, so the isolation
+// tests read like two separate customers using the service.
+type tenantClient struct {
+	t       *testing.T
+	baseURL string
+	key     string
+}
+
+func (c *tenantClient) do(method, path string, body []byte, header http.Header) *http.Response {
+	c.t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.baseURL+path, rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	if c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp
+}
+
+// expect performs the request, asserts the status code, decodes a JSON body
+// into out (when non-nil) and closes the body.
+func (c *tenantClient) expect(method, path string, body []byte, wantStatus int, out any) {
+	c.t.Helper()
+	resp := c.do(method, path, body, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		c.t.Fatalf("%s %s: status %d, want %d", method, path, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		decodeJSON(c.t, resp.Body, out)
+	}
+}
+
+func (c *tenantClient) upload(name string, tab *dataset.Table) service.TableInfo {
+	c.t.Helper()
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, tab); err != nil {
+		c.t.Fatal(err)
+	}
+	var info service.TableInfo
+	c.expect(http.MethodPost, "/v1/tables?name="+name, buf.Bytes(), http.StatusCreated, &info)
+	return info
+}
+
+func (c *tenantClient) submit(spec service.Spec) service.Status {
+	c.t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	var st service.Status
+	c.expect(http.MethodPost, "/v1/jobs", body, http.StatusAccepted, &st)
+	return st
+}
+
+func (c *tenantClient) poll(id string) service.Status {
+	c.t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st service.Status
+		c.expect(http.MethodGet, "/v1/jobs/"+id, nil, http.StatusOK, &st)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("job %s still %s at deadline", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// newAuthServer spins up the stack with API-key auth for tenants acme and
+// globex, plus the given quotas. With start false the engine's workers stay
+// parked, so submitted jobs remain pending — which makes quota-occupancy
+// assertions deterministic instead of racing job completion.
+func newAuthServer(t *testing.T, start bool, quotas *service.Quotas) (*httptest.Server, *tenantClient, *tenantClient) {
+	t.Helper()
+	checkGoroutineLeaks(t)
+	cfg, err := httpapi.ParseKeys(strings.NewReader(`
+# tenant   key
+acme       sk-acme-secret-1
+globex     sk-globex-secret-1
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := service.NewStore()
+	engine := service.NewEngine(store, service.Options{Workers: 2, SweepWorkers: 2, Quotas: quotas})
+	if start {
+		engine.Start()
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+	})
+	ts := httptest.NewServer(httpapi.New(store, engine, nil, httpapi.WithAuth(cfg.Auth)))
+	t.Cleanup(ts.Close)
+	acme := &tenantClient{t: t, baseURL: ts.URL, key: "sk-acme-secret-1"}
+	globex := &tenantClient{t: t, baseURL: ts.URL, key: "sk-globex-secret-1"}
+	return ts, acme, globex
+}
+
+// TestAuthRequired: with auth enabled, a missing credential is 401, an
+// unknown key 403 (both JSON), healthz stays open for probes, and the
+// X-API-Key fallback works.
+func TestAuthRequired(t *testing.T) {
+	ts, acme, _ := newAuthServer(t, true, nil)
+
+	resp, err := http.Get(ts.URL + "/v1/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no-key status %d, want 401", resp.StatusCode)
+	}
+	if h := resp.Header.Get("WWW-Authenticate"); !strings.Contains(h, "Bearer") {
+		t.Fatalf("WWW-Authenticate %q", h)
+	}
+	errorBody(t, resp)
+
+	bad := &tenantClient{t: t, baseURL: ts.URL, key: "sk-wrong-key-123"}
+	resp2 := bad.do(http.MethodGet, "/v1/tables", nil, nil)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusForbidden {
+		t.Fatalf("bad-key status %d, want 403", resp2.StatusCode)
+	}
+	errorBody(t, resp2)
+
+	// healthz needs no key.
+	resp3, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", resp3.StatusCode)
+	}
+
+	// X-API-Key works as a curl-friendly alternative.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/tables", nil)
+	req.Header.Set("X-API-Key", acme.key)
+	resp4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("X-API-Key status %d, want 200", resp4.StatusCode)
+	}
+
+	// The auth scheme is case-insensitive (RFC 9110 §11.1): "bearer" from
+	// lowercase-emitting client libraries must authenticate too.
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/tables", nil)
+	req2.Header.Set("Authorization", "bearer "+acme.key)
+	resp5, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusOK {
+		t.Fatalf("lowercase bearer status %d, want 200", resp5.StatusCode)
+	}
+}
+
+// TestTenantIsolationEndToEnd is the multi-tenancy acceptance test: two
+// tenants upload same-named tables and run fred-sweep jobs concurrently;
+// each gets correct results, and neither can read, list, delete, stream or
+// cancel the other's tables, jobs or events — every foreign ID answers 404,
+// indistinguishable from a nonexistent one.
+func TestTenantIsolationEndToEnd(t *testing.T) {
+	_, acme, globex := newAuthServer(t, true, nil)
+
+	// Different cohorts, same table names and (by per-tenant sequences) the
+	// same table IDs — the namespaces fully overlap, the data must not.
+	scA, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scB, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 7, N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aP, aQ := acme.upload("P", scA.P), acme.upload("Q", scA.Q)
+	bP, bQ := globex.upload("P", scB.P), globex.upload("Q", scB.Q)
+	if aP.ID != bP.ID {
+		t.Fatalf("per-tenant table handles diverged: %s vs %s", aP.ID, bP.ID)
+	}
+
+	// Each tenant lists exactly its own two tables.
+	for _, tc := range []struct {
+		c    *tenantClient
+		want string
+	}{{acme, aP.Hash}, {globex, bP.Hash}} {
+		var list struct {
+			Tables []service.TableInfo `json:"tables"`
+		}
+		tc.c.expect(http.MethodGet, "/v1/tables", nil, http.StatusOK, &list)
+		if len(list.Tables) != 2 || list.Tables[0].Hash != tc.want {
+			t.Fatalf("tenant list %+v, want its own 2 tables (first hash %s)", list.Tables, tc.want)
+		}
+	}
+
+	// Concurrent sweeps over the overlapping handles.
+	spec := func(p, q string) service.Spec {
+		return service.Spec{
+			Type: service.JobFREDSweep, Table: p, Aux: q,
+			MinK: 2, MaxK: 8,
+			SensitiveLo: 40000, SensitiveHi: 160000,
+		}
+	}
+	var wg sync.WaitGroup
+	var aSt, bSt service.Status
+	wg.Add(2)
+	go func() { defer wg.Done(); st := acme.submit(spec(aP.ID, aQ.ID)); aSt = acme.poll(st.ID) }()
+	go func() { defer wg.Done(); st := globex.submit(spec(bP.ID, bQ.ID)); bSt = globex.poll(st.ID) }()
+	wg.Wait()
+	if aSt.State != service.StateDone || bSt.State != service.StateDone {
+		t.Fatalf("sweeps ended %s / %s", aSt.State, bSt.State)
+	}
+	if aSt.Tenant != "acme" || bSt.Tenant != "globex" {
+		t.Fatalf("job tenants %q / %q", aSt.Tenant, bSt.Tenant)
+	}
+
+	// The two releases differ (different cohorts) even though every handle
+	// collided: download both and compare.
+	respA := acme.do(http.MethodGet, "/v1/jobs/"+aSt.ID+"/result", nil, nil)
+	defer respA.Body.Close()
+	relA, err := dataset.ReadCSV(respA.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relA.NumRows() != scA.P.NumRows() {
+		t.Fatalf("acme's release has %d rows, want %d", relA.NumRows(), scA.P.NumRows())
+	}
+
+	// Cross-tenant access: every route answers 404 for a foreign ID —
+	// including IDs that do not collide, so the foreign namespace is fully
+	// unobservable.
+	globex.expect(http.MethodGet, "/v1/jobs/"+aSt.ID, nil, http.StatusNotFound, nil)
+	globex.expect(http.MethodGet, "/v1/jobs/"+aSt.ID+"/result", nil, http.StatusNotFound, nil)
+	globex.expect(http.MethodGet, "/v1/jobs/"+aSt.ID+"/events", nil, http.StatusNotFound, nil)
+	globex.expect(http.MethodPost, "/v1/jobs/"+aSt.ID+"/cancel", nil, http.StatusNotFound, nil)
+	globex.expect(http.MethodDelete, "/v1/jobs/"+aSt.ID, nil, http.StatusNotFound, nil)
+	// (globex's own job with acme's job ID — the IDs are global, so a
+	// colliding read is impossible; its own job is reachable.)
+	globex.expect(http.MethodGet, "/v1/jobs/"+bSt.ID, nil, http.StatusOK, nil)
+
+	// acme's job list shows only acme's job.
+	var jobs struct {
+		Jobs []service.Status `json:"jobs"`
+	}
+	acme.expect(http.MethodGet, "/v1/jobs", nil, http.StatusOK, &jobs)
+	if len(jobs.Jobs) != 1 || jobs.Jobs[0].ID != aSt.ID {
+		t.Fatalf("acme's job list %+v", jobs.Jobs)
+	}
+
+	// Deleting the shared handle in globex's namespace must not touch
+	// acme's table.
+	globex.expect(http.MethodDelete, "/v1/tables/"+bQ.ID, nil, http.StatusNoContent, nil)
+	acme.expect(http.MethodGet, "/v1/tables/"+aQ.ID, nil, http.StatusOK, nil)
+	// And a deleted own handle is 404 afterwards.
+	globex.expect(http.MethodGet, "/v1/tables/"+bQ.ID, nil, http.StatusNotFound, nil)
+}
+
+// TestTenantQuotasOverHTTP: a tenant at its table or concurrent-job quota
+// gets 429 Too Many Requests; other tenants are unaffected.
+func TestTenantQuotasOverHTTP(t *testing.T) {
+	// The engine's workers stay parked: submitted jobs remain pending, so
+	// the single job slot is provably occupied when the second submit lands
+	// — no racing against job completion.
+	_, acme, globex := newAuthServer(t, false, &service.Quotas{
+		Default: service.Quota{MaxTables: 2, MaxJobs: 1},
+	})
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aP := acme.upload("P", sc.P)
+	acme.upload("Q", sc.Q) // acme is now at its table quota of 2
+
+	// Third upload: table quota exceeded.
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, sc.P); err != nil {
+		t.Fatal(err)
+	}
+	resp := acme.do(http.MethodPost, "/v1/tables?name=extra", buf.Bytes(), nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota upload status %d, want 429", resp.StatusCode)
+	}
+	errorBody(t, resp)
+	// globex still has its own table budget.
+	globex.upload("P", sc.Q)
+
+	// The pending job occupies acme's single slot; the next submit is 429.
+	st := acme.submit(service.Spec{Type: service.JobAnonymize, Table: aP.ID, K: 2})
+	body, _ := json.Marshal(service.Spec{Type: service.JobAnonymize, Table: aP.ID, K: 3})
+	resp2 := acme.do(http.MethodPost, "/v1/jobs", body, nil)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit status %d, want 429", resp2.StatusCode)
+	}
+	errorBody(t, resp2)
+	// globex has its own job budget.
+	bP := globex.upload("Q", sc.P)
+	globex.submit(service.Spec{Type: service.JobAnonymize, Table: bP.ID, K: 2})
+
+	// Cancelling the pending job frees the slot; acme can submit again.
+	acme.expect(http.MethodPost, "/v1/jobs/"+st.ID+"/cancel", nil, http.StatusAccepted, nil)
+	if got := acme.poll(st.ID); got.State != service.StateCanceled {
+		t.Fatalf("canceled pending job ended %s", got.State)
+	}
+	acme.submit(service.Spec{Type: service.JobAnonymize, Table: aP.ID, K: 4})
+}
+
+// TestParseKeys covers the key-file format: comments, quota overrides,
+// malformed lines, duplicate keys across tenants, bad tenant names.
+func TestParseKeys(t *testing.T) {
+	cfg, err := httpapi.ParseKeys(strings.NewReader(`
+# fleet tenants
+acme     sk-acme-12345   tables=8 jobs=2 cache=4
+globex   sk-globex-12345
+globex   sk-globex-backup
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, tenant := range map[string]string{
+		"sk-acme-12345":    "acme",
+		"sk-globex-12345":  "globex",
+		"sk-globex-backup": "globex",
+	} {
+		if got, ok := cfg.Auth.Authenticate(key); !ok || got != tenant {
+			t.Fatalf("Authenticate(%q) = %q, %v", key, got, ok)
+		}
+	}
+	if _, ok := cfg.Auth.Authenticate("sk-acme-12346"); ok {
+		t.Fatal("near-miss key authenticated")
+	}
+	if q := cfg.Quotas["acme"]; q.MaxTables != 8 || q.MaxJobs != 2 || q.CacheShare != 4 {
+		t.Fatalf("acme quota %+v", q)
+	}
+	if _, ok := cfg.Quotas["globex"]; ok {
+		t.Fatal("globex has no overrides, none expected")
+	}
+
+	for name, file := range map[string]string{
+		"missing key":     "acme\n",
+		"bad tenant":      "Ac/me sk-key-123456\n",
+		"bad quota field": "acme sk-key-123456 tables=lots\n",
+		"unknown quota":   "acme sk-key-123456 ponies=3\n",
+		"duplicate key":   "acme sk-key-123456\nglobex sk-key-123456\n",
+		"short key":       "acme short\n",
+		"empty file":      "# nothing\n",
+	} {
+		if _, err := httpapi.ParseKeys(strings.NewReader(file)); err == nil {
+			t.Errorf("%s: ParseKeys accepted %q", name, file)
+		}
+	}
+}

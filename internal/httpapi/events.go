@@ -30,7 +30,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	events, err := s.engine.StreamAfter(r.Context(), r.PathValue("id"), after)
+	events, err := s.engine.StreamAfter(r.Context(), tenantFrom(r), r.PathValue("id"), after)
 	if err != nil {
 		writeServiceError(w, err)
 		return

@@ -19,7 +19,14 @@
 //	                             already-delivered events after a reconnect
 //	POST   /v1/jobs/{id}/cancel  cancel a pending or running job
 //	DELETE /v1/jobs/{id}         purge a terminal job (409 while running)
-//	GET    /v1/healthz           liveness probe
+//	GET    /v1/healthz           liveness probe (never authenticated)
+//
+// The API is multi-tenant: with WithAuth configured, every request (except
+// healthz) must present an API key (Authorization: Bearer <key>, or
+// X-API-Key) and runs inside the key's tenant namespace — tables and jobs
+// of other tenants are invisible (foreign IDs are 404, never 403), and
+// per-tenant quotas answer 429 when exceeded. Without auth, everything
+// runs as the default tenant, preserving the single-namespace behavior.
 //
 // The engine also evicts the oldest finished jobs beyond its retention
 // limit (service.Options.MaxFinishedJobs), so the job log stays bounded
@@ -48,12 +55,26 @@ type Server struct {
 	store  *service.Store
 	engine *service.Engine
 	logger *log.Logger
+	auth   *Auth
 	mux    *http.ServeMux
 }
 
+// Option configures optional server behavior.
+type Option func(*Server)
+
+// WithAuth enables API-key authentication: every request resolves to the
+// presenting key's tenant. A nil auth leaves the server open on the
+// default tenant.
+func WithAuth(a *Auth) Option {
+	return func(s *Server) { s.auth = a }
+}
+
 // New builds the server. A nil logger silences request logging.
-func New(store *service.Store, engine *service.Engine, logger *log.Logger) *Server {
+func New(store *service.Store, engine *service.Engine, logger *log.Logger, opts ...Option) *Server {
 	s := &Server{store: store, engine: engine, logger: logger, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/tables", s.handleTableUpload)
 	s.mux.HandleFunc("GET /v1/tables", s.handleTableList)
@@ -70,9 +91,11 @@ func New(store *service.Store, engine *service.Engine, logger *log.Logger) *Serv
 	return s
 }
 
-// ServeHTTP implements http.Handler with the logging middleware applied.
+// ServeHTTP implements http.Handler with the logging and authentication
+// middleware applied — auth runs inside logging, so refused requests are
+// logged too.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.withLogging(s.mux).ServeHTTP(w, r)
+	s.withLogging(s.withAuth(s.mux)).ServeHTTP(w, r)
 }
 
 // --- handlers ---------------------------------------------------------------
@@ -97,20 +120,20 @@ func (s *Server) handleTableUpload(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "table"
 	}
-	info, err := s.store.Put(name, t)
+	info, err := s.store.Put(tenantFrom(r), name, t)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleTableList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"tables": s.store.List()})
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.store.List(tenantFrom(r))})
 }
 
 func (s *Server) handleTableGet(w http.ResponseWriter, r *http.Request) {
-	_, info, err := s.store.Get(r.PathValue("id"))
+	_, info, err := s.store.Get(tenantFrom(r), r.PathValue("id"))
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -119,7 +142,7 @@ func (s *Server) handleTableGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTableCSV(w http.ResponseWriter, r *http.Request) {
-	t, info, err := s.store.Get(r.PathValue("id"))
+	t, info, err := s.store.Get(tenantFrom(r), r.PathValue("id"))
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -128,7 +151,7 @@ func (s *Server) handleTableCSV(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTableDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.store.Delete(r.PathValue("id")); err != nil {
+	if err := s.store.Delete(tenantFrom(r), r.PathValue("id")); err != nil {
 		writeServiceError(w, err)
 		return
 	}
@@ -143,7 +166,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse job spec: %v", err))
 		return
 	}
-	st, err := s.engine.Submit(spec)
+	st, err := s.engine.Submit(tenantFrom(r), spec)
 	if err != nil {
 		switch {
 		case errors.Is(err, service.ErrQueueFull):
@@ -157,11 +180,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.engine.Jobs()})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.engine.Jobs(tenantFrom(r))})
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	st, err := s.engine.Job(r.PathValue("id"))
+	st, err := s.engine.Job(tenantFrom(r), r.PathValue("id"))
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -171,7 +194,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	res, err := s.engine.Result(id)
+	res, err := s.engine.Result(tenantFrom(r), id)
 	if err != nil {
 		switch {
 		case errors.Is(err, service.ErrNotFinished):
@@ -202,7 +225,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	if err := s.engine.Cancel(r.PathValue("id")); err != nil {
+	if err := s.engine.Cancel(tenantFrom(r), r.PathValue("id")); err != nil {
 		if errors.Is(err, service.ErrAlreadyFinished) {
 			writeError(w, http.StatusConflict, err.Error())
 			return
@@ -214,7 +237,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.engine.Delete(r.PathValue("id")); err != nil {
+	if err := s.engine.Delete(tenantFrom(r), r.PathValue("id")); err != nil {
 		if errors.Is(err, service.ErrNotFinished) {
 			writeError(w, http.StatusConflict, err.Error())
 			return
@@ -240,11 +263,17 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 // writeServiceError maps service-layer errors onto status codes: unknown
-// IDs are 404, everything else a 400-class client error.
+// (or foreign-tenant) IDs are 404, exceeded tenant quotas 429, everything
+// else a 400-class client error.
 func writeServiceError(w http.ResponseWriter, err error) {
 	var nf *service.ErrNotFound
 	if errors.As(err, &nf) {
 		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	var qe *service.QuotaError
+	if errors.As(err, &qe) {
+		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
 	writeError(w, http.StatusBadRequest, err.Error())

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -27,12 +28,41 @@ func newTestServer(t *testing.T, start bool) (*httptest.Server, *service.Store) 
 	return ts, store
 }
 
+// checkGoroutineLeaks registers a cleanup — first, so it runs after the
+// server and engine cleanups — that fails the test when the goroutine count
+// does not return to its pre-test baseline. This is what catches a leaked
+// SSE response body: an unclosed stream pins the server's event-stream
+// handler, the engine's subscription goroutine and the client connection
+// forever, and the count never converges.
+func checkGoroutineLeaks(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(10 * time.Second)
+		var n int
+		for {
+			if n = runtime.NumGoroutine(); n <= base+3 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d at test start, still %d after shutdown\n%s", base, n, buf)
+	})
+}
+
 // newTestServerEngine additionally hands back the engine, for tests that
 // need to start the workers only after setting up observers (event-stream
 // tests subscribe first so streaming is observed deterministically) or to
 // tune the worker counts.
 func newTestServerEngine(t *testing.T, start bool, opts service.Options) (*httptest.Server, *service.Store, *service.Engine) {
 	t.Helper()
+	checkGoroutineLeaks(t)
 	store := service.NewStore()
 	engine := service.NewEngine(store, opts)
 	if start {
@@ -226,7 +256,7 @@ func TestJobResultBeforeCompletion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := store.Put("P", sc.P)
+	info, err := store.Put(service.DefaultTenant, "P", sc.P)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,15 +340,20 @@ func TestJobResultBeforeCompletion(t *testing.T) {
 func TestUnknownJobRoutes(t *testing.T) {
 	ts, _ := newTestServer(t, true)
 	for _, path := range []string{"/v1/jobs/job-404", "/v1/jobs/job-404/result"} {
-		resp, err := http.Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if resp.StatusCode != http.StatusNotFound {
-			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
-		}
-		errorBody(t, resp)
-		resp.Body.Close()
+		// The deferred close runs even when an assertion below fails the
+		// test — a bare Close after the assertions would leak the body (and
+		// its connection) on that early exit.
+		func() {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+			}
+			errorBody(t, resp)
+		}()
 	}
 }
 
@@ -372,8 +407,11 @@ func pollJob(t *testing.T, baseURL, id string) service.Status {
 			t.Fatal(err)
 		}
 		var st service.Status
-		decodeJSON(t, resp.Body, &st)
-		resp.Body.Close()
+		func() {
+			// Deferred so a decode failure's t.Fatal cannot leak the body.
+			defer resp.Body.Close()
+			decodeJSON(t, resp.Body, &st)
+		}()
 		if st.State.Terminal() {
 			return st
 		}

@@ -27,11 +27,13 @@ type TableRecord struct {
 // whether tables additionally survive restarts. Implementations must be safe
 // for concurrent use.
 type TableBackend interface {
-	// PutTable persists one table record. Identical tables (same content
-	// hash) may share storage.
+	// PutTable persists one table record in its tenant's namespace
+	// (rec.Info.Tenant). Identical tables (same content hash) within one
+	// tenant may share storage.
 	PutTable(rec TableRecord) error
-	// DeleteTable removes the record for id. Unknown ids are a no-op.
-	DeleteTable(id string) error
+	// DeleteTable removes the record for (tenant, id) — table handles are
+	// only unique per tenant. Unknown ids are a no-op.
+	DeleteTable(tenant, id string) error
 	// LoadTables returns every persisted record, for Store.Open.
 	LoadTables() ([]TableRecord, error)
 	// PutBlob persists an auxiliary table keyed by its content hash — job
@@ -80,8 +82,11 @@ type WALRecord struct {
 	Kind  WALKind `json:"kind"`
 	JobID string  `json:"job_id"`
 
-	// Submission fields (kind "job").
+	// Submission fields (kind "job"). Tenant is the namespace the job runs
+	// in; an empty tenant on replay — a record written before multi-tenancy
+	// — is adopted into DefaultTenant by Recover.
 	JobSeq  int        `json:"job_seq,omitempty"`
+	Tenant  string     `json:"tenant,omitempty"`
 	Spec    *Spec      `json:"spec,omitempty"`
 	Created *time.Time `json:"created,omitempty"`
 
@@ -136,7 +141,7 @@ type memTableBackend struct{}
 func NewMemTableBackend() TableBackend { return memTableBackend{} }
 
 func (memTableBackend) PutTable(TableRecord) error           { return nil }
-func (memTableBackend) DeleteTable(string) error             { return nil }
+func (memTableBackend) DeleteTable(string, string) error     { return nil }
 func (memTableBackend) LoadTables() ([]TableRecord, error)   { return nil, nil }
 func (memTableBackend) PutBlob(string, *dataset.Table) error { return nil }
 func (memTableBackend) GetBlob(hash string) (*dataset.Table, error) {

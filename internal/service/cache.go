@@ -7,25 +7,37 @@ import (
 
 // resultCache is a small mutex-guarded LRU over finished job results. Every
 // engine job type is a pure function of (input table contents, spec), so
-// results are cached unconditionally; the key is Spec.cacheKey. Cached
+// results are cached unconditionally; the key is the tenant plus
+// Spec.cacheKey — tenants never share entries, even for byte-identical
+// inputs, because a cross-tenant hit (Status.Cached, instant completion)
+// would leak that another tenant ran the same sweep. A per-tenant share cap
+// additionally bounds how many entries one tenant may occupy, so a single
+// tenant's sweep storm cannot evict everyone else's cached releases. Cached
 // Results are shared, never mutated — Result tables follow the store's
 // immutability contract.
 type resultCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List
-	items map[string]*list.Element
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List
+	items  map[string]*list.Element
+	counts map[string]int // tenant → resident entries
 }
 
 type cacheEntry struct {
-	key string
-	res *Result
+	tenant string
+	key    string
+	res    *Result
 }
 
 // newResultCache returns a cache holding up to cap results; cap ≤ 0 disables
 // caching entirely (every Get misses, every Put drops).
 func newResultCache(cap int) *resultCache {
-	return &resultCache{cap: cap, ll: list.New(), items: make(map[string]*list.Element)}
+	return &resultCache{
+		cap:    cap,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+		counts: make(map[string]int),
+	}
 }
 
 // Get returns the cached result for key, refreshing its recency.
@@ -43,8 +55,10 @@ func (c *resultCache) Get(key string) (*Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// Put inserts a result, evicting the least recently used entry when full.
-func (c *resultCache) Put(key string, res *Result) {
+// Put inserts a result for tenant. When the tenant is at its share (share >
+// 0), the tenant's own least recently used entry is evicted first; the
+// global capacity then evicts the overall LRU as before.
+func (c *resultCache) Put(tenant, key string, res *Result, share int) {
 	if c.cap <= 0 {
 		return
 	}
@@ -55,11 +69,35 @@ func (c *resultCache) Put(key string, res *Result) {
 		el.Value.(*cacheEntry).res = res
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	if share > 0 && c.counts[tenant] >= share {
+		c.removeLocked(c.oldestOfLocked(tenant))
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{tenant: tenant, key: key, res: res})
+	c.counts[tenant]++
 	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.removeLocked(c.ll.Back())
+	}
+}
+
+// oldestOfLocked returns tenant's least recently used entry.
+func (c *resultCache) oldestOfLocked(tenant string) *list.Element {
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		if el.Value.(*cacheEntry).tenant == tenant {
+			return el
+		}
+	}
+	return nil
+}
+
+func (c *resultCache) removeLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	if c.counts[ent.tenant]--; c.counts[ent.tenant] <= 0 {
+		delete(c.counts, ent.tenant)
 	}
 }
 
@@ -68,4 +106,11 @@ func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// TenantLen reports the number of cached results held by tenant.
+func (c *resultCache) TenantLen(tenant string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[tenant]
 }

@@ -7,14 +7,28 @@
 //
 // Layout under the data directory:
 //
-//	tables/<sha256>.snap   columnar table snapshots (dataset.WriteSnapshot),
-//	                       content-addressed — identical uploads share a file
-//	results/<sha256>.snap  job result tables ("blobs"), same format
-//	tables.json            table metadata (service.TableInfo list), rewritten
+//	tables/<tenant>/<sha256>.snap
+//	                       columnar table snapshots (dataset.WriteSnapshot),
+//	                       content-addressed within each tenant's directory —
+//	                       identical uploads by one tenant share a file,
+//	                       identical uploads by two tenants do not share
+//	                       anything observable
+//	results/<sha256>.snap  job result tables ("blobs"), same format; reached
+//	                       only through tenant-scoped job results
+//	tables.json            versioned table metadata: {"version": 2,
+//	                       "tables": [service.TableInfo…]}, rewritten
 //	                       atomically (tmp + rename) on every change
-//	jobs.wal               the job WAL: one JSON service.WALRecord per line,
-//	                       appended flushed (kill -9 safe), fsynced on
-//	                       terminal records, compacted by Engine.Recover
+//	jobs.wal               the job WAL: one JSON service.WALRecord per line
+//	                       (job records carry the owning tenant), appended
+//	                       flushed (kill -9 safe), fsynced on terminal
+//	                       records, compacted by Engine.Recover
+//
+// A pre-tenancy data directory — a bare-array tables.json and snapshots
+// directly under tables/ — is migrated on Open: every table is adopted into
+// service.DefaultTenant, its snapshot moved under tables/default/, and the
+// metadata rewritten in the versioned format. WAL job records without a
+// tenant field are adopted by Engine.Recover the same way, so a v1
+// directory recovers byte-identical under the default tenant.
 //
 // A torn final WAL line — the signature of a crash mid-append — is ignored
 // on replay; corruption anywhere earlier fails recovery loudly.
@@ -49,11 +63,25 @@ type Store struct {
 	// must not stall WAL appends — every submission and every running
 	// sweep's checkpoint/event publication goes through the WAL.
 	mu    sync.Mutex
-	infos map[string]service.TableInfo // table id → metadata
+	infos map[tableKey]service.TableInfo
 
 	walMu sync.Mutex
 	wal   *os.File
 	lock  *os.File
+}
+
+// tableKey identifies a table on disk: handles are only unique per tenant.
+type tableKey struct{ tenant, id string }
+
+// metaVersion is the tables.json format version. Version 1 was a bare
+// TableInfo array with no tenant field; version 2 wraps the list in a
+// versioned envelope and every entry names its tenant.
+const metaVersion = 2
+
+// metaFile is the versioned tables.json envelope.
+type metaFile struct {
+	Version int                 `json:"version"`
+	Tables  []service.TableInfo `json:"tables"`
 }
 
 // Open creates (if needed) and opens a data directory, taking an exclusive
@@ -71,7 +99,7 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, infos: make(map[string]service.TableInfo), lock: lock}
+	s := &Store{dir: dir, infos: make(map[tableKey]service.TableInfo), lock: lock}
 	if err := s.loadMeta(); err != nil {
 		unlockDir(lock)
 		return nil, err
@@ -95,6 +123,7 @@ func (s *Store) sweepOrphans() {
 	for _, pat := range []string{
 		filepath.Join(s.dir, ".meta-*"),
 		filepath.Join(s.dir, "tables", ".snap-*"),
+		filepath.Join(s.dir, "tables", "*", ".snap-*"),
 		filepath.Join(s.dir, "results", ".snap-*"),
 	} {
 		matches, _ := filepath.Glob(pat)
@@ -102,16 +131,23 @@ func (s *Store) sweepOrphans() {
 			os.Remove(m) //nolint:errcheck
 		}
 	}
-	referenced := make(map[string]bool, len(s.infos))
+	referenced := make(map[[2]string]bool, len(s.infos))
 	for _, info := range s.infos {
-		referenced[info.Hash] = true
+		referenced[[2]string{info.Tenant, info.Hash}] = true
 	}
-	snaps, _ := filepath.Glob(filepath.Join(s.dir, "tables", "*.snap"))
+	snaps, _ := filepath.Glob(filepath.Join(s.dir, "tables", "*", "*.snap"))
 	for _, path := range snaps {
+		tenant := filepath.Base(filepath.Dir(path))
 		hash := strings.TrimSuffix(filepath.Base(path), ".snap")
-		if !referenced[hash] {
+		if !referenced[[2]string{tenant, hash}] {
 			os.Remove(path) //nolint:errcheck
 		}
+	}
+	// Pre-migration leftovers directly under tables/ (the v1 layout keeps
+	// nothing there once loadMeta has migrated).
+	legacy, _ := filepath.Glob(filepath.Join(s.dir, "tables", "*.snap"))
+	for _, path := range legacy {
+		os.Remove(path) //nolint:errcheck
 	}
 }
 
@@ -136,8 +172,8 @@ func (s *Store) Close() error {
 
 func (s *Store) walPath() string  { return filepath.Join(s.dir, "jobs.wal") }
 func (s *Store) metaPath() string { return filepath.Join(s.dir, "tables.json") }
-func (s *Store) tablePath(hash string) string {
-	return filepath.Join(s.dir, "tables", hash+".snap")
+func (s *Store) tablePath(tenant, hash string) string {
+	return filepath.Join(s.dir, "tables", tenant, hash+".snap")
 }
 func (s *Store) blobPath(hash string) string {
 	return filepath.Join(s.dir, "results", hash+".snap")
@@ -145,42 +181,52 @@ func (s *Store) blobPath(hash string) string {
 
 // --- TableBackend -----------------------------------------------------------
 
-// PutTable persists the table as a content-addressed snapshot plus a
-// metadata entry. The snapshot write is atomic (tmp + rename), so a crash
-// mid-upload leaves either the previous state or the complete new one. The
-// whole put runs under s.mu so the dedup check (snapshot already exists)
-// cannot race DeleteTable's last-reference removal of the same hash —
-// otherwise a delete could unlink the file a just-deduped upload's metadata
-// is about to reference.
+// PutTable persists the table as a content-addressed snapshot in its
+// tenant's directory plus a metadata entry. The snapshot write is atomic
+// (tmp + rename), so a crash mid-upload leaves either the previous state or
+// the complete new one. The whole put runs under s.mu so the dedup check
+// (snapshot already exists) cannot race DeleteTable's last-reference
+// removal of the same hash — otherwise a delete could unlink the file a
+// just-deduped upload's metadata is about to reference. The tenant name is
+// re-validated here — it becomes a path component, and this layer must not
+// trust the caller not to traverse.
 func (s *Store) PutTable(rec service.TableRecord) error {
+	if err := service.ValidateTenant(rec.Info.Tenant); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.writeSnapshot(s.tablePath(rec.Info.Hash), rec.Table); err != nil {
+	if err := os.MkdirAll(filepath.Join(s.dir, "tables", rec.Info.Tenant), 0o755); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := s.writeSnapshot(s.tablePath(rec.Info.Tenant, rec.Info.Hash), rec.Table); err != nil {
 		return err
 	}
-	s.infos[rec.Info.ID] = rec.Info
+	s.infos[tableKey{rec.Info.Tenant, rec.Info.ID}] = rec.Info
 	return s.writeMetaLocked()
 }
 
-// DeleteTable drops the metadata entry and, when no other table shares the
-// content hash, the snapshot file. Unknown ids are a no-op.
-func (s *Store) DeleteTable(id string) error {
+// DeleteTable drops the metadata entry and, when no other table of the same
+// tenant shares the content hash, the snapshot file. Unknown ids are a
+// no-op.
+func (s *Store) DeleteTable(tenant, id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	info, ok := s.infos[id]
+	key := tableKey{tenant, id}
+	info, ok := s.infos[key]
 	if !ok {
 		return nil
 	}
-	delete(s.infos, id)
+	delete(s.infos, key)
 	shared := false
-	for _, other := range s.infos {
-		if other.Hash == info.Hash {
+	for k, other := range s.infos {
+		if k.tenant == tenant && other.Hash == info.Hash {
 			shared = true
 			break
 		}
 	}
 	if !shared {
-		if err := os.Remove(s.tablePath(info.Hash)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		if err := os.Remove(s.tablePath(tenant, info.Hash)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("diskstore: remove snapshot: %w", err)
 		}
 	}
@@ -197,12 +243,17 @@ func (s *Store) LoadTables() ([]service.TableRecord, error) {
 		infos = append(infos, info)
 	}
 	s.mu.Unlock()
-	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Tenant != infos[j].Tenant {
+			return infos[i].Tenant < infos[j].Tenant
+		}
+		return infos[i].ID < infos[j].ID
+	})
 	recs := make([]service.TableRecord, 0, len(infos))
 	for _, info := range infos {
-		t, err := s.readSnapshot(s.tablePath(info.Hash))
+		t, err := s.readSnapshot(s.tablePath(info.Tenant, info.Hash))
 		if err != nil {
-			return nil, fmt.Errorf("diskstore: load table %s: %w", info.ID, err)
+			return nil, fmt.Errorf("diskstore: load table %s/%s: %w", info.Tenant, info.ID, err)
 		}
 		recs = append(recs, service.TableRecord{Info: info, Table: t})
 	}
@@ -269,7 +320,12 @@ func (s *Store) readSnapshot(path string) (*dataset.Table, error) {
 	return dataset.ReadSnapshot(f)
 }
 
-// loadMeta reads tables.json; a missing file is an empty store.
+// loadMeta reads tables.json; a missing file is an empty store. A version-1
+// file — the pre-tenancy bare TableInfo array — triggers the one-time
+// migration: every entry is adopted into service.DefaultTenant, its
+// snapshot file moved from tables/<hash>.snap into the tenant directory,
+// and the metadata rewritten in the versioned envelope, so the next boot
+// reads a plain v2 store.
 func (s *Store) loadMeta() error {
 	raw, err := os.ReadFile(s.metaPath())
 	if errors.Is(err, fs.ErrNotExist) {
@@ -278,24 +334,56 @@ func (s *Store) loadMeta() error {
 	if err != nil {
 		return fmt.Errorf("diskstore: read metadata: %w", err)
 	}
+	var meta metaFile
+	if err := json.Unmarshal(raw, &meta); err == nil && meta.Version != 0 {
+		if meta.Version > metaVersion {
+			return fmt.Errorf("diskstore: metadata version %d is newer than this binary understands (%d)", meta.Version, metaVersion)
+		}
+		for _, info := range meta.Tables {
+			if info.Tenant == "" {
+				info.Tenant = service.DefaultTenant
+			}
+			s.infos[tableKey{info.Tenant, info.ID}] = info
+		}
+		return nil
+	}
+	// Version 1: a bare array. Adopt and migrate the layout.
 	var infos []service.TableInfo
 	if err := json.Unmarshal(raw, &infos); err != nil {
 		return fmt.Errorf("diskstore: parse metadata: %w", err)
 	}
-	for _, info := range infos {
-		s.infos[info.ID] = info
+	if err := os.MkdirAll(filepath.Join(s.dir, "tables", service.DefaultTenant), 0o755); err != nil {
+		return fmt.Errorf("diskstore: migrate metadata: %w", err)
 	}
-	return nil
+	for _, info := range infos {
+		info.Tenant = service.DefaultTenant
+		oldPath := filepath.Join(s.dir, "tables", info.Hash+".snap")
+		newPath := s.tablePath(info.Tenant, info.Hash)
+		if err := os.Rename(oldPath, newPath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			// ErrNotExist: a duplicate hash already moved it, or the
+			// snapshot is genuinely missing — LoadTables reports the
+			// latter loudly.
+			return fmt.Errorf("diskstore: migrate snapshot %s: %w", info.Hash, err)
+		}
+		s.infos[tableKey{info.Tenant, info.ID}] = info
+	}
+	return s.writeMetaLocked()
 }
 
-// writeMetaLocked rewrites tables.json atomically. Callers hold s.mu.
+// writeMetaLocked rewrites tables.json atomically in the versioned format.
+// Callers hold s.mu.
 func (s *Store) writeMetaLocked() error {
-	infos := make([]service.TableInfo, 0, len(s.infos))
+	meta := metaFile{Version: metaVersion, Tables: make([]service.TableInfo, 0, len(s.infos))}
 	for _, info := range s.infos {
-		infos = append(infos, info)
+		meta.Tables = append(meta.Tables, info)
 	}
-	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
-	raw, err := json.MarshalIndent(infos, "", "  ")
+	sort.Slice(meta.Tables, func(i, j int) bool {
+		if meta.Tables[i].Tenant != meta.Tables[j].Tenant {
+			return meta.Tables[i].Tenant < meta.Tables[j].Tenant
+		}
+		return meta.Tables[i].ID < meta.Tables[j].ID
+	})
+	raw, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return fmt.Errorf("diskstore: marshal metadata: %w", err)
 	}

@@ -52,7 +52,7 @@ func waitDone(t *testing.T, e *service.Engine, id string) service.Status {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	st, err := e.Wait(ctx, id)
+	st, err := e.Wait(ctx, service.DefaultTenant, id)
 	if err != nil {
 		t.Fatalf("wait %s: %v (state %s)", id, err, st.State)
 	}
@@ -77,11 +77,11 @@ func runUninterrupted(t *testing.T) (string, string, service.Status, *service.Re
 		t.Fatal(err)
 	}
 	ds, store, engine := openPlane(t, dir, service.Options{Workers: 2, SweepWorkers: 2})
-	pInfo, err := store.Put("P", sc.P)
+	pInfo, err := store.Put(service.DefaultTenant, "P", sc.P)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qInfo, err := store.Put("Q", sc.Q)
+	qInfo, err := store.Put(service.DefaultTenant, "Q", sc.Q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func runUninterrupted(t *testing.T) (string, string, service.Status, *service.Re
 		t.Fatal(err)
 	}
 	engine.Start()
-	st, err := engine.Submit(sweepSpec(pInfo.ID, qInfo.ID))
+	st, err := engine.Submit(service.DefaultTenant, sweepSpec(pInfo.ID, qInfo.ID))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func runUninterrupted(t *testing.T) (string, string, service.Status, *service.Re
 	if st.State != service.StateDone {
 		t.Fatalf("state %s (%s), want done", st.State, st.Error)
 	}
-	res, err := engine.Result(st.ID)
+	res, err := engine.Result(service.DefaultTenant, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +123,11 @@ func TestDiskTableBackendRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds1, store1, _ := openPlane(t, dir, service.Options{Workers: 1})
-	pInfo, err := store1.Put("P", sc.P)
+	pInfo, err := store1.Put(service.DefaultTenant, "P", sc.P)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qInfo, err := store1.Put("Q", sc.Q)
+	qInfo, err := store1.Put(service.DefaultTenant, "Q", sc.Q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +136,11 @@ func TestDiskTableBackendRoundTrip(t *testing.T) {
 	}
 
 	_, store2, _ := openPlane(t, dir, service.Options{Workers: 1})
-	list := store2.List()
+	list := store2.List(service.DefaultTenant)
 	if len(list) != 2 {
 		t.Fatalf("reloaded %d tables, want 2", len(list))
 	}
-	p2, p2Info, err := store2.Get(pInfo.ID)
+	p2, p2Info, err := store2.Get(service.DefaultTenant, pInfo.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestDiskTableBackendRoundTrip(t *testing.T) {
 		t.Fatal("reloaded table differs cellwise from the upload")
 	}
 	// A fresh Put must not collide with recovered IDs.
-	extra, err := store2.Put("extra", sc.P)
+	extra, err := store2.Put(service.DefaultTenant, "extra", sc.P)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,16 +159,16 @@ func TestDiskTableBackendRoundTrip(t *testing.T) {
 		t.Fatalf("recovered store reissued handle %s", extra.ID)
 	}
 	// Deleting one of two tables sharing a hash must keep the snapshot.
-	if err := store2.Delete(extra.ID); err != nil {
+	if err := store2.Delete(service.DefaultTenant, extra.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := store2.Get(pInfo.ID); err != nil {
+	if _, _, err := store2.Get(service.DefaultTenant, pInfo.ID); err != nil {
 		t.Fatalf("delete of duplicate removed the survivor: %v", err)
 	}
-	if err := store2.Delete(pInfo.ID); err != nil {
+	if err := store2.Delete(service.DefaultTenant, pInfo.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "tables", pInfo.Hash+".snap")); !os.IsNotExist(err) {
+	if _, err := os.Stat(filepath.Join(dir, "tables", service.DefaultTenant, pInfo.Hash+".snap")); !os.IsNotExist(err) {
 		t.Fatal("last delete of a hash left its snapshot file behind")
 	}
 }
@@ -232,14 +232,14 @@ func TestRecoverRestoresTerminalJobsDisk(t *testing.T) {
 	if len(recovered) != 1 || recovered[0].Resumed {
 		t.Fatalf("recovered %+v, want one non-resumed terminal job", recovered)
 	}
-	st, err := engine.Job(jobID)
+	st, err := engine.Job(service.DefaultTenant, jobID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.State != service.StateDone || len(st.Levels) != len(want.Levels) {
 		t.Fatalf("recovered job: state %s with %d levels, want done with %d", st.State, len(st.Levels), len(want.Levels))
 	}
-	res, err := engine.Result(jobID)
+	res, err := engine.Result(service.DefaultTenant, jobID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,8 +253,8 @@ func TestRecoverRestoresTerminalJobsDisk(t *testing.T) {
 		t.Fatal("recovered result table is not byte-identical to the original")
 	}
 	// The cache was re-seeded: an identical submission is an instant hit.
-	tables := store.List()
-	st2, err := engine.Submit(sweepSpec(tables[0].ID, tables[1].ID))
+	tables := store.List(service.DefaultTenant)
+	st2, err := engine.Submit(service.DefaultTenant, sweepSpec(tables[0].ID, tables[1].ID))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +338,7 @@ func TestRecoverResumesInterruptedSweepDisk(t *testing.T) {
 	// tail live — never a duplicate of the prefix.
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	events, err := engine.Stream(ctx, jobID)
+	events, err := engine.Stream(ctx, service.DefaultTenant, jobID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +375,7 @@ func TestRecoverResumesInterruptedSweepDisk(t *testing.T) {
 		t.Fatal("finished job lost its resumed marker")
 	}
 
-	res, err := engine.Result(jobID)
+	res, err := engine.Result(service.DefaultTenant, jobID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +424,7 @@ func TestRecoverResumePointPastSeriesDisk(t *testing.T) {
 	if st.State != service.StateDone {
 		t.Fatalf("state %s (%s), want done", st.State, st.Error)
 	}
-	res, err := engine.Result(jobID)
+	res, err := engine.Result(service.DefaultTenant, jobID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,29 +445,29 @@ func TestDiskEvictTablesTTL(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, store, engine := openPlane(t, dir, service.Options{Workers: 1})
-	pInfo, err := store.Put("P", sc.P)
+	pInfo, err := store.Put(service.DefaultTenant, "P", sc.P)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qInfo, err := store.Put("Q", sc.Q)
+	qInfo, err := store.Put(service.DefaultTenant, "Q", sc.Q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Engine not started: the job pins its table while pending.
-	if _, err := engine.Submit(service.Spec{Type: service.JobAnonymize, Table: pInfo.ID, K: 2}); err != nil {
+	if _, err := engine.Submit(service.DefaultTenant, service.Spec{Type: service.JobAnonymize, Table: pInfo.ID, K: 2}); err != nil {
 		t.Fatal(err)
 	}
 	evicted := engine.EvictTables(0)
 	if len(evicted) != 1 || evicted[0].ID != qInfo.ID {
 		t.Fatalf("evicted %+v, want exactly the unreferenced table %s", evicted, qInfo.ID)
 	}
-	if _, _, err := store.Get(qInfo.ID); err == nil {
+	if _, _, err := store.Get(service.DefaultTenant, qInfo.ID); err == nil {
 		t.Fatal("evicted table still served")
 	}
-	if _, err := os.Stat(filepath.Join(dir, "tables", qInfo.Hash+".snap")); !os.IsNotExist(err) {
+	if _, err := os.Stat(filepath.Join(dir, "tables", service.DefaultTenant, qInfo.Hash+".snap")); !os.IsNotExist(err) {
 		t.Fatal("evicted table's snapshot file survived")
 	}
-	if _, _, err := store.Get(pInfo.ID); err != nil {
+	if _, _, err := store.Get(service.DefaultTenant, pInfo.ID); err != nil {
 		t.Fatalf("referenced table was evicted: %v", err)
 	}
 }
@@ -508,7 +508,7 @@ func TestRecoverKeepsCursorsAcrossSecondRestartDisk(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	events, err := engine1.Stream(ctx, jobID)
+	events, err := engine1.Stream(ctx, service.DefaultTenant, jobID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -539,7 +539,7 @@ func TestRecoverKeepsCursorsAcrossSecondRestartDisk(t *testing.T) {
 	if _, err := engine2.Recover(); err != nil {
 		t.Fatal(err)
 	}
-	resumed, err := engine2.StreamAfter(ctx, jobID, cursor)
+	resumed, err := engine2.StreamAfter(ctx, service.DefaultTenant, jobID, cursor)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -565,7 +565,7 @@ func TestRecoverNeverReissuesDeletedJobIDsDisk(t *testing.T) {
 	if _, err := engine1.Recover(); err != nil {
 		t.Fatal(err)
 	}
-	if err := engine1.Delete(jobID); err != nil {
+	if err := engine1.Delete(service.DefaultTenant, jobID); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -584,8 +584,8 @@ func TestRecoverNeverReissuesDeletedJobIDsDisk(t *testing.T) {
 		t.Fatal(err)
 	}
 	engine2.Start()
-	tables := store2.List()
-	st, err := engine2.Submit(service.Spec{Type: service.JobAnonymize, Table: tables[0].ID, K: 2})
+	tables := store2.List(service.DefaultTenant)
+	st, err := engine2.Submit(service.DefaultTenant, service.Spec{Type: service.JobAnonymize, Table: tables[0].ID, K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -610,11 +610,11 @@ func craftWAL(t *testing.T, recs func(p, q string) []service.WALRecord) string {
 		t.Fatal(err)
 	}
 	store := service.NewStoreWith(ds)
-	pInfo, err := store.Put("P", sc.P)
+	pInfo, err := store.Put(service.DefaultTenant, "P", sc.P)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qInfo, err := store.Put("Q", sc.Q)
+	qInfo, err := store.Put(service.DefaultTenant, "Q", sc.Q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -668,7 +668,7 @@ func TestRecoverHonorsDurableCancelDisk(t *testing.T) {
 	if len(st.Levels) != 2 || st.Levels[0].K != 2 || st.Levels[1].K != 3 {
 		t.Fatalf("canceled job kept levels %+v, want the checkpointed prefix k=2,3", st.Levels)
 	}
-	if _, err := engine.Result("job-1"); err == nil {
+	if _, err := engine.Result(service.DefaultTenant, "job-1"); err == nil {
 		t.Fatal("canceled job must not yield a result")
 	}
 }

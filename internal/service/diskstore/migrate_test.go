@@ -1,0 +1,177 @@
+package diskstore_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// downgradeToV1 rewrites a current data directory into the exact pre-tenancy
+// (version 1) layout: tables.json becomes a bare TableInfo array without
+// tenant fields, snapshots move from tables/default/ up into tables/, and
+// every WAL record loses its tenant markers. The result is byte-for-byte
+// what a pre-tenancy served build would have left behind.
+func downgradeToV1(t *testing.T, dir string) {
+	t.Helper()
+
+	// tables.json: versioned envelope → bare array, tenant fields dropped.
+	raw, err := os.ReadFile(filepath.Join(dir, "tables.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta struct {
+		Version int              `json:"version"`
+		Tables  []map[string]any `json:"tables"`
+	}
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 2 {
+		t.Fatalf("fixture dir has metadata version %d, want 2", meta.Version)
+	}
+	for _, info := range meta.Tables {
+		delete(info, "tenant")
+	}
+	v1, err := json.MarshalIndent(meta.Tables, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tables.json"), append(v1, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshots: tables/default/<hash>.snap → tables/<hash>.snap.
+	snaps, err := filepath.Glob(filepath.Join(dir, "tables", service.DefaultTenant, "*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("fixture dir has no default-tenant snapshots to downgrade")
+	}
+	for _, snap := range snaps {
+		if err := os.Rename(snap, filepath.Join(dir, "tables", filepath.Base(snap))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(filepath.Join(dir, "tables", service.DefaultTenant)); err != nil {
+		t.Fatal(err)
+	}
+
+	// WAL: drop the tenant field from job records and from the embedded
+	// terminal status snapshots.
+	walRaw, err := os.ReadFile(filepath.Join(dir, "jobs.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	for _, line := range bytes.Split(walRaw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		delete(rec, "tenant")
+		if st, ok := rec["status"].(map[string]any); ok {
+			delete(st, "tenant")
+		}
+		v1line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(v1line)
+		out.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jobs.wal"), out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigratePreTenancyDirIntoDefaultTenant is the migration acceptance
+// test: a data directory written before multi-tenancy existed — bare-array
+// tables.json, snapshots directly under tables/, WAL records without tenant
+// fields — opens cleanly, adopts everything into the default tenant
+// (snapshots moved under tables/default/, metadata rewritten versioned),
+// and recovers the finished sweep with a byte-identical result.
+func TestMigratePreTenancyDirIntoDefaultTenant(t *testing.T) {
+	dir, jobID, want, wantRes := runUninterrupted(t)
+	wantHash := fingerprintHex(t, wantRes.Table)
+	downgradeToV1(t, dir)
+
+	_, store, engine := openPlane(t, dir, service.Options{Workers: 2, SweepWorkers: 2})
+	recovered, err := engine.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Start()
+	if len(recovered) != 1 || recovered[0].Resumed {
+		t.Fatalf("recovered %+v, want one non-resumed terminal job", recovered)
+	}
+	if got := recovered[0].Status.Tenant; got != service.DefaultTenant {
+		t.Fatalf("migrated job's tenant %q, want %q", got, service.DefaultTenant)
+	}
+
+	// Tables live in the default namespace, with their handles intact.
+	tables := store.List(service.DefaultTenant)
+	if len(tables) != 2 {
+		t.Fatalf("default tenant has %d tables, want 2", len(tables))
+	}
+	for _, info := range tables {
+		if info.Tenant != service.DefaultTenant {
+			t.Fatalf("migrated table %s has tenant %q", info.ID, info.Tenant)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "tables", service.DefaultTenant, info.Hash+".snap")); err != nil {
+			t.Fatalf("snapshot not moved into the tenant directory: %v", err)
+		}
+	}
+	if stray, _ := filepath.Glob(filepath.Join(dir, "tables", "*.snap")); len(stray) != 0 {
+		t.Fatalf("migration left snapshots in the v1 location: %v", stray)
+	}
+
+	// The finished job recovered under the default tenant, byte-identical.
+	st, err := engine.Job(service.DefaultTenant, jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone || len(st.Levels) != len(want.Levels) {
+		t.Fatalf("migrated job state %s with %d levels, want done with %d", st.State, len(st.Levels), len(want.Levels))
+	}
+	res, err := engine.Result(service.DefaultTenant, jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table == nil || fingerprintHex(t, res.Table) != wantHash {
+		t.Fatal("migrated result table is not byte-identical to the pre-migration run")
+	}
+
+	// The metadata is now versioned: the next boot reads it as v2 directly.
+	raw, err := os.ReadFile(filepath.Join(dir, "tables.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(raw, &meta); err != nil || meta.Version != 2 {
+		t.Fatalf("post-migration metadata version %d (err %v), want 2", meta.Version, err)
+	}
+
+	// And the migrated namespace behaves like any other: a new upload gets
+	// the next free handle in the default tenant.
+	tab, _, err := store.Get(service.DefaultTenant, tables[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := store.Put(service.DefaultTenant, "extra", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra.ID == tables[0].ID || extra.ID == tables[1].ID {
+		t.Fatalf("migrated store reissued handle %s", extra.ID)
+	}
+}

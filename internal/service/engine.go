@@ -40,6 +40,11 @@ type Options struct {
 	// to it, and Engine.Recover replays it after a restart. Nil keeps the
 	// pre-durability behavior (an ephemeral in-memory log).
 	JobLog JobBackend
+	// Quotas bounds each tenant's footprint (tables, concurrent jobs,
+	// result-cache share). NewEngine installs it on the store as well, so
+	// there is a single configuration point. Nil leaves every tenant
+	// unlimited.
+	Quotas *Quotas
 }
 
 func (o Options) withDefaults() Options {
@@ -207,9 +212,12 @@ func (j *job) finish(res *Result, err error) bool {
 }
 
 // NewEngine builds an engine over the store. Call Start to launch the
-// worker pool and Shutdown to drain it.
+// worker pool and Shutdown to drain it. The engine's quota table is also
+// installed on the store, so table quotas and job quotas are configured in
+// one place (Options.Quotas).
 func NewEngine(store *Store, opts Options) *Engine {
 	opts = opts.withDefaults()
+	store.SetQuotas(opts.Quotas)
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Engine{
 		store:     store,
@@ -235,12 +243,19 @@ func (e *Engine) Start() {
 				}
 				res, err := e.run(j.ctx, j)
 				if err == nil {
-					e.cache.Put(j.key, res)
+					e.cachePut(j, res)
 				}
 				e.finalize(j, res, err)
 			}
 		}()
 	}
+}
+
+// cachePut registers a finished job's result under its tenant-scoped cache
+// key, bounded by the tenant's cache share.
+func (e *Engine) cachePut(j *job, res *Result) {
+	tenant := j.snapshot().Tenant
+	e.cache.Put(tenant, j.key, res, e.opts.Quotas.For(tenant).CacheShare)
 }
 
 // finalize finishes a job exactly once, writes its terminal WAL record,
@@ -383,32 +398,43 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// Submit validates the spec, resolves its tables, and enqueues the job. A
-// cache hit completes the job immediately with Status.Cached set. The
-// returned Status is the initial snapshot; poll Job for updates.
-func (e *Engine) Submit(spec Spec) (Status, error) {
+// Submit validates the spec, resolves its tables from tenant's namespace,
+// and enqueues the job on tenant's behalf. A cache hit completes the job
+// immediately with Status.Cached set. A tenant at its MaxJobs quota (live =
+// pending or running) is refused with a QuotaError. The returned Status is
+// the initial snapshot; poll Job for updates.
+func (e *Engine) Submit(tenant string, spec Spec) (Status, error) {
+	if err := ValidateTenant(tenant); err != nil {
+		return Status{}, err
+	}
 	spec = spec.withDefaults()
 	if err := spec.validate(); err != nil {
 		return Status{}, err
 	}
-	p, aux, key, err := e.resolveInputs(spec)
+	p, aux, key, err := e.resolveInputs(tenant, spec)
 	if err != nil {
 		return Status{}, err
 	}
 
 	// ID assignment is its own short critical section; the WAL append (disk
 	// I/O) runs outside e.mu so a slow submission never stalls job reads,
-	// polls or stream subscriptions.
+	// polls or stream subscriptions. The quota check shares the section with
+	// registration, so two racing submissions cannot both squeeze under the
+	// same last quota slot.
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return Status{}, errors.New("service: engine is shut down")
 	}
+	if q := e.opts.Quotas.For(tenant); q.MaxJobs > 0 && e.liveJobsLocked(tenant) >= q.MaxJobs {
+		e.mu.Unlock()
+		return Status{}, &QuotaError{Tenant: tenant, Resource: "jobs", Limit: q.MaxJobs}
+	}
 	e.seq++
 	ctx, cancel := context.WithCancel(e.baseCtx)
 	now := time.Now()
 	j := &job{
-		status: Status{ID: fmt.Sprintf("job-%d", e.seq), Type: spec.Type, State: StatePending, Created: now},
+		status: Status{ID: fmt.Sprintf("job-%d", e.seq), Tenant: tenant, Type: spec.Type, State: StatePending, Created: now},
 		seq:    e.seq,
 		spec:   spec,
 		p:      p,
@@ -435,7 +461,7 @@ func (e *Engine) Submit(spec Spec) (Status, error) {
 	// a crash at any later point replays as an interrupted job and is
 	// re-run — a submission is never silently lost. A WAL append failure
 	// refuses the submission outright.
-	if _, err := e.appendWAL(&WALRecord{Kind: WALJob, JobID: j.status.ID, JobSeq: j.seq, Spec: &spec, Created: &now}); err != nil {
+	if _, err := e.appendWAL(&WALRecord{Kind: WALJob, JobID: j.status.ID, JobSeq: j.seq, Tenant: tenant, Spec: &spec, Created: &now}); err != nil {
 		unregister()
 		return Status{}, fmt.Errorf("service: append job log: %w", err)
 	}
@@ -472,17 +498,30 @@ func (e *Engine) Submit(spec Spec) (Status, error) {
 	return j.snapshot(), nil
 }
 
-// Job returns the current status snapshot of a job.
-func (e *Engine) Job(id string) (Status, error) {
-	j, err := e.get(id)
+// liveJobsLocked counts tenant's pending and running jobs. Callers hold
+// e.mu (read or write).
+func (e *Engine) liveJobsLocked(tenant string) int {
+	n := 0
+	for _, j := range e.jobs {
+		st := j.snapshot()
+		if st.Tenant == tenant && !st.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Job returns the current status snapshot of one of tenant's jobs.
+func (e *Engine) Job(tenant, id string) (Status, error) {
+	j, err := e.get(tenant, id)
 	if err != nil {
 		return Status{}, err
 	}
 	return j.snapshot(), nil
 }
 
-// Jobs lists every job's status, oldest first.
-func (e *Engine) Jobs() []Status {
+// Jobs lists the status of every job in tenant's namespace, oldest first.
+func (e *Engine) Jobs(tenant string) []Status {
 	e.mu.RLock()
 	all := make([]*job, 0, len(e.jobs))
 	for _, j := range e.jobs {
@@ -490,16 +529,18 @@ func (e *Engine) Jobs() []Status {
 	}
 	e.mu.RUnlock()
 	sort.Slice(all, func(i, k int) bool { return all[i].seq < all[k].seq })
-	out := make([]Status, len(all))
-	for i, j := range all {
-		out[i] = j.snapshot()
+	out := make([]Status, 0, len(all))
+	for _, j := range all {
+		if st := j.snapshot(); st.Tenant == tenant {
+			out = append(out, st)
+		}
 	}
 	return out
 }
 
 // Result returns a finished job's payload; ErrNotFinished before then.
-func (e *Engine) Result(id string) (*Result, error) {
-	j, err := e.get(id)
+func (e *Engine) Result(tenant, id string) (*Result, error) {
+	j, err := e.get(tenant, id)
 	if err != nil {
 		return nil, err
 	}
@@ -524,8 +565,8 @@ func (e *Engine) Result(id string) (*Result, error) {
 // fred-sweep that is between levels, mid-sweep, because the cancellation
 // propagates through the job context into the streaming sweep executor. A
 // job already in a terminal state reports ErrAlreadyFinished.
-func (e *Engine) Cancel(id string) error {
-	j, err := e.get(id)
+func (e *Engine) Cancel(tenant, id string) error {
+	j, err := e.get(tenant, id)
 	if err != nil {
 		return err
 	}
@@ -550,10 +591,10 @@ func (e *Engine) Cancel(id string) error {
 // retracting it from the durable log. A job that is still pending or running
 // reports ErrNotFinished — cancel it first. The job's result blob, if any,
 // stays in the blob space: blobs are content-addressed and may be shared.
-func (e *Engine) Delete(id string) error {
+func (e *Engine) Delete(tenant, id string) error {
 	e.mu.Lock()
 	j, ok := e.jobs[id]
-	if !ok {
+	if !ok || j.snapshot().Tenant != tenant {
 		e.mu.Unlock()
 		return &ErrNotFound{Kind: "job", ID: id}
 	}
@@ -579,8 +620,8 @@ func (e *Engine) Delete(id string) error {
 // parks on the job's done channel (closed exactly once by finish), so a
 // cancellation that interrupts a sweep mid-flight unblocks every waiter
 // immediately — there is no polling loop or sleep anywhere on this path.
-func (e *Engine) Wait(ctx context.Context, id string) (Status, error) {
-	j, err := e.get(id)
+func (e *Engine) Wait(ctx context.Context, tenant, id string) (Status, error) {
+	j, err := e.get(tenant, id)
 	if err != nil {
 		return Status{}, err
 	}
@@ -592,30 +633,36 @@ func (e *Engine) Wait(ctx context.Context, id string) (Status, error) {
 	}
 }
 
-// resolveInputs fetches a spec's tables from the store and builds its cache
-// key. Submit and the crash-recovery resubmission path share it, so the two
-// can never diverge on resolution or key semantics.
-func (e *Engine) resolveInputs(spec Spec) (p, aux *dataset.Table, key string, err error) {
-	p, pInfo, err := e.store.Get(spec.Table)
+// resolveInputs fetches a spec's tables from tenant's namespace and builds
+// its tenant-scoped cache key. Submit and the crash-recovery resubmission
+// path share it, so the two can never diverge on resolution or key
+// semantics. The tenant prefixes the key: byte-identical tables uploaded by
+// two tenants must not share cache entries — a cross-tenant hit would leak
+// that the other tenant ran the same job.
+func (e *Engine) resolveInputs(tenant string, spec Spec) (p, aux *dataset.Table, key string, err error) {
+	p, pInfo, err := e.store.Get(tenant, spec.Table)
 	if err != nil {
 		return nil, nil, "", err
 	}
 	var auxHash string
 	if spec.Aux != "" {
 		var auxInfo TableInfo
-		if aux, auxInfo, err = e.store.Get(spec.Aux); err != nil {
+		if aux, auxInfo, err = e.store.Get(tenant, spec.Aux); err != nil {
 			return nil, nil, "", err
 		}
 		auxHash = auxInfo.Hash
 	}
-	return p, aux, spec.cacheKey(pInfo.Hash, auxHash), nil
+	return p, aux, tenant + "|" + spec.cacheKey(pInfo.Hash, auxHash), nil
 }
 
-func (e *Engine) get(id string) (*job, error) {
+// get resolves a job ID within tenant's namespace. A job owned by another
+// tenant is reported exactly like a nonexistent one — foreign IDs must be
+// unobservable, not merely forbidden.
+func (e *Engine) get(tenant, id string) (*job, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	j, ok := e.jobs[id]
-	if !ok {
+	if !ok || j.snapshot().Tenant != tenant {
 		return nil, &ErrNotFound{Kind: "job", ID: id}
 	}
 	return j, nil

@@ -21,11 +21,11 @@ func testFixture(t *testing.T, opts service.Options) (*service.Engine, string, s
 		t.Fatal(err)
 	}
 	store := service.NewStore()
-	pInfo, err := store.Put("P", sc.P)
+	pInfo, err := store.Put(service.DefaultTenant, "P", sc.P)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qInfo, err := store.Put("Q", sc.Q)
+	qInfo, err := store.Put(service.DefaultTenant, "Q", sc.Q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func waitDone(t *testing.T, e *service.Engine, id string) service.Status {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	st, err := e.Wait(ctx, id)
+	st, err := e.Wait(ctx, service.DefaultTenant, id)
 	if err != nil {
 		t.Fatalf("wait %s: %v (state %s)", id, err, st.State)
 	}
@@ -70,7 +70,7 @@ func TestSubmitValidation(t *testing.T) {
 		"bad range":     {Type: service.JobFREDSweep, Table: p, Aux: q, MinK: 9, MaxK: 3, SensitiveLo: 1, SensitiveHi: 2},
 		"no sensitive":  {Type: service.JobAttack, Table: p, Aux: q, K: 2},
 	} {
-		if _, err := e.Submit(spec); err == nil {
+		if _, err := e.Submit(service.DefaultTenant, spec); err == nil {
 			t.Errorf("%s: expected a validation error", name)
 		}
 	}
@@ -79,7 +79,7 @@ func TestSubmitValidation(t *testing.T) {
 func TestAnonymizeJob(t *testing.T) {
 	e, p, _, sc := testFixture(t, service.Options{Workers: 2})
 	e.Start()
-	st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
+	st, err := e.Submit(service.DefaultTenant, service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestAnonymizeJob(t *testing.T) {
 	if st.State != service.StateDone {
 		t.Fatalf("state %s (%s), want done", st.State, st.Error)
 	}
-	res, err := e.Result(st.ID)
+	res, err := e.Result(service.DefaultTenant, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,14 +108,14 @@ func TestAttackAndAssessJobs(t *testing.T) {
 	e, p, q, _ := testFixture(t, service.Options{Workers: 2})
 	e.Start()
 
-	atkSt, err := e.Submit(service.Spec{
+	atkSt, err := e.Submit(service.DefaultTenant, service.Spec{
 		Type: service.JobAttack, Table: p, Aux: q, K: 4,
 		SensitiveLo: 40000, SensitiveHi: 160000,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	asSt, err := e.Submit(service.Spec{
+	asSt, err := e.Submit(service.DefaultTenant, service.Spec{
 		Type: service.JobAssess, Table: p, Aux: q, K: 4,
 		SensitiveLo: 40000, SensitiveHi: 160000,
 	})
@@ -139,7 +139,7 @@ func TestAttackAndAssessJobs(t *testing.T) {
 	if as.State != service.StateDone {
 		t.Fatalf("assess state %s (%s)", as.State, as.Error)
 	}
-	res, err := e.Result(as.ID)
+	res, err := e.Result(service.DefaultTenant, as.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestFREDSweepJobAndCache(t *testing.T) {
 	e, p, q, _ := testFixture(t, service.Options{Workers: 2, SweepWorkers: 4})
 	e.Start()
 
-	st, err := e.Submit(sweepSpec(p, q))
+	st, err := e.Submit(service.DefaultTenant, sweepSpec(p, q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestFREDSweepJobAndCache(t *testing.T) {
 	if st.Summary["levels"] < 3 {
 		t.Fatalf("too few swept levels: %v", st.Summary)
 	}
-	res, err := e.Result(st.ID)
+	res, err := e.Result(service.DefaultTenant, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,14 +179,14 @@ func TestFREDSweepJobAndCache(t *testing.T) {
 	}
 
 	// An identical resubmission is served from the cache, instantly done.
-	st2, err := e.Submit(sweepSpec(p, q))
+	st2, err := e.Submit(service.DefaultTenant, sweepSpec(p, q))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st2.State != service.StateDone || !st2.Cached {
 		t.Fatalf("resubmission: state %s cached %v, want done from cache", st2.State, st2.Cached)
 	}
-	res2, err := e.Result(st2.ID)
+	res2, err := e.Result(service.DefaultTenant, st2.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestFREDSweepJobAndCache(t *testing.T) {
 	// A different config is a different cache key.
 	other := sweepSpec(p, q)
 	other.MaxK = 8
-	st3, err := e.Submit(other)
+	st3, err := e.Submit(service.DefaultTenant, other)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,22 +210,22 @@ func TestFREDSweepJobAndCache(t *testing.T) {
 func TestCancelPendingJob(t *testing.T) {
 	// Engine deliberately not started: the job stays pending in the queue.
 	e, p, _, _ := testFixture(t, service.Options{Workers: 1})
-	st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 2})
+	st, err := e.Submit(service.DefaultTenant, service.Spec{Type: service.JobAnonymize, Table: p, K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Cancel(st.ID); err != nil {
+	if err := e.Cancel(service.DefaultTenant, st.ID); err != nil {
 		t.Fatal(err)
 	}
 	got := waitDone(t, e, st.ID)
 	if got.State != service.StateCanceled {
 		t.Fatalf("state %s, want canceled", got.State)
 	}
-	if _, err := e.Result(st.ID); err == nil {
+	if _, err := e.Result(service.DefaultTenant, st.ID); err == nil {
 		t.Fatal("canceled job must not yield a result")
 	}
 	// Canceling a terminal job is an explicit error, not a silent no-op.
-	if err := e.Cancel(st.ID); !errors.Is(err, service.ErrAlreadyFinished) {
+	if err := e.Cancel(service.DefaultTenant, st.ID); !errors.Is(err, service.ErrAlreadyFinished) {
 		t.Fatalf("cancel of terminal job: got %v, want ErrAlreadyFinished", err)
 	}
 }
@@ -233,10 +233,10 @@ func TestCancelPendingJob(t *testing.T) {
 func TestQueueFull(t *testing.T) {
 	e, p, _, _ := testFixture(t, service.Options{Workers: 1, QueueDepth: 1})
 	// Not started: the first submission fills the queue.
-	if _, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 2}); err != nil {
+	if _, err := e.Submit(service.DefaultTenant, service.Spec{Type: service.JobAnonymize, Table: p, K: 2}); err != nil {
 		t.Fatal(err)
 	}
-	_, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
+	_, err := e.Submit(service.DefaultTenant, service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
 	if !errors.Is(err, service.ErrQueueFull) {
 		t.Fatalf("got %v, want ErrQueueFull", err)
 	}
@@ -247,7 +247,7 @@ func TestJobsListing(t *testing.T) {
 	e.Start()
 	var ids []string
 	for k := 2; k <= 4; k++ {
-		st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: k})
+		st, err := e.Submit(service.DefaultTenant, service.Spec{Type: service.JobAnonymize, Table: p, K: k})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,7 +256,7 @@ func TestJobsListing(t *testing.T) {
 	for _, id := range ids {
 		waitDone(t, e, id)
 	}
-	jobs := e.Jobs()
+	jobs := e.Jobs(service.DefaultTenant)
 	if len(jobs) != len(ids) {
 		t.Fatalf("Jobs: got %d, want %d", len(jobs), len(ids))
 	}
@@ -268,7 +268,7 @@ func TestJobsListing(t *testing.T) {
 			t.Fatalf("job %s state %s", st.ID, st.State)
 		}
 	}
-	if _, err := e.Job("job-404"); err == nil {
+	if _, err := e.Job(service.DefaultTenant, "job-404"); err == nil {
 		t.Fatal("expected not-found for unknown job")
 	}
 }
@@ -281,7 +281,7 @@ func TestShutdownRejectsNewJobs(t *testing.T) {
 	if err := e.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 2}); err == nil {
+	if _, err := e.Submit(service.DefaultTenant, service.Spec{Type: service.JobAnonymize, Table: p, K: 2}); err == nil {
 		t.Fatal("submit after shutdown must fail")
 	}
 }
@@ -289,19 +289,19 @@ func TestShutdownRejectsNewJobs(t *testing.T) {
 func TestDeleteJob(t *testing.T) {
 	e, p, _, _ := testFixture(t, service.Options{Workers: 1, CacheSize: -1})
 	e.Start()
-	st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
+	st, err := e.Submit(service.DefaultTenant, service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitDone(t, e, st.ID)
-	if err := e.Delete(st.ID); err != nil {
+	if err := e.Delete(service.DefaultTenant, st.ID); err != nil {
 		t.Fatalf("delete finished job: %v", err)
 	}
-	if _, err := e.Job(st.ID); err == nil {
+	if _, err := e.Job(service.DefaultTenant, st.ID); err == nil {
 		t.Error("deleted job still listed")
 	}
 	var nf *service.ErrNotFound
-	if err := e.Delete(st.ID); !errors.As(err, &nf) {
+	if err := e.Delete(service.DefaultTenant, st.ID); !errors.As(err, &nf) {
 		t.Errorf("second delete = %v, want ErrNotFound", err)
 	}
 }
@@ -309,14 +309,14 @@ func TestDeleteJob(t *testing.T) {
 func TestDeleteRunningJobRefused(t *testing.T) {
 	// Engine never started: the job stays pending (non-terminal) forever.
 	e, p, _, _ := testFixture(t, service.Options{Workers: 1})
-	st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
+	st, err := e.Submit(service.DefaultTenant, service.Spec{Type: service.JobAnonymize, Table: p, K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Delete(st.ID); !errors.Is(err, service.ErrNotFinished) {
+	if err := e.Delete(service.DefaultTenant, st.ID); !errors.Is(err, service.ErrNotFinished) {
 		t.Fatalf("delete pending job = %v, want ErrNotFinished", err)
 	}
-	if _, err := e.Job(st.ID); err != nil {
+	if _, err := e.Job(service.DefaultTenant, st.ID); err != nil {
 		t.Errorf("refused delete removed the job: %v", err)
 	}
 }
@@ -368,13 +368,13 @@ func collectEvents(t *testing.T, ch <-chan service.Event) ([]service.Event, serv
 func TestStreamDeliversOrderedLevels(t *testing.T) {
 	e, p, q, _ := testFixture(t, service.Options{Workers: 2, SweepWorkers: 4})
 	e.Start()
-	st, err := e.Submit(sweepSpec(p, q))
+	st, err := e.Submit(service.DefaultTenant, sweepSpec(p, q))
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	ch, err := e.Stream(ctx, st.ID)
+	ch, err := e.Stream(ctx, service.DefaultTenant, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +420,7 @@ func TestStreamDeliversOrderedLevels(t *testing.T) {
 func TestStreamReplaysFinishedAndCachedJobs(t *testing.T) {
 	e, p, q, _ := testFixture(t, service.Options{Workers: 2, SweepWorkers: 4})
 	e.Start()
-	st, err := e.Submit(sweepSpec(p, q))
+	st, err := e.Submit(service.DefaultTenant, sweepSpec(p, q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,7 +432,7 @@ func TestStreamReplaysFinishedAndCachedJobs(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	ch, err := e.Stream(ctx, st.ID)
+	ch, err := e.Stream(ctx, service.DefaultTenant, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,14 +446,14 @@ func TestStreamReplaysFinishedAndCachedJobs(t *testing.T) {
 
 	// The identical resubmission finishes instantly from the cache; its
 	// stream still replays the level series.
-	st2, err := e.Submit(sweepSpec(p, q))
+	st2, err := e.Submit(service.DefaultTenant, sweepSpec(p, q))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !st2.Cached {
 		t.Fatal("resubmission must hit the cache")
 	}
-	ch2, err := e.Stream(ctx, st2.ID)
+	ch2, err := e.Stream(ctx, service.DefaultTenant, st2.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -478,11 +478,11 @@ func TestCancelRunningSweepMidFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	store := service.NewStore()
-	pInfo, err := store.Put("P", sc.P)
+	pInfo, err := store.Put(service.DefaultTenant, "P", sc.P)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qInfo, err := store.Put("Q", sc.Q)
+	qInfo, err := store.Put(service.DefaultTenant, "Q", sc.Q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -493,7 +493,7 @@ func TestCancelRunningSweepMidFlight(t *testing.T) {
 		e.Shutdown(ctx)
 	})
 
-	st, err := e.Submit(service.Spec{
+	st, err := e.Submit(service.DefaultTenant, service.Spec{
 		Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
 		MinK: 2, MaxK: 100,
 		SensitiveLo: 40000, SensitiveHi: 160000,
@@ -508,7 +508,7 @@ func TestCancelRunningSweepMidFlight(t *testing.T) {
 	// interruption.
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
-	ch, err := e.Stream(ctx, st.ID)
+	ch, err := e.Stream(ctx, service.DefaultTenant, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,7 +517,7 @@ func TestCancelRunningSweepMidFlight(t *testing.T) {
 	for ev := range ch {
 		if ev.Type == service.EventLevel && !sawLevel {
 			sawLevel = true
-			if err := e.Cancel(st.ID); err != nil {
+			if err := e.Cancel(service.DefaultTenant, st.ID); err != nil {
 				t.Fatalf("cancel running job: %v", err)
 			}
 		}
@@ -540,7 +540,7 @@ func TestCancelRunningSweepMidFlight(t *testing.T) {
 	if len(st.Levels) == 0 || len(st.Levels) >= 99 {
 		t.Fatalf("canceled sweep kept %d partial levels, want a strict mid-sweep prefix", len(st.Levels))
 	}
-	if _, err := e.Result(st.ID); err == nil {
+	if _, err := e.Result(service.DefaultTenant, st.ID); err == nil {
 		t.Fatal("canceled job must not yield a result")
 	}
 }
@@ -550,25 +550,171 @@ func TestFinishedJobRetention(t *testing.T) {
 	e.Start()
 	var ids []string
 	for i := 0; i < 6; i++ {
-		st, err := e.Submit(service.Spec{Type: service.JobAnonymize, Table: p, K: 2 + i})
+		st, err := e.Submit(service.DefaultTenant, service.Spec{Type: service.JobAnonymize, Table: p, K: 2 + i})
 		if err != nil {
 			t.Fatal(err)
 		}
 		waitDone(t, e, st.ID)
 		ids = append(ids, st.ID)
 	}
-	if got := len(e.Jobs()); got != 3 {
+	if got := len(e.Jobs(service.DefaultTenant)); got != 3 {
 		t.Fatalf("job log holds %d jobs, want 3 (retention)", got)
 	}
 	// The survivors are the newest three, in order.
 	for _, id := range ids[:3] {
-		if _, err := e.Job(id); err == nil {
+		if _, err := e.Job(service.DefaultTenant, id); err == nil {
 			t.Errorf("evicted job %s still listed", id)
 		}
 	}
 	for _, id := range ids[3:] {
-		if _, err := e.Job(id); err != nil {
+		if _, err := e.Job(service.DefaultTenant, id); err != nil {
 			t.Errorf("retained job %s missing: %v", id, err)
 		}
+	}
+}
+
+// TestTenantJobIsolationAndQuota: jobs are invisible across tenants (foreign
+// IDs behave exactly like unknown ones), listings are disjoint, and the
+// per-tenant MaxJobs quota refuses over-limit submissions without affecting
+// other tenants.
+func TestTenantJobIsolationAndQuota(t *testing.T) {
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := service.NewStore()
+	aInfo, err := store.Put("acme", "P", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bInfo, err := store.Put("globex", "P", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine not started: jobs stay pending, so the live-job quota bites.
+	e := service.NewEngine(store, service.Options{
+		Workers: 1,
+		Quotas:  &service.Quotas{Default: service.Quota{MaxJobs: 1}},
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		e.Shutdown(ctx)
+	})
+
+	aJob, err := e.Submit("acme", service.Spec{Type: service.JobAnonymize, Table: aInfo.ID, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aJob.Tenant != "acme" {
+		t.Fatalf("job tenant %q, want acme", aJob.Tenant)
+	}
+	// acme is at its quota of 1 live job.
+	var qe *service.QuotaError
+	if _, err := e.Submit("acme", service.Spec{Type: service.JobAnonymize, Table: aInfo.ID, K: 3}); !errors.As(err, &qe) {
+		t.Fatalf("over-quota submit = %v, want QuotaError", err)
+	} else if qe.Resource != "jobs" || qe.Limit != 1 {
+		t.Fatalf("quota error %+v", qe)
+	}
+	// globex has its own budget.
+	bJob, err := e.Submit("globex", service.Spec{Type: service.JobAnonymize, Table: bInfo.ID, K: 2})
+	if err != nil {
+		t.Fatalf("other tenant's submit refused: %v", err)
+	}
+
+	// Foreign job IDs are not found — for every read and write path.
+	var nf *service.ErrNotFound
+	if _, err := e.Job("acme", bJob.ID); !errors.As(err, &nf) {
+		t.Fatalf("foreign Job = %v, want ErrNotFound", err)
+	}
+	if _, err := e.Result("acme", bJob.ID); !errors.As(err, &nf) {
+		t.Fatalf("foreign Result = %v, want ErrNotFound", err)
+	}
+	if err := e.Cancel("acme", bJob.ID); !errors.As(err, &nf) {
+		t.Fatalf("foreign Cancel = %v, want ErrNotFound", err)
+	}
+	if err := e.Delete("acme", bJob.ID); !errors.As(err, &nf) {
+		t.Fatalf("foreign Delete = %v, want ErrNotFound", err)
+	}
+	if _, err := e.Stream(context.Background(), "acme", bJob.ID); !errors.As(err, &nf) {
+		t.Fatalf("foreign Stream = %v, want ErrNotFound", err)
+	}
+	// Listings are disjoint.
+	if jobs := e.Jobs("acme"); len(jobs) != 1 || jobs[0].ID != aJob.ID {
+		t.Fatalf("acme's job list %+v", jobs)
+	}
+	if jobs := e.Jobs("globex"); len(jobs) != 1 || jobs[0].ID != bJob.ID {
+		t.Fatalf("globex's job list %+v", jobs)
+	}
+	// A tenant cancelling its own job frees its quota slot.
+	if err := e.Cancel("acme", aJob.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit("acme", service.Spec{Type: service.JobAnonymize, Table: aInfo.ID, K: 4}); err != nil {
+		t.Fatalf("submit after freeing the quota slot: %v", err)
+	}
+}
+
+// TestTenantCacheIsolation: byte-identical tables and specs submitted by two
+// tenants never share a cache entry — a cross-tenant hit would leak that the
+// other tenant ran the same job — while a same-tenant resubmission still
+// hits.
+func TestTenantCacheIsolation(t *testing.T) {
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := service.NewStore()
+	aInfo, err := store.Put("acme", "P", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAux, err := store.Put("acme", "Q", sc.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bInfo, err := store.Put("globex", "P", sc.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAux, err := store.Put("globex", "Q", sc.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := service.NewEngine(store, service.Options{Workers: 2, SweepWorkers: 4})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		e.Shutdown(ctx)
+	})
+	e.Start()
+
+	st, err := e.Submit("acme", sweepSpec(aInfo.ID, aAux.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if st, err = e.Wait(ctx, "acme", st.ID); err != nil || st.State != service.StateDone {
+		t.Fatalf("acme sweep: %v (%s %s)", err, st.State, st.Error)
+	}
+	// Same tenant, identical submission: cache hit.
+	st2, err := e.Submit("acme", sweepSpec(aInfo.ID, aAux.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatal("same-tenant resubmission must hit the cache")
+	}
+	// Other tenant, byte-identical tables and spec: must NOT hit.
+	st3, err := e.Submit("globex", sweepSpec(bInfo.ID, bAux.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Cached {
+		t.Fatal("cross-tenant cache hit leaks another tenant's activity")
+	}
+	if st3, err = e.Wait(ctx, "globex", st3.ID); err != nil || st3.State != service.StateDone {
+		t.Fatalf("globex sweep: %v (%s %s)", err, st3.State, st3.Error)
 	}
 }

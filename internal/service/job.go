@@ -130,9 +130,12 @@ func (sp Spec) cacheKey(pHash, auxHash string) string {
 // Status is the externally visible state of a job. It is a value snapshot —
 // safe to hand across goroutines and to serialize.
 type Status struct {
-	ID    string   `json:"id"`
-	Type  JobType  `json:"type"`
-	State JobState `json:"state"`
+	ID string `json:"id"`
+	// Tenant is the namespace the job runs in — assigned from the
+	// authenticated caller, never from the spec.
+	Tenant string   `json:"tenant,omitempty"`
+	Type   JobType  `json:"type"`
+	State  JobState `json:"state"`
 	// Progress advances 0 → 1 while running.
 	Progress float64 `json:"progress"`
 	// Cached reports that the result was served from the LRU cache.

@@ -28,6 +28,7 @@ type RecoveredJob struct {
 type replayedJob struct {
 	id      string
 	seq     int
+	tenant  string
 	spec    Spec
 	created time.Time
 	deleted bool
@@ -75,6 +76,14 @@ func (e *Engine) Recover() ([]RecoveredJob, error) {
 				rj.spec = *rec.Spec
 			}
 			rj.seq = rec.JobSeq
+			// The default-tenant migration: job records written before
+			// multi-tenancy carry no tenant and are adopted into
+			// DefaultTenant, matching Store.Open's adoption of untagged
+			// table metadata.
+			rj.tenant = rec.Tenant
+			if rj.tenant == "" {
+				rj.tenant = DefaultTenant
+			}
 			if rec.Created != nil {
 				rj.created = *rec.Created
 			}
@@ -133,7 +142,7 @@ func (e *Engine) Recover() ([]RecoveredJob, error) {
 			rj.statusSeq = rj.cancelSeq
 			now := time.Now()
 			rj.status = &Status{
-				ID: rj.id, Type: rj.spec.Type, State: StateCanceled,
+				ID: rj.id, Tenant: rj.tenant, Type: rj.spec.Type, State: StateCanceled,
 				Error: "canceled", Created: rj.created, Finished: &now,
 			}
 			for _, rec := range rj.levels {
@@ -158,7 +167,7 @@ func (e *Engine) Recover() ([]RecoveredJob, error) {
 		created := rj.created
 		live = append(live, &WALRecord{
 			Seq: firstSeqOf(rj), Kind: WALJob, JobID: rj.id,
-			JobSeq: rj.seq, Spec: &rj.spec, Created: &created,
+			JobSeq: rj.seq, Tenant: rj.tenant, Spec: &rj.spec, Created: &created,
 		})
 		// Checkpoints stay in the compacted log for every job: interrupted
 		// jobs resume from them after a second crash, and terminal jobs keep
@@ -218,6 +227,11 @@ func (e *Engine) rebuildTerminal(rj *replayedJob) *job {
 		notify:  make(chan struct{}),
 		termSeq: rj.statusSeq,
 	}
+	if j.status.Tenant == "" {
+		// Terminal records written before multi-tenancy: the migrated
+		// tenant from the job record carries over.
+		j.status.Tenant = rj.tenant
+	}
 	close(j.done)
 	j.events = eventsFromCheckpoints(rj)
 	if rj.status.State == StateDone && rj.result != nil {
@@ -275,11 +289,11 @@ func (e *Engine) reseedCache(j *job, res *Result) {
 	if res.Table == nil && j.status.Type != JobAssess {
 		return // incomplete rebuild (missing blob): don't serve it from cache
 	}
-	_, _, key, err := e.resolveInputs(j.spec)
+	_, _, key, err := e.resolveInputs(j.status.Tenant, j.spec)
 	if err != nil {
 		return
 	}
-	e.cache.Put(key, res)
+	e.cache.Put(j.status.Tenant, key, res, e.opts.Quotas.For(j.status.Tenant).CacheShare)
 }
 
 // rebuildInterrupted reconstructs an interrupted job as pending, seeded
@@ -289,7 +303,7 @@ func (e *Engine) rebuildInterrupted(rj *replayedJob) *job {
 	ctx, cancel := context.WithCancel(e.baseCtx)
 	j := &job{
 		status: Status{
-			ID: rj.id, Type: rj.spec.Type, State: StatePending,
+			ID: rj.id, Tenant: rj.tenant, Type: rj.spec.Type, State: StatePending,
 			Created: rj.created, Resumed: true,
 		},
 		seq:    rj.seq,
@@ -337,7 +351,7 @@ func (e *Engine) rebuildInterrupted(rj *replayedJob) *job {
 // job whose inputs cannot be resolved (table deleted before the crash, or
 // queue overflow) finalizes as failed instead of blocking recovery.
 func (e *Engine) resubmit(j *job) {
-	p, aux, key, err := e.resolveInputs(j.spec)
+	p, aux, key, err := e.resolveInputs(j.status.Tenant, j.spec)
 	if err != nil {
 		e.finalize(j, nil, fmt.Errorf("resume: %w", err))
 		return
@@ -375,18 +389,21 @@ func (e *Engine) sortFinished() {
 // table pointers are unaffected either way (tables are immutable — eviction
 // only frees the handle and the backing files).
 func (e *Engine) EvictTables(ttl time.Duration) []TableInfo {
-	inUse := make(map[string]bool)
+	// Table handles are only unique per tenant, so the in-use set is keyed
+	// by (tenant, id) — tenant A's live job must not shield tenant B's
+	// same-numbered table from eviction.
+	inUse := make(map[[2]string]bool)
 	e.mu.RLock()
 	for _, j := range e.jobs {
-		if !j.snapshot().State.Terminal() {
-			inUse[j.spec.Table] = true
+		if st := j.snapshot(); !st.State.Terminal() {
+			inUse[[2]string{st.Tenant, j.spec.Table}] = true
 			if j.spec.Aux != "" {
-				inUse[j.spec.Aux] = true
+				inUse[[2]string{st.Tenant, j.spec.Aux}] = true
 			}
 		}
 	}
 	e.mu.RUnlock()
 	return e.store.Evict(time.Now().Add(-ttl), func(info TableInfo) bool {
-		return inUse[info.ID]
+		return inUse[[2]string{info.Tenant, info.ID}]
 	})
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestStoreCRUD(t *testing.T) {
 	s := NewStore()
 	tab := smallTable(t, 50000, 60000, 70000, 80000)
 
-	info, err := s.Put("roster", tab)
+	info, err := s.Put(DefaultTenant, "roster", tab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestStoreCRUD(t *testing.T) {
 		t.Fatalf("bad info: %+v", info)
 	}
 
-	got, gotInfo, err := s.Get(info.ID)
+	got, gotInfo, err := s.Get(DefaultTenant, info.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,22 +42,22 @@ func TestStoreCRUD(t *testing.T) {
 		t.Fatalf("Get returned wrong table/info")
 	}
 
-	if _, _, err := s.Get("tbl-999"); err == nil {
+	if _, _, err := s.Get(DefaultTenant, "tbl-999"); err == nil {
 		t.Fatal("expected not-found error")
 	} else if !strings.Contains(err.Error(), "tbl-999") {
 		t.Fatalf("unhelpful error: %v", err)
 	}
 
-	if n := len(s.List()); n != 1 {
+	if n := len(s.List(DefaultTenant)); n != 1 {
 		t.Fatalf("List: got %d tables, want 1", n)
 	}
-	if err := s.Delete(info.ID); err != nil {
+	if err := s.Delete(DefaultTenant, info.ID); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Delete(info.ID); err == nil {
+	if err := s.Delete(DefaultTenant, info.ID); err == nil {
 		t.Fatal("expected error deleting twice")
 	}
-	if n := len(s.List()); n != 0 {
+	if n := len(s.List(DefaultTenant)); n != 0 {
 		t.Fatalf("List after delete: got %d tables, want 0", n)
 	}
 }
@@ -65,13 +66,13 @@ func TestStoreListOrder(t *testing.T) {
 	s := NewStore()
 	var ids []string
 	for i := 0; i < 12; i++ {
-		info, err := s.Put("t", smallTable(t, 1000*float64(i+1), 2000, 3000))
+		info, err := s.Put(DefaultTenant, "t", smallTable(t, 1000*float64(i+1), 2000, 3000))
 		if err != nil {
 			t.Fatal(err)
 		}
 		ids = append(ids, info.ID)
 	}
-	list := s.List()
+	list := s.List(DefaultTenant)
 	if len(list) != len(ids) {
 		t.Fatalf("got %d tables, want %d", len(list), len(ids))
 	}
@@ -84,10 +85,10 @@ func TestStoreListOrder(t *testing.T) {
 
 func TestStoreRejectsEmptyTable(t *testing.T) {
 	s := NewStore()
-	if _, err := s.Put("empty", nil); err == nil {
+	if _, err := s.Put(DefaultTenant, "empty", nil); err == nil {
 		t.Fatal("expected error for nil table")
 	}
-	if _, err := s.Put("empty", smallTable(t)); err == nil {
+	if _, err := s.Put(DefaultTenant, "empty", smallTable(t)); err == nil {
 		t.Fatal("expected error for zero-row table")
 	}
 }
@@ -120,13 +121,13 @@ func TestHashTable(t *testing.T) {
 func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2)
 	r1, r2, r3 := &Result{}, &Result{}, &Result{}
-	c.Put("a", r1)
-	c.Put("b", r2)
+	c.Put(DefaultTenant, "a", r1, 0)
+	c.Put(DefaultTenant, "b", r2, 0)
 	if got, ok := c.Get("a"); !ok || got != r1 {
 		t.Fatal("a should be cached")
 	}
 	// "b" is now least recently used; inserting "c" evicts it.
-	c.Put("c", r3)
+	c.Put(DefaultTenant, "c", r3, 0)
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
@@ -140,8 +141,191 @@ func TestResultCacheLRU(t *testing.T) {
 
 func TestResultCacheDisabled(t *testing.T) {
 	c := newResultCache(-1)
-	c.Put("a", &Result{})
+	c.Put(DefaultTenant, "a", &Result{}, 0)
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("disabled cache must not store")
+	}
+}
+
+// TestResultCacheQuotaShare: a tenant at its share evicts its own LRU entry,
+// never another tenant's.
+func TestResultCacheQuotaShare(t *testing.T) {
+	c := newResultCache(16)
+	c.Put("acme", "acme-1", &Result{}, 2)
+	c.Put("acme", "acme-2", &Result{}, 2)
+	c.Put("globex", "globex-1", &Result{}, 2)
+	// acme is at its share of 2: the third insert evicts acme's own oldest.
+	c.Put("acme", "acme-3", &Result{}, 2)
+	if _, ok := c.Get("acme-1"); ok {
+		t.Fatal("acme-1 should have been evicted by acme's own share")
+	}
+	for _, key := range []string{"acme-2", "acme-3", "globex-1"} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("%s should survive", key)
+		}
+	}
+	if got := c.TenantLen("acme"); got != 2 {
+		t.Fatalf("acme holds %d entries, want 2", got)
+	}
+	if got := c.TenantLen("globex"); got != 1 {
+		t.Fatalf("globex holds %d entries, want 1", got)
+	}
+}
+
+func TestValidateTenant(t *testing.T) {
+	for _, ok := range []string{"default", "acme", "a", "t-1", "team_x", "a.b-c_9"} {
+		if err := ValidateTenant(ok); err != nil {
+			t.Errorf("ValidateTenant(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "Acme", "a b", "../evil", ".hidden", "-flag", "a/b",
+		strings.Repeat("x", 65)} {
+		if err := ValidateTenant(bad); err == nil {
+			t.Errorf("ValidateTenant(%q) accepted", bad)
+		}
+	}
+}
+
+// TestStoreTenantNamespaces: two tenants get independent handle sequences,
+// lists, quotas, and each other's handles are not found.
+func TestStoreTenantNamespaces(t *testing.T) {
+	s := NewStore()
+	s.SetQuotas(&Quotas{Default: Quota{MaxTables: 2}})
+	a1, err := s.Put("acme", "roster", smallTable(t, 1000, 2000, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := s.Put("globex", "roster", smallTable(t, 4000, 5000, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-tenant sequences: both tenants' first table is tbl-1.
+	if a1.ID != "tbl-1" || b1.ID != "tbl-1" {
+		t.Fatalf("per-tenant handles: got %s and %s, want tbl-1 twice", a1.ID, b1.ID)
+	}
+	if a1.Tenant != "acme" || b1.Tenant != "globex" {
+		t.Fatalf("tenants not recorded: %+v %+v", a1, b1)
+	}
+	// Lists are disjoint.
+	if la, lb := s.List("acme"), s.List("globex"); len(la) != 1 || len(lb) != 1 || la[0].Name != "roster" {
+		t.Fatalf("per-tenant lists: %v / %v", la, lb)
+	}
+	if all := s.ListAll(); len(all) != 2 {
+		t.Fatalf("ListAll: %d tables, want 2", len(all))
+	}
+	// acme's handle resolves only inside acme.
+	if _, _, err := s.Get("globex", a1.ID); err == nil {
+		// b1.ID == a1.ID, so this actually resolves to globex's own table.
+		tab, _, _ := s.Get("globex", a1.ID)
+		if v, _ := tab.Cell(0, 2).Float(); v != 4000 {
+			t.Fatal("cross-tenant Get leaked a foreign table")
+		}
+	}
+	var nf *ErrNotFound
+	if _, _, err := s.Get("initech", a1.ID); !errors.As(err, &nf) {
+		t.Fatalf("unknown tenant's Get = %v, want ErrNotFound", err)
+	}
+	// Deleting in one namespace leaves the other's same-named handle alone.
+	if err := s.Delete("acme", a1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("globex", b1.ID); err != nil {
+		t.Fatalf("delete crossed namespaces: %v", err)
+	}
+	// MaxTables quota: third table for globex (limit 2) is refused.
+	if _, err := s.Put("globex", "t2", smallTable(t, 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	var qe *QuotaError
+	if _, err := s.Put("globex", "t3", smallTable(t, 4, 5, 6)); !errors.As(err, &qe) {
+		t.Fatalf("over-quota Put = %v, want QuotaError", err)
+	} else if qe.Resource != "tables" || qe.Limit != 2 {
+		t.Fatalf("quota error %+v", qe)
+	}
+	// acme deleted one: it is back under quota.
+	if _, err := s.Put("acme", "t2", smallTable(t, 7, 8, 9)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuotasForPartialOverride: a PerTenant entry overrides field by field
+// — zero fields inherit the Default, negative means explicitly unlimited.
+func TestQuotasForPartialOverride(t *testing.T) {
+	q := &Quotas{
+		Default: Quota{MaxTables: 8, MaxJobs: 4, CacheShare: 2},
+		PerTenant: map[string]Quota{
+			"acme":   {MaxTables: 16},              // only tables overridden
+			"globex": {MaxJobs: -1, CacheShare: 1}, // jobs explicitly unlimited
+		},
+	}
+	if got := q.For("acme"); got.MaxTables != 16 || got.MaxJobs != 4 || got.CacheShare != 2 {
+		t.Fatalf("acme quota %+v: partial override must inherit unspecified defaults", got)
+	}
+	if got := q.For("globex"); got.MaxTables != 8 || got.MaxJobs != -1 || got.CacheShare != 1 {
+		t.Fatalf("globex quota %+v", got)
+	}
+	if got := q.For("other"); got != q.Default {
+		t.Fatalf("unlisted tenant quota %+v, want the default", got)
+	}
+	var nilQ *Quotas
+	if got := nilQ.For("any"); got != (Quota{}) {
+		t.Fatalf("nil Quotas resolved to %+v, want unlimited", got)
+	}
+}
+
+// gatedBackend delays PutTable until the gate opens, widening the window
+// between Store.Put's quota check and its insert so the race is forced.
+type gatedBackend struct {
+	TableBackend
+	gate chan struct{}
+}
+
+func (b *gatedBackend) PutTable(rec TableRecord) error {
+	<-b.gate
+	return b.TableBackend.PutTable(rec)
+}
+
+// TestStorePutQuotaRace: two concurrent uploads racing for a tenant's last
+// table slot — exactly one may win; the loser gets a QuotaError and its
+// persisted record is undone, never a tenant above MaxTables.
+func TestStorePutQuotaRace(t *testing.T) {
+	gate := make(chan struct{})
+	s := NewStoreWith(&gatedBackend{TableBackend: NewMemTableBackend(), gate: gate})
+	s.SetQuotas(&Quotas{Default: Quota{MaxTables: 1}})
+
+	type res struct {
+		info TableInfo
+		err  error
+	}
+	results := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		tab := smallTable(t, float64(1000*(i+1)), 2000, 3000)
+		go func() {
+			info, err := s.Put("acme", "t", tab)
+			results <- res{info, err}
+		}()
+	}
+	// Both goroutines are (or will be) parked in the backend, past the
+	// first quota check; open the gate and let them race the insert.
+	close(gate)
+	var oks, quotas int
+	for i := 0; i < 2; i++ {
+		r := <-results
+		switch {
+		case r.err == nil:
+			oks++
+		default:
+			var qe *QuotaError
+			if !errors.As(r.err, &qe) {
+				t.Fatalf("loser failed with %v, want QuotaError", r.err)
+			}
+			quotas++
+		}
+	}
+	if oks != 1 || quotas != 1 {
+		t.Fatalf("raced puts: %d succeeded, %d quota-refused; want exactly 1 each", oks, quotas)
+	}
+	if n := len(s.List("acme")); n != 1 {
+		t.Fatalf("tenant holds %d tables after the race, want 1 (quota)", n)
 	}
 }

@@ -58,9 +58,10 @@ type Event struct {
 // job that is already terminal — including cache hits, whose levels were
 // never streamed — the recorded or result-derived levels are replayed before
 // the status event. Cancelling ctx detaches the subscriber; the job itself
-// is unaffected.
-func (e *Engine) Stream(ctx context.Context, id string) (<-chan Event, error) {
-	return e.StreamAfter(ctx, id, 0)
+// is unaffected. The job must live in tenant's namespace; foreign IDs are
+// not found.
+func (e *Engine) Stream(ctx context.Context, tenant, id string) (<-chan Event, error) {
+	return e.StreamAfter(ctx, tenant, id, 0)
 }
 
 // StreamAfter is Stream with a resume cursor: recorded events whose sequence
@@ -68,8 +69,8 @@ func (e *Engine) Stream(ctx context.Context, id string) (<-chan Event, error) {
 // remembers the last seq it processed (the SSE Last-Event-ID) resumes
 // without the replay. Synthesized replay events (seq 0, cache hits) and the
 // terminal status event are always delivered.
-func (e *Engine) StreamAfter(ctx context.Context, id string, after uint64) (<-chan Event, error) {
-	j, err := e.get(id)
+func (e *Engine) StreamAfter(ctx context.Context, tenant, id string, after uint64) (<-chan Event, error) {
+	j, err := e.get(tenant, id)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+)
+
+// This file defines the tenant dimension of the service: every table lives
+// in exactly one tenant's namespace, every job runs on behalf of exactly one
+// tenant, and a tenant can never observe — not even as a 403 — another
+// tenant's tables, jobs or event streams. Tenants are identified by short
+// names established out of band (the API-key file of cmd/served); the
+// pre-tenancy single-namespace behavior is the DefaultTenant namespace, and
+// recovery adopts pre-tenancy durable data into it (see DESIGN.md).
+
+// DefaultTenant is the namespace used when no authentication is configured,
+// and the tenant pre-tenancy durable data is adopted into on recovery.
+const DefaultTenant = "default"
+
+// maxTenantLen bounds tenant names; they appear in file paths, WAL records
+// and log lines.
+const maxTenantLen = 64
+
+// ValidateTenant checks that a tenant name is usable as a namespace key and
+// as a path component in durable layouts: 1–64 characters drawn from
+// [a-z0-9._-], not starting with a dot or a dash. This is deliberately
+// strict — a tenant name that could traverse directories ("../evil") or
+// collide under case-folding filesystems must never reach a backend.
+func ValidateTenant(tenant string) error {
+	if tenant == "" {
+		return fmt.Errorf("service: empty tenant")
+	}
+	if len(tenant) > maxTenantLen {
+		return fmt.Errorf("service: tenant name longer than %d characters", maxTenantLen)
+	}
+	for i := 0; i < len(tenant); i++ {
+		c := tenant[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+			if i == 0 && c != '_' {
+				return fmt.Errorf("service: tenant name %q may not start with %q", tenant, string(c))
+			}
+		default:
+			return fmt.Errorf("service: tenant name %q contains %q (want [a-z0-9._-])", tenant, string(c))
+		}
+	}
+	return nil
+}
+
+// Quota bounds one tenant's footprint on the service. The zero value is
+// unlimited. In a Quotas.PerTenant override, a zero field inherits the
+// Default's value and a negative field is explicitly unlimited; in the
+// resolved quota Quotas.For returns, any field ≤ 0 leaves that resource
+// unbounded.
+type Quota struct {
+	// MaxTables caps the tables resident in the tenant's namespace;
+	// Store.Put refuses the upload once reached.
+	MaxTables int
+	// MaxJobs caps the tenant's concurrently live (pending or running)
+	// jobs; Engine.Submit refuses further submissions until one finishes.
+	MaxJobs int
+	// CacheShare caps the result-cache entries the tenant's finished jobs
+	// may occupy, so one tenant's sweep storm cannot evict everyone else's
+	// cached releases. Bounded by the engine-wide cache capacity either way.
+	CacheShare int
+}
+
+// Quotas maps tenants to their quotas: PerTenant overrides win field by
+// field, everything else gets Default. A nil *Quotas is entirely unlimited.
+type Quotas struct {
+	Default   Quota
+	PerTenant map[string]Quota
+}
+
+// For returns the quota in force for a tenant. Overrides are PARTIAL: a
+// zero field in the PerTenant entry inherits Default's value, so a keys
+// file declaring only `tables=16` does not silently lift the operator's
+// job and cache limits. An explicitly unlimited override is expressed with
+// a negative value.
+func (q *Quotas) For(tenant string) Quota {
+	if q == nil {
+		return Quota{}
+	}
+	qt, ok := q.PerTenant[tenant]
+	if !ok {
+		return q.Default
+	}
+	if qt.MaxTables == 0 {
+		qt.MaxTables = q.Default.MaxTables
+	}
+	if qt.MaxJobs == 0 {
+		qt.MaxJobs = q.Default.MaxJobs
+	}
+	if qt.CacheShare == 0 {
+		qt.CacheShare = q.Default.CacheShare
+	}
+	return qt
+}
+
+// QuotaError reports a refused operation that would exceed a tenant quota.
+// The HTTP layer maps it to 429 Too Many Requests.
+type QuotaError struct {
+	Tenant   string
+	Resource string // "tables" or "jobs"
+	Limit    int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("service: tenant %q is at its %s quota (%d)", e.Tenant, e.Resource, e.Limit)
+}
