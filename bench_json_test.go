@@ -1,0 +1,120 @@
+package repro
+
+// TestEmitBenchJSON pins the performance trajectory: it runs the service
+// fred-sweep benchmark over a small grid of cohort sizes and sweep worker
+// counts and writes the measurements to BENCH_sweep.json, which is committed
+// so each PR's numbers are diffable against the last. Gated behind
+// EMIT_BENCH=1 — it is a measurement job, not a correctness test, and has no
+// place in the ordinary `go test` wall time.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// benchEntry is one BENCH_sweep.json measurement.
+type benchEntry struct {
+	Op          string `json:"op"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Rows        int    `json:"rows"`
+	Workers     int    `json:"workers"`
+}
+
+const benchJSONPath = "BENCH_sweep.json"
+
+func TestEmitBenchJSON(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") == "" {
+		t.Skip("set EMIT_BENCH=1 to run the benchmark grid and write " + benchJSONPath)
+	}
+
+	var entries []benchEntry
+	for _, rows := range []int{40, 250} {
+		sc, err := UniversityScenario(ScenarioOptions{Seed: 42, N: rows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				store := service.NewStore()
+				pInfo, err := store.Put(service.DefaultTenant, "P", sc.P)
+				if err != nil {
+					b.Fatal(err)
+				}
+				qInfo, err := store.Put(service.DefaultTenant, "Q", sc.Q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spec := service.Spec{
+					Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
+					MinK: 2, MaxK: 16,
+					SensitiveLo: 40000, SensitiveHi: 160000,
+				}
+				// Caching disabled: every iteration is a full sweep, so the
+				// grid measures compute scaling, not cache lookups.
+				e := service.NewEngine(store, service.Options{
+					Workers: 1, SweepWorkers: workers, CacheSize: -1,
+				})
+				e.Start()
+				defer e.Shutdown(context.Background())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := e.Submit(service.DefaultTenant, spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st, err = e.Wait(context.Background(), service.DefaultTenant, st.ID); err != nil {
+						b.Fatal(err)
+					}
+					if st.State != service.StateDone {
+						b.Fatalf("sweep ended %s: %s", st.State, st.Error)
+					}
+				}
+			})
+			entries = append(entries, benchEntry{
+				Op:          fmt.Sprintf("service-fred-sweep/rows=%d/workers=%d", rows, workers),
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Rows:        rows,
+				Workers:     workers,
+			})
+			t.Logf("%s: %d ns/op, %d allocs/op, %d B/op",
+				entries[len(entries)-1].Op, r.NsPerOp(), r.AllocsPerOp(), r.AllocedBytesPerOp())
+		}
+	}
+
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchJSONPath, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip what landed on disk: the file is an interface other tooling
+	// parses, so an unreadable emission must fail here, not downstream.
+	reread, err := os.ReadFile(benchJSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []benchEntry
+	if err := json.Unmarshal(reread, &parsed); err != nil {
+		t.Fatalf("emitted %s does not parse: %v", benchJSONPath, err)
+	}
+	if len(parsed) != len(entries) {
+		t.Fatalf("emitted %d entries, re-read %d", len(entries), len(parsed))
+	}
+	for i, e := range parsed {
+		if e.Op == "" || e.NsPerOp <= 0 {
+			t.Fatalf("entry %d is degenerate: %+v", i, e)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 //	served -addr :8080 -workers 8 -cache 64
 //	served -addr :8080 -data-dir /var/lib/served -table-ttl 72h
 //	served -addr :8080 -keys-file /etc/served/keys -quota-jobs 4
+//	served -addr :8080 -pprof-addr 127.0.0.1:6060 -log-level debug
 //
 // With -keys-file the API is multi-tenant: each line of the file maps an
 // API key to a tenant (`tenant key [tables=N] [jobs=N] [cache=N]`), every
@@ -31,56 +32,83 @@
 // last checkpointed level and finish byte-identical to an uninterrupted
 // run. -table-ttl evicts tables unreferenced by live jobs after the given
 // age.
+//
+// The daemon is fully observable: GET /metrics serves a Prometheus text
+// exposition covering the HTTP layer, the job engine, the result cache and
+// the WAL; GET /v1/jobs/{id}/trace returns a job's recorded spans; every
+// log line is structured (log/slog) and carries request_id=, tenant= and
+// job= attributes where they apply. -pprof-addr serves net/http/pprof on a
+// separate (ideally loopback) listener, keeping the profiler off the public
+// API port.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/service/diskstore"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "job worker pool size (0 = NumCPU)")
-		sweepers = flag.Int("sweep-workers", 0, "per-job sweep concurrency (0 = workers)")
-		cache    = flag.Int("cache", 64, "LRU result cache entries (negative disables)")
-		queue    = flag.Int("queue", 256, "pending job queue depth")
-		retain   = flag.Int("retain", 512, "finished jobs kept in the job log (negative keeps all)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
-		dataDir  = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
-		tableTTL = flag.Duration("table-ttl", 0, "evict tables unreferenced by live jobs after this age (0 disables)")
-		keysFile = flag.String("keys-file", "", "API key file enabling multi-tenant auth (empty = open, single namespace)")
-		qTables  = flag.Int("quota-tables", 0, "default per-tenant max resident tables (0 = unlimited)")
-		qJobs    = flag.Int("quota-jobs", 0, "default per-tenant max concurrent jobs (0 = unlimited)")
-		qCache   = flag.Int("quota-cache", 0, "default per-tenant result-cache share (0 = unlimited)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "job worker pool size (0 = NumCPU)")
+		sweepers  = flag.Int("sweep-workers", 0, "per-job sweep concurrency (0 = workers)")
+		cache     = flag.Int("cache", 64, "LRU result cache entries (negative disables)")
+		queue     = flag.Int("queue", 256, "pending job queue depth")
+		retain    = flag.Int("retain", 512, "finished jobs kept in the job log (negative keeps all)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		dataDir   = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+		tableTTL  = flag.Duration("table-ttl", 0, "evict tables unreferenced by live jobs after this age (0 disables)")
+		keysFile  = flag.String("keys-file", "", "API key file enabling multi-tenant auth (empty = open, single namespace)")
+		qTables   = flag.Int("quota-tables", 0, "default per-tenant max resident tables (0 = unlimited)")
+		qJobs     = flag.Int("quota-jobs", 0, "default per-tenant max concurrent jobs (0 = unlimited)")
+		qCache    = flag.Int("quota-cache", 0, "default per-tenant result-cache share (0 = unlimited)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; bind loopback)")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "served ", log.LstdFlags)
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
-	var serverOpts []httpapi.Option
+	// One registry and one tracer span every layer, so a single /metrics
+	// scrape (and a single trace ring) covers HTTP, engine, cache and WAL.
+	registry := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.DefaultTraceCapacity)
+
+	serverOpts := []httpapi.Option{httpapi.WithMetrics(registry), httpapi.WithTracer(tracer)}
 	quotas := &service.Quotas{
 		Default: service.Quota{MaxTables: *qTables, MaxJobs: *qJobs, CacheShare: *qCache},
 	}
 	if *keysFile != "" {
 		cfg, err := httpapi.LoadKeysFile(*keysFile)
 		if err != nil {
-			logger.Fatalf("load keys file: %v", err)
+			fatalf("load keys file: %v", err)
 		}
 		quotas.PerTenant = cfg.Quotas
 		serverOpts = append(serverOpts, httpapi.WithAuth(cfg.Auth))
-		logger.Printf("multi-tenant auth enabled (%d tenant quota overrides)", len(cfg.Quotas))
+		logger.Info("multi-tenant auth enabled", "quota_overrides", len(cfg.Quotas))
 	}
 
 	opts := service.Options{
@@ -90,13 +118,16 @@ func main() {
 		CacheSize:       *cache,
 		MaxFinishedJobs: *retain,
 		Quotas:          quotas,
+		Metrics:         registry,
+		Tracer:          tracer,
+		Logger:          logger,
 	}
 	var store *service.Store
 	var ds *diskstore.Store
 	if *dataDir != "" {
 		var err error
-		if ds, err = diskstore.Open(*dataDir); err != nil {
-			logger.Fatalf("open data dir: %v", err)
+		if ds, err = diskstore.Open(*dataDir, diskstore.WithMetrics(registry)); err != nil {
+			fatalf("open data dir: %v", err)
 		}
 		store = service.NewStoreWith(ds)
 		opts.JobLog = ds
@@ -104,14 +135,15 @@ func main() {
 		store = service.NewStore()
 	}
 	if err := store.Open(); err != nil {
-		logger.Fatalf("load tables: %v", err)
+		fatalf("load tables: %v", err)
 	}
 	engine := service.NewEngine(store, opts)
 	// Recover before Start and before serving: restored jobs reclaim their
-	// IDs and interrupted sweeps enqueue with their resume points.
+	// IDs and interrupted sweeps enqueue with their resume points. The
+	// engine reports unready (503 on /v1/readyz) for this whole window.
 	recovered, err := engine.Recover()
 	if err != nil {
-		logger.Fatalf("recover job log: %v", err)
+		fatalf("recover job log: %v", err)
 	}
 	if *dataDir != "" {
 		resumed := 0
@@ -119,15 +151,18 @@ func main() {
 			if rj.Resumed {
 				resumed++
 				if n := len(rj.Status.Levels); n > 0 {
-					logger.Printf("resuming interrupted %s %s at k=%d (%d levels checkpointed)",
-						rj.Status.Type, rj.Status.ID, rj.Status.Levels[n-1].K+1, n)
+					logger.Info("resuming interrupted job",
+						"type", rj.Status.Type, "job", rj.Status.ID,
+						"start_k", rj.Status.Levels[n-1].K+1, "checkpointed_levels", n)
 				} else {
-					logger.Printf("re-running interrupted %s %s from the start", rj.Status.Type, rj.Status.ID)
+					logger.Info("re-running interrupted job",
+						"type", rj.Status.Type, "job", rj.Status.ID)
 				}
 			}
 		}
-		logger.Printf("recovered %d tables, %d jobs (%d resumed) from %s",
-			len(store.ListAll()), len(recovered), resumed, *dataDir)
+		logger.Info("recovered durable state",
+			"tables", len(store.ListAll()), "jobs", len(recovered),
+			"resumed", resumed, "data_dir", *dataDir)
 	}
 	engine.Start()
 
@@ -149,11 +184,25 @@ func main() {
 				select {
 				case <-tick.C:
 					for _, info := range engine.EvictTables(*tableTTL) {
-						logger.Printf("evicted table %s/%s (%s, age > %s)", info.Tenant, info.ID, info.Name, *tableTTL)
+						logger.Info("evicted table",
+							"tenant", info.Tenant, "id", info.ID, "name", info.Name, "ttl", *tableTTL)
 					}
 				case <-ctx.Done():
 					return
 				}
+			}
+		}()
+	}
+
+	if *pprofAddr != "" {
+		// pprof rides DefaultServeMux on its own listener: profiles stay off
+		// the API port, so exposure is a deployment decision (bind loopback),
+		// not an API-surface one.
+		go func() {
+			pprofSrv := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof serve", "error", err)
 			}
 		}()
 	}
@@ -166,27 +215,45 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errc:
-		logger.Fatalf("serve: %v", err)
+		fatalf("serve: %v", err)
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutting down (budget %s)", *drain)
+	logger.Info("shutting down", "budget", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := engine.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("engine shutdown: %v", err)
+		logger.Warn("engine shutdown", "error", err)
 	}
 	if ds != nil {
 		if err := ds.Close(); err != nil {
-			logger.Printf("close data dir: %v", err)
+			logger.Warn("close data dir", "error", err)
 		}
 	}
-	logger.Printf("bye")
+	// The final snapshot is the last line an operator sees: what this
+	// process accomplished and where the durable log stands.
+	stats := engine.Stats()
+	logger.Info("bye", "jobs_finished", stats.JobsFinished, "wal_seq", stats.WALSeq)
+}
+
+// parseLevel maps the -log-level flag onto a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("served: unknown -log-level %q (want debug, info, warn or error)", s)
 }

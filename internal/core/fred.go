@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/fusion"
@@ -86,6 +87,11 @@ type LevelResult struct {
 	Utility float64
 	// Candidate reports After ≥ Tp.
 	Candidate bool
+	// Elapsed is the level's compute time (anonymize + attack + utility),
+	// measured where the work runs so concurrent sweeps report true
+	// per-level cost, not pipeline emission gaps. Purely observational — it
+	// never feeds back into the sweep numerics.
+	Elapsed time.Duration
 }
 
 // Result is the outcome of a FRED run.
@@ -231,6 +237,7 @@ func (sc *SweepContext) Attack(release *dataset.Table) (phat *dataset.Table, bef
 // suppressed, zero-copy), attacks it and measures utility — one sweep
 // iteration.
 func (sc *SweepContext) RunLevel(anon Anonymizer, k int, tp float64) (LevelResult, error) {
+	start := time.Now()
 	anonT, err := anon.Anonymize(sc.p, k)
 	if err != nil {
 		return LevelResult{}, err
@@ -253,6 +260,7 @@ func (sc *SweepContext) RunLevel(anon Anonymizer, k int, tp float64) (LevelResul
 		Gain:      metrics.InformationGain(before, after),
 		Utility:   util,
 		Candidate: after >= tp,
+		Elapsed:   time.Since(start),
 	}, nil
 }
 

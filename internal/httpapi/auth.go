@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -177,14 +178,25 @@ func bearerKey(r *http.Request) (string, bool) {
 	return "", false
 }
 
+// authExempt reports whether a path is served without a key even on an
+// authenticated server: the probes (a load balancer holds no key) and the
+// metrics exposition (a scraper holds no key either, and the exposition
+// carries operational aggregates, not tenant data).
+func authExempt(path string) bool {
+	switch path {
+	case "/v1/healthz", "/v1/readyz", "/metrics":
+		return true
+	}
+	return false
+}
+
 // withAuth resolves the request's tenant before any handler runs. Without
 // an authenticator every request is the default tenant; with one, a missing
-// or malformed credential is 401 and an unknown key 403, both as JSON. The
-// liveness probe stays open — a load balancer holds no key.
+// or malformed credential is 401 and an unknown key 403, both as JSON.
 func (s *Server) withAuth(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		tenant := service.DefaultTenant
-		if s.auth != nil && r.URL.Path != "/v1/healthz" {
+		if s.auth != nil && !authExempt(r.URL.Path) {
 			key, ok := bearerKey(r)
 			if !ok {
 				w.Header().Set("WWW-Authenticate", `Bearer realm="repro"`)
@@ -198,6 +210,13 @@ func (s *Server) withAuth(next http.Handler) http.Handler {
 			}
 			tenant = t
 		}
-		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKeyTenant{}, tenant)))
+		ctx := context.WithValue(r.Context(), ctxKeyTenant{}, tenant)
+		// Stamp the tenant for log correlation and report it back to the
+		// enclosing withObs middleware for the request metrics.
+		ctx = obs.WithTenant(ctx, tenant)
+		if h, ok := ctx.Value(ctxKeyTenantHolder{}).(*tenantHolder); ok {
+			h.tenant = tenant
+		}
+		next.ServeHTTP(w, r.WithContext(ctx))
 	})
 }

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // handleJobEvents streams a job's incremental events — per-level sweep
@@ -36,6 +38,10 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ndjson := strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	// The access log line only lands when the stream closes; this one marks
+	// the subscription start, correlated by request_id and job.
+	s.logger.DebugContext(obs.WithJobID(r.Context(), r.PathValue("id")),
+		"event stream subscribed", "after", after, "ndjson", ndjson)
 	if ndjson {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	} else {

@@ -1,11 +1,39 @@
 package httpapi
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// statusRecorder captures the response code for the request log.
+// httpMetrics is the request-path instrument set. Route labels are the
+// registered mux patterns ("GET /v1/jobs/{id}"), never raw URLs, and status
+// is the class — both cardinality rules from internal/obs/DESIGN.md.
+type httpMetrics struct {
+	requests *obs.CounterVec   // route, method, status, tenant
+	duration *obs.HistogramVec // route, tenant
+	inFlight *obs.GaugeVec     // route (tenant is unresolved while in flight)
+}
+
+func newHTTPMetrics(r *obs.Registry) *httpMetrics {
+	return &httpMetrics{
+		requests: r.Counter("http_requests_total",
+			"HTTP requests served, by registered route and status class.",
+			"route", "method", "status", "tenant"),
+		duration: r.Histogram("http_request_duration_seconds",
+			"HTTP request latency, by registered route.", nil, "route", "tenant"),
+		inFlight: r.Gauge("http_in_flight_requests",
+			"Requests currently being served, by registered route.", "route"),
+	}
+}
+
+// statusRecorder captures the response code for metrics and the access log.
+// It passes Flush through so streaming handlers (SSE) keep flushing when the
+// middleware wraps the ResponseWriter.
 type statusRecorder struct {
 	http.ResponseWriter
 	code int
@@ -23,19 +51,88 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
-// withLogging logs one line per request: method, path, status, duration.
-func (s *Server) withLogging(next http.Handler) http.Handler {
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// statusClass buckets a response code for the status label: "2xx" … "5xx".
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// tenantHolder lets the auth middleware, which runs inside withObs, report
+// the resolved tenant back out to it: withObs needs the tenant for the
+// request counter and access log, but it wraps withAuth, so a plain context
+// value written by auth would be invisible to it. The holder is mutable
+// shared state scoped to one request.
+type tenantHolder struct{ tenant string }
+
+type ctxKeyTenantHolder struct{}
+
+// requestID returns the inbound X-Request-ID or mints one (8 random bytes,
+// hex). Client-supplied IDs are passed through so a caller can correlate
+// across services; they become log attributes, never metric labels.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
+		return id
+	}
+	var b [8]byte
+	rand.Read(b[:]) //nolint:errcheck // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:])
+}
+
+// withObs is the outermost middleware: it assigns the request ID, tracks
+// in-flight requests, records the request counter and latency histogram, and
+// writes one structured access-log line carrying request ID and tenant. It
+// wraps auth so refused requests are observed too.
+func (s *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.logger == nil {
-			next.ServeHTTP(w, r)
-			return
+		reqID := requestID(r)
+		w.Header().Set("X-Request-ID", reqID)
+		holder := &tenantHolder{}
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		ctx = context.WithValue(ctx, ctxKeyTenantHolder{}, holder)
+		r = r.WithContext(ctx)
+
+		// The route label is the *registered pattern*, resolved on the
+		// original request before the handler consumes it — raw paths embed
+		// job IDs and would explode series cardinality.
+		route := "unmatched"
+		if _, pattern := s.mux.Handler(r); pattern != "" {
+			route = pattern
 		}
+
 		rec := &statusRecorder{ResponseWriter: w}
+		inFlight := s.metrics.inFlight.With(route)
+		inFlight.Inc()
 		start := time.Now()
 		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		inFlight.Dec()
 		if rec.code == 0 {
 			rec.code = http.StatusOK
 		}
-		s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.code, time.Since(start).Round(time.Microsecond))
+
+		// The tenant resolved (or not) while the inner handlers ran; an
+		// unauthenticated refusal leaves it empty and is labelled "".
+		s.metrics.requests.With(route, r.Method, statusClass(rec.code), holder.tenant).Inc()
+		s.metrics.duration.With(route, holder.tenant).Observe(elapsed.Seconds())
+		if holder.tenant != "" {
+			ctx = obs.WithTenant(ctx, holder.tenant)
+		}
+		s.logger.InfoContext(ctx, "request",
+			"method", r.Method, "path", r.URL.Path, "route", route,
+			"status", rec.code, "duration", elapsed.Round(time.Microsecond))
 	})
 }

@@ -1,0 +1,295 @@
+package httpapi_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/httpapi"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/service/diskstore"
+)
+
+// newObsServer builds the full durable stack — diskstore WAL, engine and
+// REST layer — sharing one registry and tracer, the way cmd/served wires
+// them. Everything the observability plane promises is checked against this
+// server.
+func newObsServer(t *testing.T) (*httptest.Server, *obs.Registry, *obs.Tracer) {
+	t.Helper()
+	checkGoroutineLeaks(t)
+	registry := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.DefaultTraceCapacity)
+	ds, err := diskstore.Open(t.TempDir(), diskstore.WithMetrics(registry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+	store := service.NewStoreWith(ds)
+	if err := store.Open(); err != nil {
+		t.Fatal(err)
+	}
+	engine := service.NewEngine(store, service.Options{
+		Workers: 2, SweepWorkers: 4, JobLog: ds,
+		Metrics: registry, Tracer: tracer, Logger: obs.NewLogger(io.Discard, nil),
+	})
+	engine.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+	})
+	ts := httptest.NewServer(httpapi.New(store, engine, nil,
+		httpapi.WithMetrics(registry), httpapi.WithTracer(tracer)))
+	t.Cleanup(ts.Close)
+	return ts, registry, tracer
+}
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestMetricsEndToEnd runs a real fred-sweep through the durable stack and
+// asserts one scrape covers every layer: HTTP requests, per-tenant job
+// latency histograms, queue/worker gauges, cache hit/miss, WAL append
+// latency and fsyncs.
+func TestMetricsEndToEnd(t *testing.T) {
+	ts, _, _ := newObsServer(t)
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pInfo := uploadTable(t, ts.URL, "P", sc.P)
+	qInfo := uploadTable(t, ts.URL, "Q", sc.Q)
+	spec := service.Spec{
+		Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
+		MinK: 2, MaxK: 6,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	}
+	st := submitJob(t, ts.URL, spec)
+	if st = pollJob(t, ts.URL, st.ID); st.State != service.StateDone {
+		t.Fatalf("sweep ended %s: %s", st.State, st.Error)
+	}
+	// The identical resubmission is the cache-hit sample.
+	st2 := submitJob(t, ts.URL, spec)
+	if st2 = pollJob(t, ts.URL, st2.ID); !st2.Cached {
+		t.Fatalf("repeat sweep not served from cache: %+v", st2)
+	}
+
+	text := scrape(t, ts.URL)
+	for _, want := range []string{
+		// HTTP layer: the route label is the registered pattern, the status a
+		// class, the tenant resolved by the auth middleware (default here).
+		`http_requests_total{route="POST /v1/jobs",method="POST",status="2xx",tenant="default"} 2`,
+		`http_request_duration_seconds_bucket{route="POST /v1/tables",tenant="default",le="+Inf"} 2`,
+		`http_in_flight_requests{route="GET /metrics"} 1`,
+		// Engine: lifecycle counters, per-tenant duration histogram, gauges.
+		`jobs_submitted_total{tenant="default",type="fred-sweep"} 2`,
+		`jobs_started_total{tenant="default",type="fred-sweep"} 1`,
+		`jobs_finished_total{tenant="default",type="fred-sweep",state="done"} 2`,
+		`job_duration_seconds_count{tenant="default",type="fred-sweep"} 1`,
+		`queue_depth 0`,
+		`workers_total 2`,
+		// Cache: one miss (first sweep), one hit (resubmission).
+		`cache_hits_total{tenant="default"} 1`,
+		`cache_misses_total{tenant="default"} 1`,
+		// Storage plane: WAL appends happened and terminal records fsynced.
+		`# TYPE wal_append_seconds histogram`,
+		`# TYPE wal_fsync_total counter`,
+		`# TYPE wal_bytes gauge`,
+		`# TYPE snapshot_write_seconds histogram`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The WAL actually recorded work: appends observed, bytes accumulated.
+	for _, prefix := range []string{"wal_append_seconds_count ", "wal_bytes ", "wal_fsync_total "} {
+		if !hasPositiveSample(text, prefix) {
+			t.Errorf("%s has no positive sample:\n%s", prefix, grepLines(text, strings.TrimSpace(prefix)))
+		}
+	}
+}
+
+// hasPositiveSample reports whether a line `prefix<value>` exists with a
+// value above zero.
+func hasPositiveSample(text, prefix string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, prefix); ok && rest != "" && rest != "0" {
+			return true
+		}
+	}
+	return false
+}
+
+func grepLines(text, needle string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, needle) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestJobTraceEndpoint: a finished sweep serves one job.run span plus one
+// sweep.level span per level, and foreign job IDs stay 404.
+func TestJobTraceEndpoint(t *testing.T) {
+	ts, _, _ := newObsServer(t)
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pInfo := uploadTable(t, ts.URL, "P", sc.P)
+	qInfo := uploadTable(t, ts.URL, "Q", sc.Q)
+	st := submitJob(t, ts.URL, service.Spec{
+		Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
+		MinK: 2, MaxK: 6,
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	})
+	if st = pollJob(t, ts.URL, st.ID); st.State != service.StateDone {
+		t.Fatalf("sweep ended %s: %s", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", resp.StatusCode)
+	}
+	var body struct {
+		Job   string     `json:"job"`
+		Spans []obs.Span `json:"spans"`
+	}
+	decodeJSON(t, resp.Body, &body)
+	if body.Job != st.ID {
+		t.Fatalf("trace for %q, want %q", body.Job, st.ID)
+	}
+	byName := map[string]int{}
+	seenK := map[string]bool{}
+	for _, sp := range body.Spans {
+		byName[sp.Name]++
+		if sp.Name == "sweep.level" {
+			seenK[sp.Attrs["k"]] = true
+			if sp.DurationNS <= 0 {
+				t.Errorf("level k=%s span has duration %d", sp.Attrs["k"], sp.DurationNS)
+			}
+		}
+	}
+	if byName["job.run"] != 1 {
+		t.Errorf("got %d job.run spans, want 1", byName["job.run"])
+	}
+	if byName["sweep.level"] != 5 {
+		t.Errorf("got %d sweep.level spans, want 5 (k=2..6)", byName["sweep.level"])
+	}
+	for _, k := range []string{"2", "3", "4", "5", "6"} {
+		if !seenK[k] {
+			t.Errorf("no span for level k=%s", k)
+		}
+	}
+
+	// Unknown job IDs are 404 on the trace route like every other job route.
+	resp404, err := http.Get(ts.URL + "/v1/jobs/job-999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job trace status %d, want 404", resp404.StatusCode)
+	}
+}
+
+// TestReadyz: 503 while the engine's worker pool has not started (the WAL
+// replay window), 200 after Start.
+func TestReadyz(t *testing.T) {
+	ts, _, engine := newTestServerEngine(t, false, service.Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-start readyz status %d, want 503", resp.StatusCode)
+	}
+	engine.Start()
+	resp, err = http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-start readyz status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestRequestIDEcho: the middleware mints an X-Request-ID when absent and
+// echoes a client-supplied one — on plain routes and on the SSE stream.
+func TestRequestIDEcho(t *testing.T) {
+	ts, _ := newTestServer(t, true)
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); len(id) != 16 {
+		t.Fatalf("minted request ID %q, want 16 hex chars", id)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-supplied-1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); id != "caller-supplied-1" {
+		t.Fatalf("echoed request ID %q, want caller-supplied-1", id)
+	}
+
+	// The SSE stream writes its headers up front, so the echo must survive
+	// the streaming path too (exercising the recorder's Flush passthrough).
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 7, N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pInfo := uploadTable(t, ts.URL, "P", sc.P)
+	st := submitJob(t, ts.URL, service.Spec{
+		Type: service.JobAnonymize, Table: pInfo.ID, K: 3,
+	})
+	streamReq, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	streamReq.Header.Set("X-Request-ID", "sse-correlate-9")
+	streamResp, err := http.DefaultClient.Do(streamReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	if id := streamResp.Header.Get("X-Request-ID"); id != "sse-correlate-9" {
+		t.Fatalf("SSE request ID %q, want sse-correlate-9", id)
+	}
+	io.Copy(io.Discard, streamResp.Body) //nolint:errcheck // drain to completion
+}

@@ -19,7 +19,16 @@
 //	                             already-delivered events after a reconnect
 //	POST   /v1/jobs/{id}/cancel  cancel a pending or running job
 //	DELETE /v1/jobs/{id}         purge a terminal job (409 while running)
-//	GET    /v1/healthz           liveness probe (never authenticated)
+//	GET    /v1/jobs/{id}/trace   per-job trace spans (job.run, sweep.level)
+//	GET    /v1/healthz           liveness probe + ops snapshot (never
+//	                             authenticated)
+//	GET    /v1/readyz            readiness probe: 503 until the engine's
+//	                             worker pool is up — i.e. for the whole WAL
+//	                             replay window (never authenticated)
+//	GET    /metrics              Prometheus text exposition (never
+//	                             authenticated, like the probes: scrapers
+//	                             hold no tenant key and the exposition is
+//	                             operational, not tenant data)
 //
 // The API is multi-tenant: with WithAuth configured, every request (except
 // healthz) must present an API key (Authorization: Bearer <key>, or
@@ -40,10 +49,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -52,11 +63,15 @@ const maxUploadBytes = 64 << 20
 
 // Server routes the v1 API onto a store and an engine.
 type Server struct {
-	store  *service.Store
-	engine *service.Engine
-	logger *log.Logger
-	auth   *Auth
-	mux    *http.ServeMux
+	store    *service.Store
+	engine   *service.Engine
+	logger   *slog.Logger
+	auth     *Auth
+	mux      *http.ServeMux
+	registry *obs.Registry
+	metrics  *httpMetrics
+	tracer   *obs.Tracer
+	started  time.Time
 }
 
 // Option configures optional server behavior.
@@ -69,13 +84,39 @@ func WithAuth(a *Auth) Option {
 	return func(s *Server) { s.auth = a }
 }
 
-// New builds the server. A nil logger silences request logging.
-func New(store *service.Store, engine *service.Engine, logger *log.Logger, opts ...Option) *Server {
-	s := &Server{store: store, engine: engine, logger: logger, mux: http.NewServeMux()}
+// WithMetrics serves r at GET /metrics and records the HTTP request metrics
+// into it. Share the same registry with the engine and diskstore so one
+// scrape covers the whole service. Without this option the server uses a
+// private registry — /metrics always works, it just only carries the HTTP
+// families.
+func WithMetrics(r *obs.Registry) Option {
+	return func(s *Server) { s.registry = r }
+}
+
+// WithTracer serves t's spans at GET /v1/jobs/{id}/trace. Wire the same
+// tracer into the engine (service.Options.Tracer) or the endpoint will
+// always answer with an empty span list.
+func WithTracer(t *obs.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
+}
+
+// New builds the server. A nil logger discards request logging.
+func New(store *service.Store, engine *service.Engine, logger *slog.Logger, opts ...Option) *Server {
+	s := &Server{store: store, engine: engine, logger: logger, mux: http.NewServeMux(), started: time.Now()}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.logger == nil {
+		s.logger = obs.NopLogger()
+	}
+	if s.registry == nil {
+		s.registry = obs.NewRegistry()
+	}
+	s.metrics = newHTTPMetrics(s.registry)
+	s.mux.Handle("GET /metrics", s.registry.Handler())
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("POST /v1/tables", s.handleTableUpload)
 	s.mux.HandleFunc("GET /v1/tables", s.handleTableList)
 	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTableGet)
@@ -91,17 +132,71 @@ func New(store *service.Store, engine *service.Engine, logger *log.Logger, opts 
 	return s
 }
 
-// ServeHTTP implements http.Handler with the logging and authentication
-// middleware applied — auth runs inside logging, so refused requests are
-// logged too.
+// ServeHTTP implements http.Handler with the observability and
+// authentication middleware applied — auth runs inside withObs, so refused
+// requests are counted and logged too.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.withLogging(s.withAuth(s.mux)).ServeHTTP(w, r)
+	s.withObs(s.withAuth(s.mux)).ServeHTTP(w, r)
 }
 
 // --- handlers ---------------------------------------------------------------
 
+// handleHealthz is the liveness probe: always 200 while the process serves,
+// with an operational snapshot in the body. Readiness (is the engine
+// accepting work yet?) is readyz's question, not this one's.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	stats := s.engine.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"durable":        s.store.Durable(),
+		"wal_seq":        stats.WALSeq,
+		"jobs_finished":  stats.JobsFinished,
+		"jobs_live":      stats.JobsLive,
+		"tenants":        s.tenantCount(),
+	})
+}
+
+// tenantCount reports how many tenants this deployment serves: the distinct
+// tenants in the key file, or one (the default tenant) on an open server.
+func (s *Server) tenantCount() int {
+	if s.auth == nil {
+		return 1
+	}
+	seen := make(map[string]struct{})
+	for _, k := range s.auth.keys {
+		seen[k.tenant] = struct{}{}
+	}
+	return len(seen)
+}
+
+// handleReadyz is the readiness probe: 503 until Engine.Start has launched
+// the worker pool. Recovery (the WAL replay) runs before Start, so a
+// restarting durable node reports unready for the whole replay window and a
+// load balancer keeps traffic away until it can actually run jobs.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.engine.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleJobTrace returns a job's recorded trace spans (one job.run per
+// execution, one sweep.level per completed level). The job lookup runs
+// first: foreign or unknown job IDs are 404 exactly like every other job
+// route, so the trace endpoint leaks nothing across tenants.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.engine.Job(tenantFrom(r), id); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	spans := s.tracer.Spans(id)
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": id, "spans": spans})
 }
 
 func (s *Server) handleTableUpload(w http.ResponseWriter, r *http.Request) {

@@ -108,10 +108,18 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var body map[string]string
+	var body map[string]any
 	decodeJSON(t, resp.Body, &body)
 	if body["status"] != "ok" {
 		t.Fatalf("body %v", body)
+	}
+	for _, field := range []string{"uptime_seconds", "durable", "wal_seq", "jobs_finished", "jobs_live", "tenants"} {
+		if _, ok := body[field]; !ok {
+			t.Errorf("healthz body missing %q: %v", field, body)
+		}
+	}
+	if body["durable"] != false {
+		t.Errorf("in-memory server reports durable=%v", body["durable"])
 	}
 }
 

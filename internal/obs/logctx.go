@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// This file threads the three correlation identities — request ID, tenant,
+// job ID — through context, and provides a slog.Handler wrapper that stamps
+// them onto every log record emitted with a context-aware call
+// (InfoContext & friends). One job's lifecycle is then grep-able end to end:
+// the HTTP access line, the engine's submit/finish lines and the per-level
+// stream all carry the same ids.
+
+type ctxKey int
+
+const (
+	ctxRequestID ctxKey = iota
+	ctxTenant
+	ctxJobID
+)
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxRequestID, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string { return ctxString(ctx, ctxRequestID) }
+
+// WithTenant returns ctx carrying the tenant name.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, ctxTenant, tenant)
+}
+
+// Tenant returns the tenant carried by ctx, or "".
+func Tenant(ctx context.Context) string { return ctxString(ctx, ctxTenant) }
+
+// WithJobID returns ctx carrying the job ID.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxJobID, id)
+}
+
+// JobID returns the job ID carried by ctx, or "".
+func JobID(ctx context.Context) string { return ctxString(ctx, ctxJobID) }
+
+func ctxString(ctx context.Context, key ctxKey) string {
+	if ctx == nil {
+		return ""
+	}
+	if v, ok := ctx.Value(key).(string); ok {
+		return v
+	}
+	return ""
+}
+
+// ctxHandler decorates an inner handler with the context identities.
+type ctxHandler struct{ inner slog.Handler }
+
+// NewCtxHandler wraps h so every record logged with a context carrying a
+// request ID, tenant or job ID (the With* helpers above) gains the matching
+// request_id / tenant / job attributes automatically.
+func NewCtxHandler(h slog.Handler) slog.Handler { return ctxHandler{inner: h} }
+
+func (h ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := RequestID(ctx); id != "" {
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	if t := Tenant(ctx); t != "" {
+		rec.AddAttrs(slog.String("tenant", t))
+	}
+	if id := JobID(ctx); id != "" {
+		rec.AddAttrs(slog.String("job", id))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the service's standard structured logger: slog text
+// format on w at the given level, with the context identities stamped on
+// every record.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(NewCtxHandler(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// NopLogger returns a logger that discards everything — the default where a
+// component was handed no logger, so call sites never nil-check.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }

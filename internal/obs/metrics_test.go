@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden pins the full text exposition — HELP/TYPE
+// lines, label rendering and escaping, histogram expansion, sort order — to
+// a golden string. The format is a wire contract with Prometheus scrapers;
+// any change here must be deliberate.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	jobs := r.Counter("jobs_submitted_total", "Jobs accepted by Submit.", "tenant", "type")
+	jobs.With("default", "fred-sweep").Add(3)
+	jobs.With("acme", "anonymize").Inc()
+
+	depth := r.Gauge("queue_depth_static", "Pending jobs (static test gauge).")
+	depth.With().Set(7)
+
+	r.GaugeFunc("workers_busy", "Workers currently running a job.", func() float64 { return 2 })
+
+	lat := r.Histogram("job_duration_seconds", "Job wall time.", []float64{0.1, 1, 10}, "tenant")
+	h := lat.With("default")
+	h.Observe(0.05) // ≤ 0.1
+	h.Observe(0.5)  // ≤ 1
+	h.Observe(0.5)  // ≤ 1
+	h.Observe(99)   // +Inf
+
+	esc := r.Counter("weird_labels_total", "Label escaping.", "name")
+	esc.With("a\"b\\c\nd").Inc()
+
+	want := strings.Join([]string{
+		`# HELP job_duration_seconds Job wall time.`,
+		`# TYPE job_duration_seconds histogram`,
+		`job_duration_seconds_bucket{tenant="default",le="0.1"} 1`,
+		`job_duration_seconds_bucket{tenant="default",le="1"} 3`,
+		`job_duration_seconds_bucket{tenant="default",le="10"} 3`,
+		`job_duration_seconds_bucket{tenant="default",le="+Inf"} 4`,
+		`job_duration_seconds_sum{tenant="default"} 100.05`,
+		`job_duration_seconds_count{tenant="default"} 4`,
+		`# HELP jobs_submitted_total Jobs accepted by Submit.`,
+		`# TYPE jobs_submitted_total counter`,
+		`jobs_submitted_total{tenant="acme",type="anonymize"} 1`,
+		`jobs_submitted_total{tenant="default",type="fred-sweep"} 3`,
+		`# HELP queue_depth_static Pending jobs (static test gauge).`,
+		`# TYPE queue_depth_static gauge`,
+		`queue_depth_static 7`,
+		`# HELP weird_labels_total Label escaping.`,
+		`# TYPE weird_labels_total counter`,
+		`weird_labels_total{name="a\"b\\c\nd"} 1`,
+		`# HELP workers_busy Workers currently running a job.`,
+		`# TYPE workers_busy gauge`,
+		`workers_busy 2`,
+		``,
+	}, "\n")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryGetOrCreate: re-registering a family returns the same series
+// storage, so independently wired components share one metric.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "Shared.", "tenant")
+	b := r.Counter("shared_total", "Shared.", "tenant")
+	a.With("t1").Inc()
+	b.With("t1").Add(2)
+	if got := a.With("t1").Value(); got != 3 {
+		t.Fatalf("shared counter = %v, want 3", got)
+	}
+}
+
+// TestRegistryKindMismatchPanics: silently aliasing a counter as a gauge
+// would corrupt the exposition; it must fail loudly instead.
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("dual_total", "x")
+}
+
+// TestNilSafety: the entire instrument surface is a no-op on nil receivers,
+// so uninstrumented components never nil-check.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "x", "tenant").With("t").Inc()
+	r.Gauge("b", "x").With().Set(1)
+	r.Histogram("c", "x", nil, "tenant").With("t").Observe(1)
+	r.GaugeFunc("d", "x", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Tracer
+	_, sp := tr.StartSpan(t.Context(), "noop")
+	sp.SetAttr("k", "v")
+	sp.End()
+	if got := tr.Spans("job-1"); got != nil {
+		t.Fatalf("nil tracer returned spans: %v", got)
+	}
+}
+
+// TestCounterMonotonic: negative deltas are dropped, counters only go up.
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono_total", "x").With()
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %v, want 5", got)
+	}
+}
+
+// TestConcurrentInstruments hammers one registry from parallel goroutines —
+// the shape of parallel jobs all recording into shared families — and checks
+// the totals are exact. Run under -race this is also the data-race gate for
+// the whole metrics path, exposition included.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "x", "tenant")
+	g := r.Gauge("hammer_gauge", "x", "tenant")
+	h := r.Histogram("hammer_seconds", "x", nil, "tenant")
+
+	const goroutines = 16
+	const perG = 1000
+	tenants := []string{"t0", "t1", "t2"}
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tn := tenants[i%len(tenants)]
+			for j := 0; j < perG; j++ {
+				c.With(tn).Inc()
+				g.With(tn).Add(1)
+				h.With(tn).Observe(float64(j%100) / 1000)
+				if j%100 == 0 {
+					// Scrape concurrently with writes.
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var total float64
+	var observed uint64
+	for _, tn := range tenants {
+		total += c.With(tn).Value()
+		observed += h.With(tn).Count()
+	}
+	if total != goroutines*perG {
+		t.Fatalf("counter total = %v, want %d", total, goroutines*perG)
+	}
+	if observed != goroutines*perG {
+		t.Fatalf("histogram count = %v, want %d", observed, goroutines*perG)
+	}
+}

@@ -21,6 +21,9 @@ type resultCache struct {
 	ll     *list.List
 	items  map[string]*list.Element
 	counts map[string]int // tenant → resident entries
+	// onEvict, when set, observes each capacity/share eviction with the
+	// evicted entry's tenant. Called under mu; it must not re-enter the cache.
+	onEvict func(tenant string)
 }
 
 type cacheEntry struct {
@@ -70,12 +73,12 @@ func (c *resultCache) Put(tenant, key string, res *Result, share int) {
 		return
 	}
 	if share > 0 && c.counts[tenant] >= share {
-		c.removeLocked(c.oldestOfLocked(tenant))
+		c.evictLocked(c.oldestOfLocked(tenant))
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{tenant: tenant, key: key, res: res})
 	c.counts[tenant]++
 	for c.ll.Len() > c.cap {
-		c.removeLocked(c.ll.Back())
+		c.evictLocked(c.ll.Back())
 	}
 }
 
@@ -87,6 +90,18 @@ func (c *resultCache) oldestOfLocked(tenant string) *list.Element {
 		}
 	}
 	return nil
+}
+
+// evictLocked removes el as a capacity/share eviction, notifying onEvict.
+// Non-eviction removals (reseeding, explicit drops) use removeLocked.
+func (c *resultCache) evictLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	if c.onEvict != nil {
+		c.onEvict(el.Value.(*cacheEntry).tenant)
+	}
+	c.removeLocked(el)
 }
 
 func (c *resultCache) removeLocked(el *list.Element) {

@@ -47,6 +47,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/service"
@@ -68,6 +69,10 @@ type Store struct {
 	walMu sync.Mutex
 	wal   *os.File
 	lock  *os.File
+
+	// metrics instruments the WAL and snapshot paths; its zero value (no
+	// WithMetrics option) records nothing.
+	metrics storeMetrics
 }
 
 // tableKey identifies a table on disk: handles are only unique per tenant.
@@ -89,7 +94,7 @@ type metaFile struct {
 // rather than allowed to interleave a divergent history into the WAL. The
 // returned Store serves as both the table backend (service.NewStoreWith)
 // and the job log (service.Options.JobLog).
-func Open(dir string) (*Store, error) {
+func Open(dir string, opts ...Option) (*Store, error) {
 	for _, sub := range []string{"", "tables", "results"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("diskstore: %w", err)
@@ -100,6 +105,9 @@ func Open(dir string) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dir: dir, infos: make(map[tableKey]service.TableInfo), lock: lock}
+	for _, opt := range opts {
+		opt(s)
+	}
 	if err := s.loadMeta(); err != nil {
 		unlockDir(lock)
 		return nil, err
@@ -111,6 +119,11 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("diskstore: open wal: %w", err)
 	}
 	s.wal = wal
+	// Seed the WAL length gauge from the existing file; appends and
+	// compactions keep it current from here.
+	if fi, err := wal.Stat(); err == nil {
+		s.metrics.walBytes.Store(fi.Size())
+	}
 	return s, nil
 }
 
@@ -284,6 +297,11 @@ func (s *Store) writeSnapshot(path string, t *dataset.Table) error {
 	if _, err := os.Stat(path); err == nil {
 		return nil
 	}
+	// The timer starts after the dedup check: a content-addressed no-op is
+	// not a write and must not drag the latency distribution down.
+	defer func(start time.Time) {
+		s.metrics.snapWrite.Observe(time.Since(start).Seconds())
+	}(time.Now())
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
 	if err != nil {
 		return fmt.Errorf("diskstore: %w", err)
@@ -317,6 +335,9 @@ func (s *Store) readSnapshot(path string) (*dataset.Table, error) {
 		return nil, err
 	}
 	defer f.Close()
+	defer func(start time.Time) {
+		s.metrics.snapRead.Observe(time.Since(start).Seconds())
+	}(time.Now())
 	return dataset.ReadSnapshot(f)
 }
 
@@ -426,6 +447,7 @@ func (s *Store) AppendWAL(rec *service.WALRecord) error {
 		return fmt.Errorf("diskstore: marshal wal record: %w", err)
 	}
 	raw = append(raw, '\n')
+	start := time.Now()
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
 	if s.wal == nil {
@@ -434,6 +456,10 @@ func (s *Store) AppendWAL(rec *service.WALRecord) error {
 	if _, err := s.wal.Write(raw); err != nil {
 		return fmt.Errorf("diskstore: append wal: %w", err)
 	}
+	// The latency includes lock wait: that is what a submitting caller
+	// actually experiences when appends contend.
+	s.metrics.walAppend.Observe(time.Since(start).Seconds())
+	s.metrics.walBytes.Add(int64(len(raw)))
 	return nil
 }
 
@@ -444,6 +470,7 @@ func (s *Store) SyncWAL() error {
 	if s.wal == nil {
 		return nil
 	}
+	s.metrics.walFsync.Inc()
 	return s.wal.Sync()
 }
 
@@ -462,6 +489,9 @@ func (s *Store) ReplayWAL(fn func(service.WALRecord) error) error {
 		return fmt.Errorf("diskstore: open wal: %w", err)
 	}
 	defer f.Close()
+	defer func(start time.Time) {
+		s.metrics.walReplay.Observe(time.Since(start).Seconds())
+	}(time.Now())
 	r := bufio.NewReaderSize(f, 1<<20)
 	for lineNo := 1; ; lineNo++ {
 		line, err := r.ReadBytes('\n')
@@ -504,6 +534,7 @@ func (s *Store) CompactWAL(recs []*service.WALRecord) error {
 	if err := atomicWrite(s.walPath(), buf.Bytes()); err != nil {
 		return err
 	}
+	s.metrics.walBytes.Store(int64(buf.Len()))
 	if s.wal != nil {
 		s.wal.Close() //nolint:errcheck // superseded handle, contents already renamed over
 	}

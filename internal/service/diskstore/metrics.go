@@ -1,0 +1,50 @@
+package diskstore
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Option configures a Store at Open.
+type Option func(*Store)
+
+// WithMetrics registers the storage plane's instrumentation on r: WAL append
+// latency and fsync count, the live WAL byte length, replay duration, and
+// snapshot read/write latency. All families are unlabelled — the WAL is
+// shared across tenants, and attributing per-tenant bytes would require
+// interpreting record contents this layer deliberately does not.
+func WithMetrics(r *obs.Registry) Option {
+	return func(s *Store) { s.metrics.wire(r, s) }
+}
+
+// storeMetrics is the Store's instrument set. The zero value (no registry
+// wired) records nothing: every obs instrument is nil-safe.
+type storeMetrics struct {
+	walAppend obs.Histogram // append latency, write-to-OS only
+	walFsync  obs.Counter
+	walReplay obs.Histogram
+	snapRead  obs.Histogram
+	snapWrite obs.Histogram
+	// walBytes tracks the live WAL length: seeded from a stat at Open,
+	// advanced by appends, reset by CompactWAL. Exposed as a gauge func so
+	// scrapes never touch the filesystem.
+	walBytes atomic.Int64
+}
+
+func (m *storeMetrics) wire(r *obs.Registry, s *Store) {
+	m.walAppend = r.Histogram("wal_append_seconds",
+		"Job WAL append latency (write + flush to OS, no fsync).", nil).With()
+	m.walFsync = r.Counter("wal_fsync_total",
+		"Job WAL fsyncs (terminal records and shutdown).").With()
+	m.walReplay = r.Histogram("wal_replay_seconds",
+		"Full job WAL replay duration (crash recovery).", nil).With()
+	m.snapRead = r.Histogram("snapshot_read_seconds",
+		"Columnar table snapshot read latency.", nil).With()
+	m.snapWrite = r.Histogram("snapshot_write_seconds",
+		"Columnar table snapshot write latency (deduplicated writes excluded).", nil).With()
+	r.GaugeFunc("wal_bytes",
+		"Current job WAL length in bytes (drops at compaction).", func() float64 {
+			return float64(m.walBytes.Load())
+		})
+}

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -15,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/microagg"
 	"repro/internal/mondrian"
+	"repro/internal/obs"
 	"repro/internal/risk"
 )
 
@@ -45,6 +49,17 @@ type Options struct {
 	// there is a single configuration point. Nil leaves every tenant
 	// unlimited.
 	Quotas *Quotas
+	// Metrics receives the engine's job/queue/cache instrumentation
+	// (jobs_*_total, job_duration_seconds, queue_depth, workers_*, cache_*).
+	// Nil records nothing.
+	Metrics *obs.Registry
+	// Tracer receives per-job spans: one "job.run" per executed job and one
+	// "sweep.level" per completed sweep level. Nil records nothing.
+	Tracer *obs.Tracer
+	// Logger receives structured job-lifecycle lines (submit, finish,
+	// cancel). Records logged with a job context carry tenant= and job=
+	// attributes. Nil discards.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +80,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxFinishedJobs == 0 {
 		o.MaxFinishedJobs = 512
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	return o
 }
@@ -105,6 +123,18 @@ type Engine struct {
 	jobs     map[string]*job
 	finished []*job // terminal jobs in finish order, for retention eviction
 	closed   bool
+
+	metrics *engineMetrics
+	tracer  *obs.Tracer
+	logger  *slog.Logger
+	// busyWorkers counts workers currently executing a job (workers_busy).
+	busyWorkers atomic.Int64
+	// ready flips true once Start launches the pool; false during the
+	// Recover replay window. Served by /v1/readyz.
+	ready atomic.Bool
+	// doneJobs counts terminal transitions since process start, cumulative
+	// across retention eviction and Delete (unlike len(finished)).
+	doneJobs atomic.Uint64
 }
 
 // job is the engine-internal job record. status is guarded by mu; the input
@@ -219,7 +249,7 @@ func NewEngine(store *Store, opts Options) *Engine {
 	opts = opts.withDefaults()
 	store.SetQuotas(opts.Quotas)
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Engine{
+	e := &Engine{
 		store:     store,
 		opts:      opts,
 		cache:     newResultCache(opts.CacheSize),
@@ -227,10 +257,19 @@ func NewEngine(store *Store, opts Options) *Engine {
 		cancelAll: cancel,
 		queue:     make(chan *job, opts.QueueDepth),
 		jobs:      make(map[string]*job),
+		tracer:    opts.Tracer,
+		logger:    opts.Logger,
 	}
+	e.metrics = newEngineMetrics(opts.Metrics, e)
+	e.cache.onEvict = func(tenant string) {
+		e.metrics.cacheEvictions.With(tenant).Inc()
+	}
+	return e
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool and marks the engine ready. Recover (when
+// used) runs before Start, so readiness is exactly "replay finished, pool
+// accepting work".
 func (e *Engine) Start() {
 	for w := 0; w < e.opts.Workers; w++ {
 		e.wg.Add(1)
@@ -241,13 +280,60 @@ func (e *Engine) Start() {
 					e.finalize(j, nil, context.Canceled)
 					continue
 				}
-				res, err := e.run(j.ctx, j)
+				e.busyWorkers.Add(1)
+				st := j.snapshot()
+				e.metrics.started.With(st.Tenant, string(st.Type)).Inc()
+				ctx, span := e.tracer.StartSpan(j.ctx, "job.run")
+				span.SetAttr("type", string(st.Type))
+				res, err := e.run(ctx, j)
+				span.End()
+				e.busyWorkers.Add(-1)
 				if err == nil {
 					e.cachePut(j, res)
 				}
 				e.finalize(j, res, err)
 			}
 		}()
+	}
+	e.ready.Store(true)
+}
+
+// Ready reports whether Start has launched the worker pool. It is false for
+// the whole Recover replay window, which is what /v1/readyz serves.
+func (e *Engine) Ready() bool { return e.ready.Load() }
+
+// EngineStats is a point-in-time operational snapshot, served by healthz and
+// logged at shutdown.
+type EngineStats struct {
+	// Ready mirrors Engine.Ready.
+	Ready bool `json:"ready"`
+	// WALSeq is the last event sequence number appended to the job log.
+	WALSeq uint64 `json:"wal_seq"`
+	// JobsFinished counts terminal transitions since process start. Unlike
+	// the job log it is not reduced by retention eviction or Delete.
+	JobsFinished uint64 `json:"jobs_finished"`
+	// JobsLive counts pending plus running jobs.
+	JobsLive int `json:"jobs_live"`
+}
+
+// Stats returns the engine's operational snapshot.
+func (e *Engine) Stats() EngineStats {
+	e.walMu.Lock()
+	seq := e.eventSeq
+	e.walMu.Unlock()
+	live := 0
+	e.mu.RLock()
+	for _, j := range e.jobs {
+		if !j.snapshot().State.Terminal() {
+			live++
+		}
+	}
+	e.mu.RUnlock()
+	return EngineStats{
+		Ready:        e.Ready(),
+		WALSeq:       seq,
+		JobsFinished: e.doneJobs.Load(),
+		JobsLive:     live,
 	}
 }
 
@@ -266,12 +352,39 @@ func (e *Engine) finalize(j *job, res *Result, err error) bool {
 	if !j.finish(res, err) {
 		return false
 	}
+	e.observeTerminal(j)
 	e.logTerminal(j)
 	e.mu.Lock()
 	evicted := e.retireLocked(j)
 	e.mu.Unlock()
 	e.logDeletes(evicted)
 	return true
+}
+
+// observeTerminal records a just-finished job's metrics and log line. The
+// duration histogram measures worker start → terminal, so cache-served jobs
+// (never started) contribute to jobs_finished_total but not to duration.
+func (e *Engine) observeTerminal(j *job) {
+	st := j.snapshot()
+	e.doneJobs.Add(1)
+	e.metrics.finished.With(st.Tenant, string(st.Type), string(st.State)).Inc()
+	attrs := []any{"type", string(st.Type), "state", string(st.State), "cached", st.Cached}
+	if st.Started != nil && st.Finished != nil {
+		d := st.Finished.Sub(*st.Started)
+		e.metrics.duration.With(st.Tenant, string(st.Type)).Observe(d.Seconds())
+		attrs = append(attrs, "duration", d)
+	}
+	if st.Error != "" {
+		attrs = append(attrs, "error", st.Error)
+	}
+	e.logger.InfoContext(e.jobCtx(st), "job finished", attrs...)
+}
+
+// jobCtx builds a context carrying a job's identity for log correlation —
+// used on paths (finalize, cancel) that may run outside the job's own
+// context.
+func (e *Engine) jobCtx(st Status) context.Context {
+	return obs.WithJobID(obs.WithTenant(context.Background(), st.Tenant), st.ID)
 }
 
 // retireLocked records a terminal job in the finished log, evicts the
@@ -431,10 +544,15 @@ func (e *Engine) Submit(tenant string, spec Spec) (Status, error) {
 		return Status{}, &QuotaError{Tenant: tenant, Resource: "jobs", Limit: q.MaxJobs}
 	}
 	e.seq++
+	id := fmt.Sprintf("job-%d", e.seq)
 	ctx, cancel := context.WithCancel(e.baseCtx)
+	// The job context carries its identity so every log line and trace span
+	// recorded under it is correlated to this job (cancel propagates through
+	// the value wrapper unchanged).
+	ctx = obs.WithJobID(obs.WithTenant(ctx, tenant), id)
 	now := time.Now()
 	j := &job{
-		status: Status{ID: fmt.Sprintf("job-%d", e.seq), Tenant: tenant, Type: spec.Type, State: StatePending, Created: now},
+		status: Status{ID: id, Tenant: tenant, Type: spec.Type, State: StatePending, Created: now},
 		seq:    e.seq,
 		spec:   spec,
 		p:      p,
@@ -479,15 +597,19 @@ func (e *Engine) Submit(tenant string, spec Spec) (Status, error) {
 		e.mu.Unlock()
 		return retract(errors.New("service: engine is shut down"))
 	}
+	e.metrics.submitted.With(tenant, string(spec.Type)).Inc()
 	if res, ok := e.cache.Get(j.key); ok {
 		e.mu.Unlock()
+		e.metrics.cacheHits.With(tenant).Inc()
 		// The job is already visible, so the status write takes its lock.
 		j.mu.Lock()
 		j.status.Cached = true
 		j.mu.Unlock()
+		e.logger.InfoContext(ctx, "job submitted", "type", string(spec.Type), "cached", true)
 		e.finalize(j, res, nil)
 		return j.snapshot(), nil
 	}
+	e.metrics.cacheMisses.With(tenant).Inc()
 	select {
 	case e.queue <- j:
 		e.mu.Unlock()
@@ -495,6 +617,7 @@ func (e *Engine) Submit(tenant string, spec Spec) (Status, error) {
 		e.mu.Unlock()
 		return retract(ErrQueueFull)
 	}
+	e.logger.InfoContext(ctx, "job submitted", "type", string(spec.Type), "cached", false)
 	return j.snapshot(), nil
 }
 
@@ -580,6 +703,8 @@ func (e *Engine) Cancel(tenant, id string) error {
 	// Cancel returns but before the worker unwinds and writes the terminal
 	// status must not replay the job as interrupted and re-run it.
 	e.appendWAL(&WALRecord{Kind: WALCancel, JobID: id}) //nolint:errcheck
+	e.metrics.canceled.With(tenant).Inc()
+	e.logger.InfoContext(e.jobCtx(j.snapshot()), "job canceled", "was", string(state))
 	j.cancel()
 	if state == StatePending {
 		e.finalize(j, nil, context.Canceled)
@@ -820,6 +945,18 @@ func (e *Engine) runFREDSweep(ctx context.Context, j *job) (*Result, error) {
 				cal = &Calibration{Tp: tp, Tu: tu}
 			}
 			e.recordLevel(j, ls, cal, 0.95*float64(len(levels))/float64(total))
+			// One trace span per completed level, timed where the work ran
+			// (core measures lr.Elapsed inside RunLevel), so concurrent
+			// sweeps report true per-level cost rather than emission gaps.
+			e.tracer.Record(obs.Span{
+				Job:        obs.JobID(ctx),
+				Name:       "sweep.level",
+				Start:      time.Now().Add(-lr.Elapsed),
+				DurationNS: int64(lr.Elapsed),
+				Attrs:      map[string]string{"k": strconv.Itoa(lr.K)},
+			})
+			e.logger.DebugContext(ctx, "sweep level",
+				"k", lr.K, "after", lr.After, "utility", lr.Utility, "elapsed", lr.Elapsed)
 			return nil
 		})
 		if err != nil {

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"repro/internal/obs"
+)
+
+// engineMetrics is the engine's instrument set, resolved once from the
+// registry at construction. Every instrument is nil-safe through obs, so an
+// engine built without Options.Metrics records nothing at zero cost.
+//
+// Cardinality rules (internal/obs/DESIGN.md): tenant is the only free
+// label; job type and terminal state are closed enums; job IDs never become
+// labels — per-job detail goes to traces and logs.
+type engineMetrics struct {
+	submitted *obs.CounterVec   // tenant, type
+	started   *obs.CounterVec   // tenant, type
+	finished  *obs.CounterVec   // tenant, type, state
+	canceled  *obs.CounterVec   // tenant
+	duration  *obs.HistogramVec // tenant, type
+
+	cacheHits      *obs.CounterVec // tenant
+	cacheMisses    *obs.CounterVec // tenant
+	cacheEvictions *obs.CounterVec // tenant
+}
+
+// newEngineMetrics registers the engine's metric families on r (nil r is a
+// no-op set) and wires the scrape-time gauges that read live engine state.
+func newEngineMetrics(r *obs.Registry, e *Engine) *engineMetrics {
+	m := &engineMetrics{
+		submitted: r.Counter("jobs_submitted_total",
+			"Jobs accepted by Submit, including cache hits.", "tenant", "type"),
+		started: r.Counter("jobs_started_total",
+			"Jobs a worker began executing.", "tenant", "type"),
+		finished: r.Counter("jobs_finished_total",
+			"Jobs reaching a terminal state.", "tenant", "type", "state"),
+		canceled: r.Counter("jobs_canceled_total",
+			"Cancellations accepted by Cancel.", "tenant"),
+		duration: r.Histogram("job_duration_seconds",
+			"Job wall time from worker start to terminal state.", nil, "tenant", "type"),
+		cacheHits: r.Counter("cache_hits_total",
+			"Result-cache hits at Submit.", "tenant"),
+		cacheMisses: r.Counter("cache_misses_total",
+			"Result-cache misses at Submit.", "tenant"),
+		cacheEvictions: r.Counter("cache_evictions_total",
+			"Result-cache evictions (capacity or tenant share).", "tenant"),
+	}
+	if r != nil && e != nil {
+		r.GaugeFunc("queue_depth",
+			"Jobs waiting in the pending queue.", func() float64 {
+				return float64(len(e.queue))
+			})
+		r.GaugeFunc("workers_busy",
+			"Workers currently executing a job.", func() float64 {
+				return float64(e.busyWorkers.Load())
+			})
+		r.GaugeFunc("workers_total",
+			"Size of the job worker pool.", func() float64 {
+				return float64(e.opts.Workers)
+			})
+	}
+	return m
+}
