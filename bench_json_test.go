@@ -1,17 +1,39 @@
 package repro
 
 // TestEmitBenchJSON pins the performance trajectory: it runs the service
-// fred-sweep benchmark over a small grid of cohort sizes and sweep worker
-// counts and writes the measurements to BENCH_sweep.json, which is committed
-// so each PR's numbers are diffable against the last. Gated behind
-// EMIT_BENCH=1 — it is a measurement job, not a correctness test, and has no
-// place in the ordinary `go test` wall time.
+// fred-sweep benchmark over a grid of cohort sizes and sweep worker counts
+// and writes the measurements to BENCH_sweep.json, which is committed so
+// each PR's numbers are diffable against the last. Gated behind EMIT_BENCH=1
+// — it is a measurement job, not a correctness test, and has no place in the
+// ordinary `go test` wall time.
+//
+// Methodology:
+//
+//   - Every iteration is a full sweep. The engine's result cache is disabled
+//     (CacheSize: -1) and each Wait additionally asserts Status.Cached ==
+//     false, so a future change that re-enables caching under the bench
+//     fails loudly instead of silently flattening the trajectory into cache
+//     lookups.
+//   - Entries record the workers actually in effect, not just the requested
+//     count: effective_workers = min(workers, sweep levels) is the level
+//     pool SweepStream builds, and gomaxprocs bounds how many of those can
+//     make simultaneous progress on the host. On a single-CPU runner the
+//     workers axis therefore measures overhead neutrality (the parallel
+//     path must not be slower), not speedup.
+//   - MDAV's assignment kernel is O(n²), so the 10⁵/10⁶-row cells run
+//     mondrian (O(n log n) per split level); the 10⁶ cell narrows the sweep
+//     to k=2..4 to keep emission under a few minutes per cell.
+//   - Scenarios use DirectAux: the adversary's table Q is derived straight
+//     from the ground-truth profiles instead of the O(roster·pages) corpus
+//     scrape, which would dominate setup at 10⁶ rows. Q's schema and the
+//     attack path are identical either way.
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/service"
@@ -19,76 +41,86 @@ import (
 
 // benchEntry is one BENCH_sweep.json measurement.
 type benchEntry struct {
-	Op          string `json:"op"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
-	Rows        int    `json:"rows"`
-	Workers     int    `json:"workers"`
+	Op               string `json:"op"`
+	Scheme           string `json:"scheme"`
+	Rows             int    `json:"rows"`
+	MinK             int    `json:"min_k"`
+	MaxK             int    `json:"max_k"`
+	Workers          int    `json:"workers"`
+	EffectiveWorkers int    `json:"effective_workers"`
+	GoMaxProcs       int    `json:"gomaxprocs"`
+	NsPerOp          int64  `json:"ns_per_op"`
+	AllocsPerOp      int64  `json:"allocs_per_op"`
+	BytesPerOp       int64  `json:"bytes_per_op"`
 }
+
+// benchCell is one (scheme, cohort size, sweep range) point; the grid is the
+// cross product with benchWorkers. TestBenchJSONFresh checks the committed
+// BENCH_sweep.json against exactly this grid, so widening it here makes CI
+// fail until the file is regenerated.
+type benchCell struct {
+	scheme     string
+	rows       int
+	minK, maxK int
+}
+
+var benchGrid = []benchCell{
+	{scheme: "mdav", rows: 1000, minK: 2, maxK: 16},
+	{scheme: "mdav", rows: 10000, minK: 2, maxK: 16},
+	{scheme: "mondrian", rows: 100000, minK: 2, maxK: 16},
+	{scheme: "mondrian", rows: 1000000, minK: 2, maxK: 4},
+}
+
+var benchWorkers = []int{1, 4, 8}
+
+func (c benchCell) op(workers int) string {
+	return fmt.Sprintf("service-fred-sweep/scheme=%s/rows=%d/workers=%d", c.scheme, c.rows, workers)
+}
+
+func (c benchCell) levels() int { return c.maxK - c.minK + 1 }
 
 const benchJSONPath = "BENCH_sweep.json"
 
 func TestEmitBenchJSON(t *testing.T) {
-	if os.Getenv("EMIT_BENCH") == "" {
-		t.Skip("set EMIT_BENCH=1 to run the benchmark grid and write " + benchJSONPath)
+	mode := os.Getenv("EMIT_BENCH")
+	if mode == "" {
+		t.Skip("set EMIT_BENCH=1 to run the benchmark grid and write " + benchJSONPath +
+			", or EMIT_BENCH=smoke to exercise one mid-size cell without writing")
+	}
+	grid, workersAxis := benchGrid, benchWorkers
+	if mode == "smoke" {
+		// CI's perf gate: one mid-size cell proves the bench path end to end
+		// (scenario build, engine, cache-miss assertion) in well under a
+		// minute. Nothing is written — the committed file stays the full
+		// grid's.
+		grid = []benchCell{{scheme: "mdav", rows: 10000, minK: 2, maxK: 16}}
+		workersAxis = []int{1}
 	}
 
 	var entries []benchEntry
-	for _, rows := range []int{40, 250} {
-		sc, err := UniversityScenario(ScenarioOptions{Seed: 42, N: rows})
-		if err != nil {
-			t.Fatal(err)
+	scenarios := map[int]*Scenario{}
+	for _, cell := range grid {
+		sc, ok := scenarios[cell.rows]
+		if !ok {
+			var err error
+			sc, err = UniversityScenario(ScenarioOptions{Seed: 42, N: cell.rows, DirectAux: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			scenarios[cell.rows] = sc
 		}
-		for _, workers := range []int{1, 4} {
-			r := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				store := service.NewStore()
-				pInfo, err := store.Put(service.DefaultTenant, "P", sc.P)
-				if err != nil {
-					b.Fatal(err)
-				}
-				qInfo, err := store.Put(service.DefaultTenant, "Q", sc.Q)
-				if err != nil {
-					b.Fatal(err)
-				}
-				spec := service.Spec{
-					Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
-					MinK: 2, MaxK: 16,
-					SensitiveLo: 40000, SensitiveHi: 160000,
-				}
-				// Caching disabled: every iteration is a full sweep, so the
-				// grid measures compute scaling, not cache lookups.
-				e := service.NewEngine(store, service.Options{
-					Workers: 1, SweepWorkers: workers, CacheSize: -1,
-				})
-				e.Start()
-				defer e.Shutdown(context.Background())
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					st, err := e.Submit(service.DefaultTenant, spec)
-					if err != nil {
-						b.Fatal(err)
-					}
-					if st, err = e.Wait(context.Background(), service.DefaultTenant, st.ID); err != nil {
-						b.Fatal(err)
-					}
-					if st.State != service.StateDone {
-						b.Fatalf("sweep ended %s: %s", st.State, st.Error)
-					}
-				}
-			})
-			entries = append(entries, benchEntry{
-				Op:          fmt.Sprintf("service-fred-sweep/rows=%d/workers=%d", rows, workers),
-				NsPerOp:     r.NsPerOp(),
-				AllocsPerOp: r.AllocsPerOp(),
-				BytesPerOp:  r.AllocedBytesPerOp(),
-				Rows:        rows,
-				Workers:     workers,
-			})
-			t.Logf("%s: %d ns/op, %d allocs/op, %d B/op",
-				entries[len(entries)-1].Op, r.NsPerOp(), r.AllocsPerOp(), r.AllocedBytesPerOp())
+		for _, workers := range workersAxis {
+			entries = append(entries, benchOne(t, sc, cell, workers))
+			e := entries[len(entries)-1]
+			t.Logf("%s: %d ns/op, %d allocs/op, %d B/op (effective workers %d, GOMAXPROCS %d)",
+				e.Op, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.EffectiveWorkers, e.GoMaxProcs)
 		}
+		// The 10⁶-row table is ~a hundred MB across P, Q and per-level
+		// releases; drop it before the next cell builds its own.
+		delete(scenarios, cell.rows)
+	}
+	if mode == "smoke" {
+		return
 	}
 
 	raw, err := json.MarshalIndent(entries, "", "  ")
@@ -101,20 +133,134 @@ func TestEmitBenchJSON(t *testing.T) {
 
 	// Round-trip what landed on disk: the file is an interface other tooling
 	// parses, so an unreadable emission must fail here, not downstream.
-	reread, err := os.ReadFile(benchJSONPath)
+	if err := checkBenchJSON(); err != nil {
+		t.Fatalf("emitted %s is invalid: %v", benchJSONPath, err)
+	}
+}
+
+func benchOne(t *testing.T, sc *Scenario, cell benchCell, workers int) benchEntry {
+	t.Helper()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		store := service.NewStore()
+		pInfo, err := store.Put(service.DefaultTenant, "P", sc.P)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qInfo, err := store.Put(service.DefaultTenant, "Q", sc.Q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := service.Spec{
+			Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
+			Scheme: cell.scheme,
+			MinK:   cell.minK, MaxK: cell.maxK,
+			SensitiveLo: 40000, SensitiveHi: 160000,
+		}
+		e := service.NewEngine(store, service.Options{
+			Workers: 1, SweepWorkers: workers, CacheSize: -1,
+		})
+		e.Start()
+		defer e.Shutdown(context.Background())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := e.Submit(service.DefaultTenant, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st, err = e.Wait(context.Background(), service.DefaultTenant, st.ID); err != nil {
+				b.Fatal(err)
+			}
+			if st.State != service.StateDone {
+				b.Fatalf("sweep ended %s: %s", st.State, st.Error)
+			}
+			if st.Cached {
+				b.Fatalf("iteration %d served from the result cache; the bench must measure full sweeps", i)
+			}
+		}
+	})
+	effective := workers
+	if levels := cell.levels(); effective > levels {
+		effective = levels
+	}
+	return benchEntry{
+		Op:               cell.op(workers),
+		Scheme:           cell.scheme,
+		Rows:             cell.rows,
+		MinK:             cell.minK,
+		MaxK:             cell.maxK,
+		Workers:          workers,
+		EffectiveWorkers: effective,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		NsPerOp:          r.NsPerOp(),
+		AllocsPerOp:      r.AllocsPerOp(),
+		BytesPerOp:       r.AllocedBytesPerOp(),
+	}
+}
+
+// TestBenchJSONFresh runs in every ordinary `go test` pass (no gate): it
+// fails when the committed BENCH_sweep.json no longer matches the emitting
+// test's schema or grid — a stale file after the grid or entry format
+// changed. Regenerate with EMIT_BENCH=1 go test -run TestEmitBenchJSON.
+func TestBenchJSONFresh(t *testing.T) {
+	if err := checkBenchJSON(); err != nil {
+		t.Fatalf("%s is stale: %v\nregenerate with: EMIT_BENCH=1 go test -run TestEmitBenchJSON", benchJSONPath, err)
+	}
+}
+
+// checkBenchJSON validates the on-disk BENCH_sweep.json against the current
+// grid and entry schema.
+func checkBenchJSON() error {
+	raw, err := os.ReadFile(benchJSONPath)
 	if err != nil {
-		t.Fatal(err)
+		return err
 	}
-	var parsed []benchEntry
-	if err := json.Unmarshal(reread, &parsed); err != nil {
-		t.Fatalf("emitted %s does not parse: %v", benchJSONPath, err)
+
+	// Key-set check: the committed entries must carry exactly the fields
+	// benchEntry serializes today — nothing missing, nothing left over from
+	// an older schema.
+	var want map[string]json.RawMessage
+	canon, _ := json.Marshal(benchEntry{})
+	if err := json.Unmarshal(canon, &want); err != nil {
+		return err
 	}
-	if len(parsed) != len(entries) {
-		t.Fatalf("emitted %d entries, re-read %d", len(entries), len(parsed))
+	var loose []map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &loose); err != nil {
+		return err
 	}
-	for i, e := range parsed {
-		if e.Op == "" || e.NsPerOp <= 0 {
-			t.Fatalf("entry %d is degenerate: %+v", i, e)
+	for i, m := range loose {
+		if len(m) != len(want) {
+			return fmt.Errorf("entry %d has %d fields, schema has %d", i, len(m), len(want))
+		}
+		for k := range want {
+			if _, ok := m[k]; !ok {
+				return fmt.Errorf("entry %d is missing field %q", i, k)
+			}
 		}
 	}
+
+	var entries []benchEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return err
+	}
+	if got, wantN := len(entries), len(benchGrid)*len(benchWorkers); got != wantN {
+		return fmt.Errorf("%d entries, grid defines %d", got, wantN)
+	}
+	i := 0
+	for _, cell := range benchGrid {
+		for _, workers := range benchWorkers {
+			e := entries[i]
+			i++
+			if e.Op != cell.op(workers) {
+				return fmt.Errorf("entry %d op %q, grid expects %q", i-1, e.Op, cell.op(workers))
+			}
+			if e.Scheme != cell.scheme || e.Rows != cell.rows || e.MinK != cell.minK || e.MaxK != cell.maxK || e.Workers != workers {
+				return fmt.Errorf("entry %d %+v does not match grid cell %+v workers=%d", i-1, e, cell, workers)
+			}
+			if e.NsPerOp <= 0 || e.GoMaxProcs <= 0 || e.EffectiveWorkers <= 0 {
+				return fmt.Errorf("entry %d is degenerate: %+v", i-1, e)
+			}
+		}
+	}
+	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fusion"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 // Anonymizer is the Basic_Anonymization contract of Algorithm 1: any
@@ -26,6 +27,26 @@ import (
 type Anonymizer interface {
 	Name() string
 	Anonymize(t *dataset.Table, k int) (*dataset.Table, error)
+}
+
+// ParallelAnonymizer is the optional extension schemes implement to spread a
+// single level's work (distance scans, sub-partition recursion) over spare
+// workers from the sweep's shared budget. The contract is strict: the output
+// must be bit-identical to Anonymize at every budget, including nil. Sweeps
+// hand each level the pool budget, so within-level parallelism soaks up
+// whatever level-parallelism leaves idle — one worker bound governs both.
+type ParallelAnonymizer interface {
+	Anonymizer
+	AnonymizeParallel(t *dataset.Table, k int, b *parallel.Budget) (*dataset.Table, error)
+}
+
+// anonymizeLevel dispatches to the scheme's budgeted path when it has one
+// and a budget is present.
+func anonymizeLevel(anon Anonymizer, t *dataset.Table, k int, b *parallel.Budget) (*dataset.Table, error) {
+	if pa, ok := anon.(ParallelAnonymizer); ok && b != nil {
+		return pa.AnonymizeParallel(t, k, b)
+	}
+	return anon.Anonymize(t, k)
 }
 
 // AttackConfig describes the simulated adversary.
@@ -132,12 +153,16 @@ func Attack(p, release *dataset.Table, atk AttackConfig) (phat *dataset.Table, b
 // Definition 1, P's column vectors, the aux-side fusion feature columns, and
 // the Midpoint estimator's baseline inputs. Run, Sweep and SweepParallel
 // build one context per sweep; each level then only pays for the work that
-// actually depends on k. A context is immutable after construction and safe
-// for concurrent use.
+// actually depends on k. A context is immutable after construction (the
+// worker budget is attached once, before the context is shared) and safe for
+// concurrent use.
 type SweepContext struct {
 	p   *dataset.Table
 	atk AttackConfig
 	est fusion.Estimator
+	// budget is the sweep-wide worker budget levels borrow spare tokens
+	// from for within-level parallelism; nil runs every level inline.
+	budget *parallel.Budget
 	// cols names the compared attributes; colIdx are their schema indices
 	// (identical in P and any release, which share the schema).
 	cols   []string
@@ -238,7 +263,7 @@ func (sc *SweepContext) Attack(release *dataset.Table) (phat *dataset.Table, bef
 // iteration.
 func (sc *SweepContext) RunLevel(anon Anonymizer, k int, tp float64) (LevelResult, error) {
 	start := time.Now()
-	anonT, err := anon.Anonymize(sc.p, k)
+	anonT, err := anonymizeLevel(anon, sc.p, k, sc.budget)
 	if err != nil {
 		return LevelResult{}, err
 	}

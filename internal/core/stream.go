@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 // ErrStopSweep is the sentinel an emit callback returns to end a streaming
@@ -85,24 +86,40 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 		ctx = context.Background()
 	}
 	n := maxK - first + 1
+	// The requested worker count is the sweep-wide concurrency bound, shared
+	// between level-parallelism and within-level kernel parallelism through
+	// one token budget: each in-flight level holds a token while it runs, so
+	// spare tokens — workers beyond the remaining levels, or pool slots freed
+	// at the sweep tail — are what budgeted kernels may borrow. The level
+	// pool itself never needs more goroutines than levels.
 	workers := cfg.Workers
-	if workers <= 0 || workers > n {
+	if workers <= 0 {
 		workers = n
+	}
+	budget := parallel.NewBudget(workers)
+	pool := workers
+	if pool > n {
+		pool = n
 	}
 
 	sc := NewSweepContext(p, cfg.Attack)
+	sc.budget = budget
 
-	// A single worker is the old sequential loop: run it inline, without
-	// goroutines, so a consumer stop (Run's Algorithm 1 stopping rule) never
-	// pays for a speculative level past the stop point. With parallel
+	// A single-slot pool is the old sequential loop: run it inline, without
+	// pool goroutines, so a consumer stop (Run's Algorithm 1 stopping rule)
+	// never pays for a speculative level past the stop point. With parallel
 	// workers that speculation is inherent — in-flight levels above a stop
-	// are cancelled and discarded.
-	if workers == 1 {
+	// are cancelled and discarded. (A multi-worker budget over a single
+	// level still parallelizes inside the level: the kernels borrow the
+	// spare tokens.)
+	if pool == 1 {
 		for k := first; k <= maxK; k++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			budget.Acquire()
 			lr, err := sc.RunLevel(cfg.Anonymizer, k, cfg.Tp)
+			budget.Release()
 			if err != nil {
 				if k > minK && isTooFewRecords(err) {
 					return nil
@@ -151,12 +168,17 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 	// results is buffered to the whole sweep so workers never block on send:
 	// cancel() alone winds the pool down.
 	results := make(chan slot, n)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < pool; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for k := range ks {
+				// Each in-flight level holds one budget token — counting
+				// itself against the sweep-wide worker bound — so kernel
+				// helpers can only use genuinely idle capacity.
+				budget.Acquire()
 				lr, err := sc.RunLevel(cfg.Anonymizer, k, cfg.Tp)
+				budget.Release()
 				results <- slot{k: k, lr: lr, err: err}
 			}
 		}()
@@ -168,7 +190,7 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 
 	// Reorder buffer: results arrive in completion order, levels leave in k
 	// order.
-	pending := make(map[int]slot, workers)
+	pending := make(map[int]slot, pool)
 	for next := first; next <= maxK; {
 		select {
 		case <-ctx.Done():

@@ -95,9 +95,13 @@ func University(cfg UniversityConfig) (*dataset.Table, []web.Profile, error) {
 		return nil, nil, fmt.Errorf("datagen: merit weight %g outside [0, 1]", cfg.MeritWeight)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	p := dataset.New(UniversitySchema())
+	// Rows stream through the chunked builder: a million-row cohort
+	// materializes into exact-size column buffers instead of growing them
+	// geometrically.
+	b := dataset.NewBuilder(UniversitySchema())
 	profiles := make([]web.Profile, 0, cfg.N)
 	names := personNames(rng, cfg.N)
+	row := make([]dataset.Value, 5)
 	w := cfg.MeritWeight
 	for i := 0; i < cfg.N; i++ {
 		// Two latent components: u is web-visible seniority (rank, property
@@ -120,11 +124,12 @@ func University(cfg UniversityConfig) (*dataset.Table, []web.Profile, error) {
 		salary = stats.Clamp(salary, cfg.SalaryLo, cfg.SalaryHi)
 		salary = float64(int(salary)) // whole dollars
 
-		p.MustAppendRow(
-			dataset.Str(names[i]),
-			dataset.Num(review()), dataset.Num(review()), dataset.Num(review()),
-			dataset.Num(salary),
-		)
+		row[0] = dataset.Str(names[i])
+		row[1], row[2], row[3] = dataset.Num(review()), dataset.Num(review()), dataset.Num(review())
+		row[4] = dataset.Num(salary)
+		if err := b.AppendRow(row); err != nil {
+			return nil, nil, err
+		}
 		// Web-visible ground truth shares the latent u: title rank and
 		// property holdings both rise with merit/seniority.
 		seniority := stats.Clamp(1+9*u+rng.NormFloat64()*0.7, 1, 10)
@@ -137,7 +142,7 @@ func University(cfg UniversityConfig) (*dataset.Table, []web.Profile, error) {
 			Employer:  "Penn State University",
 		})
 	}
-	return p, profiles, nil
+	return b.Table(), profiles, nil
 }
 
 // FinancialConfig parameterizes a synthetic enterprise-customer table shaped
@@ -161,9 +166,10 @@ func Financial(cfg FinancialConfig) (*dataset.Table, []web.Profile, error) {
 		return nil, nil, fmt.Errorf("datagen: empty income range [%g, %g]", cfg.IncomeLo, cfg.IncomeHi)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	p := dataset.New(TableIISchema())
+	b := dataset.NewBuilder(TableIISchema())
 	profiles := make([]web.Profile, 0, cfg.N)
 	names := personNames(rng, cfg.N)
+	row := make([]dataset.Value, 5)
 	for i := 0; i < cfg.N; i++ {
 		u := stats.Clamp((float64(i)+0.5)/float64(cfg.N)+rng.NormFloat64()*0.1, 0.01, 0.99)
 		idx := func() float64 {
@@ -171,11 +177,12 @@ func Financial(cfg FinancialConfig) (*dataset.Table, []web.Profile, error) {
 		}
 		income := cfg.IncomeLo + u*(cfg.IncomeHi-cfg.IncomeLo)*(1+rng.NormFloat64()*0.04)
 		income = stats.Clamp(income, cfg.IncomeLo, cfg.IncomeHi)
-		p.MustAppendRow(
-			dataset.Str(names[i]),
-			dataset.Num(idx()), dataset.Num(idx()), dataset.Num(idx()),
-			dataset.Num(float64(int(income))),
-		)
+		row[0] = dataset.Str(names[i])
+		row[1], row[2], row[3] = dataset.Num(idx()), dataset.Num(idx()), dataset.Num(idx())
+		row[4] = dataset.Num(float64(int(income)))
+		if err := b.AppendRow(row); err != nil {
+			return nil, nil, err
+		}
 		profiles = append(profiles, web.Profile{
 			Name:      names[i],
 			Seniority: stats.Clamp(1+9*u+rng.NormFloat64()*0.8, 1, 10),
@@ -183,7 +190,7 @@ func Financial(cfg FinancialConfig) (*dataset.Table, []web.Profile, error) {
 			Ladder:    web.CorporateLadder,
 		})
 	}
-	return p, profiles, nil
+	return b.Table(), profiles, nil
 }
 
 // TableISchema returns the schema of the paper's Table I.
@@ -258,6 +265,21 @@ var lastNames = []string{
 // personNames returns n distinct full names, deterministic given the rng
 // state. Uniqueness matters: identifiers key the whole attack.
 func personNames(rng *rand.Rand, n int) []string {
+	// The rejection loop below goes quadratic once n approaches the
+	// first×last pool (900 combinations): every draw collides and the
+	// counter suffixes creep up one map probe at a time. Large cohorts —
+	// where every name would carry a suffix anyway — append a monotone
+	// serial instead: unique by construction, O(n), still one rng draw per
+	// name so cohorts stay deterministic given the seed. Small cohorts keep
+	// the legacy path bit for bit (golden series and fixtures pin it).
+	if n > 600 {
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, fmt.Sprintf("%s %s %d",
+				firstNames[rng.Intn(len(firstNames))], lastNames[rng.Intn(len(lastNames))], i+2))
+		}
+		return out
+	}
 	seen := make(map[string]bool, n)
 	out := make([]string, 0, n)
 	for len(out) < n {

@@ -54,10 +54,17 @@ func WriteCSV(w io.Writer, t *Table) error {
 func ReadCSV(r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	// Records are parsed cell-by-cell into column chunks before Read is
+	// called again, so the reader can reuse its record buffer: ingest
+	// allocates per cell, not per line.
+	cr.ReuseRecord = true
 	names, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read csv header: %w", err)
 	}
+	// ReuseRecord means the next Read clobbers this record slice; the header
+	// outlives it, so copy.
+	names = append([]string(nil), names...)
 	meta, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read csv meta header: %w", err)
@@ -92,46 +99,6 @@ func ReadCSV(r io.Reader) (*Table, error) {
 	}
 	return b.Table(), nil
 }
-
-// Builder decodes string records (CSV fields, upload rows) directly into a
-// table's column buffers. It parses each field against its column's declared
-// kind and validates the whole record before appending any cell, so a failed
-// record leaves the table untouched.
-type Builder struct {
-	t       *Table
-	scratch []Value
-}
-
-// NewBuilder returns a builder over an empty table with the given schema.
-func NewBuilder(schema *Schema) *Builder {
-	return &Builder{t: New(schema), scratch: make([]Value, schema.Len())}
-}
-
-// AppendRecord parses and appends one record. Fields use the Value.String
-// encoding; plain tokens in declared-text columns stay text even when they
-// look numeric (e.g. a numeric employee code used as an identifier).
-func (b *Builder) AppendRecord(fields []string) error {
-	schema := b.t.Schema()
-	if len(fields) != schema.Len() {
-		return fmt.Errorf("%w: got %d fields, want %d", ErrRowWidth, len(fields), schema.Len())
-	}
-	for j, s := range fields {
-		v, err := ParseValue(s)
-		if err != nil {
-			return fmt.Errorf("column %q: %w", schema.Column(j).Name, err)
-		}
-		if schema.Column(j).Kind == Text && v.Kind() == Number {
-			v = Str(strings.TrimSpace(s))
-		}
-		b.scratch[j] = v
-	}
-	// AppendRow validates the whole row before appending any cell and does
-	// not retain the scratch slice.
-	return b.t.AppendRow(b.scratch)
-}
-
-// Table returns the built table. The builder must not be used afterwards.
-func (b *Builder) Table() *Table { return b.t }
 
 func classTag(c AttrClass) string {
 	switch c {

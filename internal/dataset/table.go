@@ -264,6 +264,35 @@ func (t *Table) Matrix(cols []int, def float64) [][]float64 {
 	return out
 }
 
+// MatrixFlat is Matrix without the row headers: the same cells in one
+// contiguous row-major buffer of NumRows()×len(cols) values (row i's
+// attributes at [i*len(cols), (i+1)*len(cols))). It is the SoA layout the
+// partitioning kernels scan — one allocation, stride access, no per-row
+// pointer chasing. The fill runs column by column so all-number columns copy
+// straight out of their typed buffers.
+func (t *Table) MatrixFlat(cols []int, def float64) []float64 {
+	d := len(cols)
+	flat := make([]float64, t.nrows*d)
+	for j, ci := range cols {
+		c := t.cols[ci]
+		if c.kind == Number && c.nulls == nil && c.spans == nil {
+			num := c.num[:t.nrows]
+			for i, v := range num {
+				flat[i*d+j] = v
+			}
+			continue
+		}
+		for i := 0; i < t.nrows; i++ {
+			if f, ok := c.float(i); ok {
+				flat[i*d+j] = f
+			} else {
+				flat[i*d+j] = def
+			}
+		}
+	}
+	return flat
+}
+
 // SuppressColumn nulls out an entire column — how the paper removes the
 // sensitive attribute from a release while keeping the column in the schema.
 // The old buffers are dropped, not rewritten, so suppression is O(rows/64)

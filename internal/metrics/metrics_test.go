@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -253,4 +254,42 @@ func Sum(xs []float64) float64 {
 		s += x
 	}
 	return s
+}
+
+// TestColumnDissimilaritySpecializations pins every specialized column-count
+// path to the generic matrix form bit for bit — the specializations must add
+// the same terms in the same order.
+func TestColumnDissimilaritySpecializations(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for width := 1; width <= 6; width++ {
+		const m = 257
+		cols1 := make([][]float64, width)
+		cols2 := make([][]float64, width)
+		rows1 := make([][]float64, m)
+		rows2 := make([][]float64, m)
+		for i := range rows1 {
+			rows1[i] = make([]float64, width)
+			rows2[i] = make([]float64, width)
+		}
+		for j := 0; j < width; j++ {
+			cols1[j] = make([]float64, m)
+			cols2[j] = make([]float64, m)
+			for i := 0; i < m; i++ {
+				cols1[j][i] = rng.NormFloat64() * 1000
+				cols2[j][i] = cols1[j][i] + rng.NormFloat64()
+				rows1[i][j], rows2[i][j] = cols1[j][i], cols2[j][i]
+			}
+		}
+		want, err := Dissimilarity(rows1, rows2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ColumnDissimilarity(cols1, cols2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("width %d: column form %v != matrix form %v", width, got, want)
+		}
+	}
 }

@@ -1,0 +1,29 @@
+package microagg
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// BenchmarkAssign pins the MDAV partitioning cost — the O(n²) inner loop the
+// whole sweep rides on. ReportAllocs tracks the scratch-hoisting work: the
+// group-carving loop must not allocate per call.
+func BenchmarkAssign(b *testing.B) {
+	for _, rows := range []int{250, 1000} {
+		p, _, err := datagen.University(datagen.UniversityConfig{Seed: 42, N: rows})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			a := New()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Assign(p, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,307 @@
+package microagg
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// MDAV's hot loop is O(n²) distance scans. This file keeps that loop on one
+// contiguous row-major buffer (points[i*d+j]) instead of a [][]float64 of
+// per-row slices — no pointer chasing, no per-row headers — and hoists every
+// scratch buffer into a per-Assign kernel so the group-carving loop does not
+// allocate.
+//
+// Bit-identity contract: results must match the sequential row-slice
+// formulation exactly, at any worker budget. Accumulating reductions
+// (standardize, centroids) keep their sequential order. The only parallel
+// pieces are independent distance writes and chunked argmax scans whose
+// chunk decomposition is fixed by parallel.For and whose partials combine in
+// chunk order with strict >, preserving first-occurrence-of-max semantics.
+
+// scanGrain is the chunk height of parallel distance scans: big enough that a
+// chunk amortizes goroutine handoff, small enough that 10⁴-row scans still
+// split across a multi-core budget.
+const scanGrain = 2048
+
+// distIdx is a (distance, row-index) pair; ordering is lexicographic, which
+// is exactly the tie-break the sequential selection used.
+type distIdx struct {
+	d   float64
+	idx int
+}
+
+func diLess(a, b distIdx) bool {
+	return a.d < b.d || (a.d == b.d && a.idx < b.idx)
+}
+
+// kernel carries the flat point buffer and all per-Assign scratch.
+type kernel struct {
+	pts  []float64 // n×d row-major
+	n, d int
+	b    *parallel.Budget // nil ⇒ fully inline
+
+	centroid []float64 // d
+	dist     []float64 // n: distances per position of the scanned slice
+	heap     []distIdx // bounded max-heap of the k−1 nearest candidates
+	inGroup  []bool    // n: membership scratch for rest rebuilding
+	bestIdx  []int     // per-chunk argmax partials
+	bestD    []float64
+	arena    []int // backing store for returned groups; they partition 0..n−1
+	restA    []int // ping-pong "remaining" buffers
+	restB    []int
+}
+
+func newKernel(pts []float64, n, d, k int, b *parallel.Budget) *kernel {
+	nc := parallel.NumChunks(n, scanGrain)
+	return &kernel{
+		pts: pts, n: n, d: d, b: b,
+		centroid: make([]float64, d),
+		dist:     make([]float64, n),
+		heap:     make([]distIdx, 0, k-1),
+		inGroup:  make([]bool, n),
+		bestIdx:  make([]int, nc),
+		bestD:    make([]float64, nc),
+		arena:    make([]int, 0, n),
+		restA:    make([]int, n),
+		restB:    make([]int, n),
+	}
+}
+
+func (kn *kernel) row(i int) []float64 { return kn.pts[i*kn.d : (i+1)*kn.d] }
+
+// sqDistTo mirrors sqDist(points[i], ref): same element order, same
+// accumulation order.
+func (kn *kernel) sqDistTo(i int, ref []float64) float64 {
+	row := kn.row(i)
+	var s float64
+	for j, v := range row {
+		dd := v - ref[j]
+		s += dd * dd
+	}
+	return s
+}
+
+// centroidInto accumulates the mean of the idx rows into the centroid
+// scratch, in the exact row-then-column order of the row-slice centroidOf.
+func (kn *kernel) centroidInto(idx []int) []float64 {
+	c := kn.centroid
+	for j := range c {
+		c[j] = 0
+	}
+	for _, i := range idx {
+		row := kn.row(i)
+		for j, v := range row {
+			c[j] += v
+		}
+	}
+	for j := range c {
+		c[j] /= float64(len(idx))
+	}
+	return c
+}
+
+// farthest returns the remaining record farthest from ref — the first index
+// achieving the maximum distance, matching the sequential strict-> scan.
+// Under a budget the scan runs as fixed chunks whose (best, bestD) partials
+// combine in chunk order with strict >, which preserves first occurrence.
+func (kn *kernel) farthest(remaining []int, ref []float64) int {
+	m := len(remaining)
+	nc := parallel.NumChunks(m, scanGrain)
+	if nc <= 1 || kn.b == nil {
+		best, bestD := remaining[0], -1.0
+		for _, i := range remaining {
+			if dd := kn.sqDistTo(i, ref); dd > bestD {
+				best, bestD = i, dd
+			}
+		}
+		return best
+	}
+	bi, bd := kn.bestIdx[:nc], kn.bestD[:nc]
+	kn.b.For(m, scanGrain, func(lo, hi int) {
+		best, bestD := remaining[lo], -1.0
+		for _, i := range remaining[lo:hi] {
+			if dd := kn.sqDistTo(i, ref); dd > bestD {
+				best, bestD = i, dd
+			}
+		}
+		c := lo / scanGrain
+		bi[c], bd[c] = best, bestD
+	})
+	best, bestD := bi[0], bd[0]
+	for c := 1; c < nc; c++ {
+		if bd[c] > bestD {
+			best, bestD = bi[c], bd[c]
+		}
+	}
+	return best
+}
+
+// takeNearest carves seed plus its k−1 nearest neighbours out of remaining.
+// The group is appended to the arena (ascending (distance, index) after the
+// seed — the order the sequential selection sort produced); the leftovers are
+// written into rest, preserving remaining order. The seed is included even
+// when it is not a member of remaining (the second carve of each MDAV round
+// seeds from the pre-carve population), matching the row-slice path.
+//
+// Distance fills are independent writes and run under the budget; candidate
+// selection is a sequential bounded max-heap — O(m log k) versus the old
+// O(k·m) selection sort — over the same lexicographic (distance, index)
+// order, so the selected set and its order are identical.
+func (kn *kernel) takeNearest(remaining []int, seed, k int, rest []int) (group, newRest []int) {
+	m := len(remaining)
+	dist := kn.dist[:m]
+	srow := kn.row(seed)
+	if kn.b == nil || parallel.NumChunks(m, scanGrain) <= 1 {
+		// Inline fill: the For closure literal would allocate once per carve.
+		for p := 0; p < m; p++ {
+			dist[p] = kn.sqDistTo(remaining[p], srow)
+		}
+	} else {
+		kn.b.For(m, scanGrain, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				dist[p] = kn.sqDistTo(remaining[p], srow)
+			}
+		})
+	}
+	h := kn.heap[:0]
+	for p := 0; p < m; p++ {
+		i := remaining[p]
+		if i == seed {
+			continue
+		}
+		c := distIdx{dist[p], i}
+		if len(h) < k-1 {
+			h = append(h, c)
+			siftUp(h)
+		} else if diLess(c, h[0]) {
+			h[0] = c
+			siftDown(h)
+		}
+	}
+	sortDistIdx(h)
+	start := len(kn.arena)
+	kn.arena = append(kn.arena, seed)
+	for _, c := range h {
+		kn.arena = append(kn.arena, c.idx)
+	}
+	group = kn.arena[start:len(kn.arena):len(kn.arena)]
+	for _, i := range group {
+		kn.inGroup[i] = true
+	}
+	newRest = rest[:0]
+	for _, i := range remaining {
+		if !kn.inGroup[i] {
+			newRest = append(newRest, i)
+		}
+	}
+	for _, i := range group {
+		kn.inGroup[i] = false
+	}
+	return group, newRest
+}
+
+// assign runs the MDAV group-carving loop. Group slices are sub-slices of the
+// kernel arena; remaining/rest ping-pong between two fixed buffers, so the
+// loop allocates nothing.
+func (kn *kernel) assign(k int) [][]int {
+	remaining := kn.restA[:kn.n]
+	for i := range remaining {
+		remaining[i] = i
+	}
+	other := kn.restB[:0]
+	groups := make([][]int, 0, kn.n/k+1)
+	for len(remaining) >= 3*k {
+		c := kn.centroidInto(remaining)
+		r := kn.farthest(remaining, c)
+		s := kn.farthest(remaining, kn.row(r))
+		g1, rest := kn.takeNearest(remaining, r, k, other)
+		groups = append(groups, g1)
+		g2, rest2 := kn.takeNearest(rest, s, k, remaining)
+		groups = append(groups, g2)
+		remaining, other = rest2, rest
+	}
+	if len(remaining) >= 2*k {
+		c := kn.centroidInto(remaining)
+		r := kn.farthest(remaining, c)
+		g1, rest := kn.takeNearest(remaining, r, k, other)
+		start := len(kn.arena)
+		kn.arena = append(kn.arena, rest...)
+		groups = append(groups, g1, kn.arena[start:len(kn.arena):len(kn.arena)])
+	} else if len(remaining) > 0 {
+		start := len(kn.arena)
+		kn.arena = append(kn.arena, remaining...)
+		groups = append(groups, kn.arena[start:len(kn.arena):len(kn.arena)])
+	}
+	return groups
+}
+
+// standardizeFlat z-scores each column of the flat buffer in place, with the
+// same per-column accumulation order as the row-slice standardize.
+func standardizeFlat(pts []float64, n, d int) {
+	if n == 0 {
+		return
+	}
+	for j := 0; j < d; j++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += pts[i*d+j]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for i := 0; i < n; i++ {
+			dv := pts[i*d+j] - mean
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / float64(n))
+		if sd == 0 {
+			sd = 1
+		}
+		for i := 0; i < n; i++ {
+			pts[i*d+j] = (pts[i*d+j] - mean) / sd
+		}
+	}
+}
+
+// Bounded max-heap on diLess: h[0] is the lexicographically largest kept
+// pair, the one a closer candidate evicts.
+
+func siftUp(h []distIdx) {
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !diLess(h[p], h[i]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDown(h []distIdx) {
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			break
+		}
+		big := l
+		if r := l + 1; r < len(h) && diLess(h[l], h[r]) {
+			big = r
+		}
+		if !diLess(h[i], h[big]) {
+			break
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// sortDistIdx heap-sorts a max-heap into ascending (distance, index) order in
+// place, allocation-free.
+func sortDistIdx(h []distIdx) {
+	for end := len(h) - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		siftDown(h[:end])
+	}
+}

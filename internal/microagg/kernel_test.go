@@ -1,0 +1,137 @@
+package microagg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/parallel"
+)
+
+// referenceAssign is the original row-slice MDAV loop over [][]float64,
+// rebuilt from the reference helpers in optimal.go. The flat SoA kernel must
+// reproduce its group assignments exactly.
+func referenceAssign(t *dataset.Table, k int, std bool) [][]int {
+	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
+	points := t.Matrix(qis, 0)
+	if std {
+		standardize(points)
+	}
+	remaining := make([]int, t.NumRows())
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var groups [][]int
+	for len(remaining) >= 3*k {
+		c := centroidOf(points, remaining)
+		r := farthestFrom(points, remaining, c)
+		s := farthestFrom(points, remaining, points[r])
+		g1, rest := takeNearest(points, remaining, r, k)
+		groups = append(groups, g1)
+		g2, rest := takeNearest(points, rest, s, k)
+		groups = append(groups, g2)
+		remaining = rest
+	}
+	if len(remaining) >= 2*k {
+		c := centroidOf(points, remaining)
+		r := farthestFrom(points, remaining, c)
+		g1, rest := takeNearest(points, remaining, r, k)
+		groups = append(groups, g1, rest)
+	} else if len(remaining) > 0 {
+		groups = append(groups, remaining)
+	}
+	return groups
+}
+
+// quantizedTable builds an n-row table of 3 numeric quasi-identifiers drawn
+// from a small grid, so duplicate values (and therefore distance ties) are
+// common — the cases where tie-break order matters.
+func quantizedTable(tb testing.TB, n int, seed int64) *dataset.Table {
+	tb.Helper()
+	schema := dataset.MustSchema(
+		dataset.Column{Name: "A", Class: dataset.QuasiIdentifier, Kind: dataset.Number},
+		dataset.Column{Name: "B", Class: dataset.QuasiIdentifier, Kind: dataset.Number},
+		dataset.Column{Name: "C", Class: dataset.QuasiIdentifier, Kind: dataset.Number},
+	)
+	rng := rand.New(rand.NewSource(seed))
+	t := dataset.New(schema)
+	for i := 0; i < n; i++ {
+		t.MustAppendRow(
+			dataset.Num(float64(rng.Intn(12))),
+			dataset.Num(float64(rng.Intn(12))),
+			dataset.Num(float64(rng.Intn(8))/2),
+		)
+	}
+	return t
+}
+
+func groupsEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for g := range a {
+		if len(a[g]) != len(b[g]) {
+			return false
+		}
+		for i := range a[g] {
+			if a[g][i] != b[g][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestKernelMatchesReference pins the flat kernel — heap selection, chunked
+// argmax, hoisted scratch — to the row-slice reference, at every worker
+// budget, for both standardized and raw distances.
+func TestKernelMatchesReference(t *testing.T) {
+	budgets := map[string]func() *parallel.Budget{
+		"nil": func() *parallel.Budget { return nil },
+		"w2":  func() *parallel.Budget { return parallel.NewBudget(2) },
+		"w8":  func() *parallel.Budget { return parallel.NewBudget(8) },
+	}
+	for _, n := range []int{7, 40, 250, 1000} {
+		for _, k := range []int{2, 3, 5, 16} {
+			if n < k {
+				continue
+			}
+			tbl := quantizedTable(t, n, int64(n*31+k))
+			for _, std := range []bool{true, false} {
+				want := referenceAssign(tbl, k, std)
+				for bname, mk := range budgets {
+					t.Run(fmt.Sprintf("n=%d/k=%d/std=%v/%s", n, k, std, bname), func(t *testing.T) {
+						a := &Anonymizer{Opts: Options{Standardize: std}}
+						got, err := a.AssignParallel(tbl, k, mk())
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !groupsEqual(got, want) {
+							t.Fatalf("kernel groups diverge from reference:\ngot  %v\nwant %v", got, want)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestKernelSeedOutsideRemaining covers the second carve of an MDAV round
+// when its seed landed in the first group: the reference still emits the seed
+// in the group and keeps every unselected record. The kernel must too. The
+// geometry is forced directly through takeNearest.
+func TestKernelSeedOutsideRemaining(t *testing.T) {
+	pts := []float64{0, 1, 2, 10, 11, 12}
+	kn := newKernel(pts, 6, 1, 3, nil)
+	rest := make([]int, 0, 6)
+	// Seed 0 is not in remaining {3,4,5}: group keeps the seed, rest keeps
+	// everything not selected.
+	group, newRest := kn.takeNearest([]int{3, 4, 5}, 0, 3, rest)
+	if len(group) != 3 || group[0] != 0 || group[1] != 3 || group[2] != 4 {
+		t.Fatalf("group = %v, want [0 3 4]", group)
+	}
+	if len(newRest) != 1 || newRest[0] != 5 {
+		t.Fatalf("rest = %v, want [5]", newRest)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // Options configures MDAV.
@@ -54,7 +55,14 @@ var ErrTooFewRecords = fmt.Errorf("microagg: fewer records than k: %w", dataset.
 // by their MDAV group centroid (or interval). k must be ≥ 2 and ≤ the number
 // of rows.
 func (a *Anonymizer) Anonymize(t *dataset.Table, k int) (*dataset.Table, error) {
-	groups, err := a.Assign(t, k)
+	return a.AnonymizeParallel(t, k, nil)
+}
+
+// AnonymizeParallel is Anonymize with the distance scans spread over spare
+// workers borrowed from b. A nil budget runs fully inline; the output is
+// bit-identical at every budget (see AssignParallel).
+func (a *Anonymizer) AnonymizeParallel(t *dataset.Table, k int, b *parallel.Budget) (*dataset.Table, error) {
+	groups, err := a.AssignParallel(t, k, b)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +72,14 @@ func (a *Anonymizer) Anonymize(t *dataset.Table, k int) (*dataset.Table, error) 
 // Assign runs MDAV and returns the clusters as row-index groups, each of
 // size in [k, 2k−1].
 func (a *Anonymizer) Assign(t *dataset.Table, k int) ([][]int, error) {
+	return a.AssignParallel(t, k, nil)
+}
+
+// AssignParallel is Assign with chunked parallel distance scans. Group
+// assignments are bit-identical to the sequential path at any worker budget:
+// the chunk decomposition is fixed by the row count alone, accumulating
+// reductions stay sequential, and argmax partials combine in chunk order.
+func (a *Anonymizer) AssignParallel(t *dataset.Table, k int, b *parallel.Budget) ([][]int, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("microagg: k must be ≥ 2, got %d", k)
 	}
@@ -80,35 +96,12 @@ func (a *Anonymizer) Assign(t *dataset.Table, k int) ([][]int, error) {
 			return nil, fmt.Errorf("microagg: quasi-identifier %q is not numeric; MDAV is a quantitative method", t.Schema().Column(c).Name)
 		}
 	}
-	points := t.Matrix(qis, 0)
+	pts := t.MatrixFlat(qis, 0)
 	if a.Opts.Standardize {
-		standardize(points)
+		standardizeFlat(pts, n, len(qis))
 	}
-
-	remaining := make([]int, n)
-	for i := range remaining {
-		remaining[i] = i
-	}
-	var groups [][]int
-	for len(remaining) >= 3*k {
-		c := centroidOf(points, remaining)
-		r := farthestFrom(points, remaining, c)
-		s := farthestFrom(points, remaining, points[r])
-		g1, rest := takeNearest(points, remaining, r, k)
-		groups = append(groups, g1)
-		g2, rest := takeNearest(points, rest, s, k)
-		groups = append(groups, g2)
-		remaining = rest
-	}
-	if len(remaining) >= 2*k {
-		c := centroidOf(points, remaining)
-		r := farthestFrom(points, remaining, c)
-		g1, rest := takeNearest(points, remaining, r, k)
-		groups = append(groups, g1, rest)
-	} else if len(remaining) > 0 {
-		groups = append(groups, remaining)
-	}
-	return groups, nil
+	kn := newKernel(pts, n, len(qis), k, b)
+	return kn.assign(k), nil
 }
 
 // Aggregate replaces each record's quasi-identifiers with its group's
@@ -187,114 +180,32 @@ func Aggregate(t *dataset.Table, groups [][]int, asInterval bool) (*dataset.Tabl
 // microaggregation minimizes.
 func SSE(t *dataset.Table, groups [][]int) float64 {
 	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
-	points := t.Matrix(qis, 0)
+	d := len(qis)
+	pts := t.MatrixFlat(qis, 0)
+	c := make([]float64, d)
 	var sse float64
 	for _, g := range groups {
-		c := centroidOf(points, g)
+		for j := range c {
+			c[j] = 0
+		}
 		for _, i := range g {
-			sse += sqDist(points[i], c)
+			row := pts[i*d : i*d+d]
+			for j, v := range row {
+				c[j] += v
+			}
+		}
+		for j := range c {
+			c[j] /= float64(len(g))
+		}
+		for _, i := range g {
+			row := pts[i*d : i*d+d]
+			var s float64
+			for j, v := range row {
+				dv := v - c[j]
+				s += dv * dv
+			}
+			sse += s
 		}
 	}
 	return sse
-}
-
-func standardize(points [][]float64) {
-	if len(points) == 0 {
-		return
-	}
-	d := len(points[0])
-	for j := 0; j < d; j++ {
-		var sum float64
-		for _, p := range points {
-			sum += p[j]
-		}
-		mean := sum / float64(len(points))
-		var ss float64
-		for _, p := range points {
-			dv := p[j] - mean
-			ss += dv * dv
-		}
-		sd := math.Sqrt(ss / float64(len(points)))
-		if sd == 0 {
-			sd = 1
-		}
-		for _, p := range points {
-			p[j] = (p[j] - mean) / sd
-		}
-	}
-}
-
-func centroidOf(points [][]float64, idx []int) []float64 {
-	d := len(points[0])
-	c := make([]float64, d)
-	for _, i := range idx {
-		for j := 0; j < d; j++ {
-			c[j] += points[i][j]
-		}
-	}
-	for j := range c {
-		c[j] /= float64(len(idx))
-	}
-	return c
-}
-
-func sqDist(a, b []float64) float64 {
-	var s float64
-	for j := range a {
-		d := a[j] - b[j]
-		s += d * d
-	}
-	return s
-}
-
-// farthestFrom returns the index (into points) of the remaining record
-// farthest from ref, breaking ties by lowest row index for determinism.
-func farthestFrom(points [][]float64, remaining []int, ref []float64) int {
-	best, bestD := remaining[0], -1.0
-	for _, i := range remaining {
-		if d := sqDist(points[i], ref); d > bestD {
-			best, bestD = i, d
-		}
-	}
-	return best
-}
-
-// takeNearest removes seed and its k−1 nearest neighbours from remaining,
-// returning them as a group plus the leftover slice. Ties break by row index.
-func takeNearest(points [][]float64, remaining []int, seed int, k int) (group, rest []int) {
-	type cand struct {
-		idx int
-		d   float64
-	}
-	cands := make([]cand, 0, len(remaining))
-	for _, i := range remaining {
-		if i == seed {
-			continue
-		}
-		cands = append(cands, cand{i, sqDist(points[i], points[seed])})
-	}
-	// Selection of the k−1 smallest, stable on (distance, index).
-	for sel := 0; sel < k-1 && sel < len(cands); sel++ {
-		best := sel
-		for j := sel + 1; j < len(cands); j++ {
-			if cands[j].d < cands[best].d || (cands[j].d == cands[best].d && cands[j].idx < cands[best].idx) {
-				best = j
-			}
-		}
-		cands[sel], cands[best] = cands[best], cands[sel]
-	}
-	group = []int{seed}
-	for i := 0; i < k-1 && i < len(cands); i++ {
-		group = append(group, cands[i].idx)
-	}
-	inGroup := make(map[int]bool, len(group))
-	for _, i := range group {
-		inGroup[i] = true
-	}
-	for _, i := range remaining {
-		if !inGroup[i] {
-			rest = append(rest, i)
-		}
-	}
-	return group, rest
 }

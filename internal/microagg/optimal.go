@@ -3,6 +3,7 @@ package microagg
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/dataset"
@@ -238,4 +239,110 @@ func removeOne(xs []int, x int) []int {
 		}
 	}
 	return out
+}
+
+// The row-slice helpers below are the original MDAV formulation over
+// [][]float64 points. V-MDAV's ablation path still uses them, and the kernel
+// equivalence tests pin the flat SoA kernel (kernel.go) against them — they
+// define the reference semantics the flat path must reproduce bit for bit.
+
+func standardize(points [][]float64) {
+	if len(points) == 0 {
+		return
+	}
+	d := len(points[0])
+	for j := 0; j < d; j++ {
+		var sum float64
+		for _, p := range points {
+			sum += p[j]
+		}
+		mean := sum / float64(len(points))
+		var ss float64
+		for _, p := range points {
+			dv := p[j] - mean
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / float64(len(points)))
+		if sd == 0 {
+			sd = 1
+		}
+		for _, p := range points {
+			p[j] = (p[j] - mean) / sd
+		}
+	}
+}
+
+func centroidOf(points [][]float64, idx []int) []float64 {
+	d := len(points[0])
+	c := make([]float64, d)
+	for _, i := range idx {
+		for j := 0; j < d; j++ {
+			c[j] += points[i][j]
+		}
+	}
+	for j := range c {
+		c[j] /= float64(len(idx))
+	}
+	return c
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return s
+}
+
+// farthestFrom returns the index (into points) of the remaining record
+// farthest from ref, breaking ties by lowest row index for determinism.
+func farthestFrom(points [][]float64, remaining []int, ref []float64) int {
+	best, bestD := remaining[0], -1.0
+	for _, i := range remaining {
+		if d := sqDist(points[i], ref); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// takeNearest removes seed and its k−1 nearest neighbours from remaining,
+// returning them as a group plus the leftover slice. Ties break by row index.
+func takeNearest(points [][]float64, remaining []int, seed int, k int) (group, rest []int) {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	cands := make([]cand, 0, len(remaining))
+	for _, i := range remaining {
+		if i == seed {
+			continue
+		}
+		cands = append(cands, cand{i, sqDist(points[i], points[seed])})
+	}
+	// Selection of the k−1 smallest, stable on (distance, index).
+	for sel := 0; sel < k-1 && sel < len(cands); sel++ {
+		best := sel
+		for j := sel + 1; j < len(cands); j++ {
+			if cands[j].d < cands[best].d || (cands[j].d == cands[best].d && cands[j].idx < cands[best].idx) {
+				best = j
+			}
+		}
+		cands[sel], cands[best] = cands[best], cands[sel]
+	}
+	group = []int{seed}
+	for i := 0; i < k-1 && i < len(cands); i++ {
+		group = append(group, cands[i].idx)
+	}
+	inGroup := make(map[int]bool, len(group))
+	for _, i := range group {
+		inGroup[i] = true
+	}
+	for _, i := range remaining {
+		if !inGroup[i] {
+			rest = append(rest, i)
+		}
+	}
+	return group, rest
 }

@@ -9,14 +9,26 @@
 // It is the second partitioning baseline the reproduction uses to check the
 // paper's claim that "other solutions in this category produce similar
 // results".
+//
+// The recursion works in place on one shared row-index slice: each split
+// sorts its own segment and recurses on the two halves, so no per-split
+// copies are made and leaves are sub-slices of the original buffer. Sort
+// keys are (value, row) pairs staged through a pooled scratch buffer —
+// cache-friendly for the sorter and allocation-free at steady state. Because
+// sibling segments are disjoint, independent sub-partitions can recurse on
+// spare workers from a parallel.Budget; leaf lists are combined
+// left-then-right, so the leaf order is the sequential depth-first order at
+// any worker count.
 package mondrian
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // Anonymizer runs Mondrian partitioning. The zero value is ready to use.
@@ -36,7 +48,14 @@ func (a *Anonymizer) Name() string { return "mondrian" }
 // Anonymize returns a k-anonymous copy of t with quasi-identifiers replaced
 // by per-partition covering intervals.
 func (a *Anonymizer) Anonymize(t *dataset.Table, k int) (*dataset.Table, error) {
-	parts, err := a.Partition(t, k)
+	return a.AnonymizeParallel(t, k, nil)
+}
+
+// AnonymizeParallel is Anonymize with independent sub-partitions recursed on
+// spare workers borrowed from b. A nil budget runs fully inline; the output
+// is identical at every budget.
+func (a *Anonymizer) AnonymizeParallel(t *dataset.Table, k int, b *parallel.Budget) (*dataset.Table, error) {
+	parts, err := a.PartitionParallel(t, k, b)
 	if err != nil {
 		return nil, err
 	}
@@ -64,11 +83,20 @@ func (a *Anonymizer) Anonymize(t *dataset.Table, k int) (*dataset.Table, error) 
 
 // Partition returns the leaf partitions (row index groups), each of size ≥ k.
 func (a *Anonymizer) Partition(t *dataset.Table, k int) ([][]int, error) {
+	return a.PartitionParallel(t, k, nil)
+}
+
+// PartitionParallel is Partition with parallel recursion over independent
+// sub-partitions. The split tree depends only on the data — segment sorting
+// and cut selection happen before any fork — so the leaves are identical to
+// the sequential ones, in the same depth-first order, at any worker budget.
+func (a *Anonymizer) PartitionParallel(t *dataset.Table, k int, b *parallel.Budget) ([][]int, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("mondrian: k must be ≥ 2, got %d", k)
 	}
-	if t.NumRows() < k {
-		return nil, fmt.Errorf("mondrian: %d records cannot be %d-anonymous: %w", t.NumRows(), k, dataset.ErrTooFewRecords)
+	n := t.NumRows()
+	if n < k {
+		return nil, fmt.Errorf("mondrian: %d records cannot be %d-anonymous: %w", n, k, dataset.ErrTooFewRecords)
 	}
 	qis := t.Schema().IndicesOf(dataset.QuasiIdentifier)
 	if len(qis) == 0 {
@@ -79,102 +107,157 @@ func (a *Anonymizer) Partition(t *dataset.Table, k int) ([][]int, error) {
 			return nil, fmt.Errorf("mondrian: quasi-identifier %q is not numeric", t.Schema().Column(c).Name)
 		}
 	}
-	// Extract every quasi-identifier column once; the recursive partitioning
-	// then works on flat vectors instead of per-cell reads.
-	colVals := make(map[int][]float64, len(qis))
-	colOK := make(map[int][]bool, len(qis))
-	for _, c := range qis {
-		colVals[c], colOK[c] = t.FloatColumn(c)
+	// Extract every quasi-identifier column once, indexed by position in qis;
+	// the recursion then works on flat vectors instead of per-cell reads.
+	p := &partitioner{a: a, k: k, b: b}
+	p.vals = make([][]float64, len(qis))
+	p.ok = make([][]bool, len(qis))
+	p.span = make([]float64, len(qis))
+	p.idx = make([]int, n)
+	for i := range p.idx {
+		p.idx[i] = i
 	}
-
-	// Global ranges for normalized width comparison.
-	globalLo := make(map[int]float64, len(qis))
-	globalHi := make(map[int]float64, len(qis))
-	all := make([]int, t.NumRows())
-	for i := range all {
-		all[i] = i
+	for j, c := range qis {
+		p.vals[j], p.ok[j] = t.FloatColumn(c)
+		// Global ranges for normalized width comparison.
+		lo, hi := rangeOf(p.vals[j], p.ok[j], p.idx)
+		p.span[j] = hi - lo
 	}
-	for _, c := range qis {
-		lo, hi := rangeOf(colVals[c], colOK[c], all)
-		globalLo[c], globalHi[c] = lo, hi
+	segs := p.split(0, n)
+	leaves := make([][]int, len(segs))
+	for i, s := range segs {
+		leaves[i] = p.idx[s.lo:s.hi:s.hi]
 	}
-
-	var leaves [][]int
-	var split func(part []int)
-	split = func(part []int) {
-		if len(part) < 2*k {
-			leaves = append(leaves, part)
-			return
-		}
-		// Choose the dimension with the widest normalized range.
-		bestDim, bestWidth := -1, -1.0
-		for _, c := range qis {
-			lo, hi := rangeOf(colVals[c], colOK[c], part)
-			span := globalHi[c] - globalLo[c]
-			if span == 0 {
-				continue
-			}
-			w := (hi - lo) / span
-			if w > bestWidth {
-				bestWidth, bestDim = w, c
-			}
-		}
-		if bestDim < 0 || bestWidth == 0 {
-			if !a.Relaxed {
-				leaves = append(leaves, part)
-				return
-			}
-			// Relaxed partitioning may still split an all-ties partition
-			// (the halves get identical generalized cells, which is fine).
-			bestDim = qis[0]
-		}
-		left, right, ok := a.medianSplit(colVals[bestDim], part, k)
-		if !ok {
-			leaves = append(leaves, part)
-			return
-		}
-		split(left)
-		split(right)
-	}
-	split(all)
 	return leaves, nil
 }
 
-// medianSplit splits part on the dimension's value vector at the median
-// (suppressed cells read as 0, as in the cellwise form). Returns ok=false
-// when no allowable cut leaves both halves with ≥ k records.
-func (a *Anonymizer) medianSplit(vals []float64, part []int, k int) (left, right []int, ok bool) {
-	sorted := append([]int(nil), part...)
-	sort.SliceStable(sorted, func(x, y int) bool {
-		vx, vy := vals[sorted[x]], vals[sorted[y]]
-		if vx != vy {
-			return vx < vy
+// partitioner is the per-call state of one Mondrian partitioning run: column
+// vectors indexed by quasi-identifier position, the shared row-index buffer
+// the recursion permutes in place, and the worker budget.
+type partitioner struct {
+	a    *Anonymizer
+	vals [][]float64
+	ok   [][]bool
+	span []float64 // global hi−lo per dimension
+	idx  []int
+	k    int
+	b    *parallel.Budget
+}
+
+// segment is a half-open [lo, hi) range of the shared index buffer.
+type segment struct{ lo, hi int }
+
+// split partitions idx[lo:hi] and returns its leaf segments in depth-first
+// order. When a spare worker token is available the left half recurses on a
+// goroutine; left and right leaf lists are concatenated in order either way.
+func (p *partitioner) split(lo, hi int) []segment {
+	seg := p.idx[lo:hi]
+	if len(seg) < 2*p.k {
+		return []segment{{lo, hi}}
+	}
+	// Choose the dimension with the widest normalized range.
+	bestDim, bestWidth := -1, -1.0
+	for j := range p.vals {
+		l, h := rangeOf(p.vals[j], p.ok[j], seg)
+		if p.span[j] == 0 {
+			continue
 		}
-		return sorted[x] < sorted[y]
+		w := (h - l) / p.span[j]
+		if w > bestWidth {
+			bestWidth, bestDim = w, j
+		}
+	}
+	if bestDim < 0 || bestWidth == 0 {
+		if !p.a.Relaxed {
+			return []segment{{lo, hi}}
+		}
+		// Relaxed partitioning may still split an all-ties partition
+		// (the halves get identical generalized cells, which is fine).
+		bestDim = 0
+	}
+	cut, ok := p.a.medianSplit(p.vals[bestDim], seg, p.k)
+	if !ok {
+		return []segment{{lo, hi}}
+	}
+	mid := lo + cut
+	if p.b.TryAcquire() {
+		var left []segment
+		done := make(chan struct{})
+		go func() {
+			left = p.split(lo, mid)
+			p.b.Release()
+			close(done)
+		}()
+		right := p.split(mid, hi)
+		<-done
+		return append(left, right...)
+	}
+	left := p.split(lo, mid)
+	return append(left, p.split(mid, hi)...)
+}
+
+// kv pairs a sort value with its row index; sorting pairs instead of
+// indirecting through the value vector keeps the comparator cache-local.
+type kv struct {
+	v float64
+	i int
+}
+
+// kvPool recycles sort scratch across splits (and across concurrent
+// branches, which each Get their own buffer).
+var kvPool = sync.Pool{New: func() any { return new([]kv) }}
+
+// medianSplit sorts seg in place by (value, row) — a strict total order, so
+// the result is unique regardless of sort algorithm — and returns the cut
+// position within seg (suppressed cells read as 0, as in the cellwise form).
+// Returns ok=false when no allowable cut leaves both halves with ≥ k records.
+func (a *Anonymizer) medianSplit(vals []float64, seg []int, k int) (cut int, ok bool) {
+	pp := kvPool.Get().(*[]kv)
+	ps := *pp
+	if cap(ps) < len(seg) {
+		ps = make([]kv, len(seg))
+	}
+	ps = ps[:len(seg)]
+	for p, i := range seg {
+		ps[p] = kv{vals[i], i}
+	}
+	slices.SortFunc(ps, func(x, y kv) int {
+		switch {
+		case x.v < y.v:
+			return -1
+		case x.v > y.v:
+			return 1
+		}
+		return x.i - y.i
 	})
+	for p := range ps {
+		seg[p] = ps[p].i
+	}
+	*pp = ps
+	kvPool.Put(pp)
 	if a.Relaxed {
-		mid := len(sorted) / 2
-		if mid < k || len(sorted)-mid < k {
-			return nil, nil, false
+		mid := len(seg) / 2
+		if mid < k || len(seg)-mid < k {
+			return 0, false
 		}
-		return sorted[:mid], sorted[mid:], true
+		return mid, true
 	}
 	// Strict: cut between distinct values only. Find the cut closest to the
 	// median where both halves have ≥ k records.
-	bestCut, bestDist := -1, len(sorted)+1
-	for cut := k; cut <= len(sorted)-k; cut++ {
-		if vals[sorted[cut-1]] == vals[sorted[cut]] {
+	bestCut, bestDist := -1, len(seg)+1
+	for c := k; c <= len(seg)-k; c++ {
+		if vals[seg[c-1]] == vals[seg[c]] {
 			continue // would split a tie group
 		}
-		d := abs(cut - len(sorted)/2)
+		d := abs(c - len(seg)/2)
 		if d < bestDist {
-			bestDist, bestCut = d, cut
+			bestDist, bestCut = d, c
 		}
 	}
 	if bestCut < 0 {
-		return nil, nil, false
+		return 0, false
 	}
-	return sorted[:bestCut], sorted[bestCut:], true
+	return bestCut, true
 }
 
 // rangeOf is the observed [min, max] of the partition's numeric readings,

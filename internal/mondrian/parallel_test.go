@@ -1,0 +1,51 @@
+package mondrian
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestPartitionParallelDeterminism pins parallel recursion to the sequential
+// split tree: identical leaves, in identical depth-first order, at every
+// worker budget — for both variants, on data with heavy ties.
+func TestPartitionParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = []float64{float64(rng.Intn(20)), rng.Float64() * 100, float64(rng.Intn(3))}
+	}
+	tb := numTable(t, rows)
+	for _, relaxed := range []bool{false, true} {
+		a := &Anonymizer{Relaxed: relaxed}
+		for _, k := range []int{2, 5, 11} {
+			want, err := a.Partition(tb, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				t.Run(fmt.Sprintf("relaxed=%v/k=%d/w=%d", relaxed, k, workers), func(t *testing.T) {
+					got, err := a.PartitionParallel(tb, k, parallel.NewBudget(workers))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%d leaves, want %d", len(got), len(want))
+					}
+					for g := range got {
+						if len(got[g]) != len(want[g]) {
+							t.Fatalf("leaf %d has %d rows, want %d", g, len(got[g]), len(want[g]))
+						}
+						for i := range got[g] {
+							if got[g][i] != want[g][i] {
+								t.Fatalf("leaf %d row %d = %d, want %d", g, i, got[g][i], want[g][i])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}

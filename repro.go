@@ -55,6 +55,15 @@ type ScenarioOptions struct {
 	// Web tunes corpus noise. Zero value means a clean corpus with 2·N
 	// distractor pages.
 	Web web.GenOptions
+	// DirectAux derives the auxiliary table Q straight from the ground-truth
+	// profiles instead of generating a corpus and web-gathering it — the
+	// perfectly informed adversary. Million-row benchmarks use it: corpus
+	// construction and gathering are O(roster × pages) and dominate at scale,
+	// while the data plane under test (partitioning, fusion, metrics) never
+	// sees the difference. Seniority is quantized through the ladder's title
+	// vocabulary exactly as page extraction would report it; the scenario's
+	// Corpus is left nil.
+	DirectAux bool
 }
 
 // UniversityScenario builds the Section 6 experiment: faculty performance
@@ -92,18 +101,28 @@ func TableIIScenario(webOpts web.GenOptions) (*Scenario, error) {
 }
 
 func finishScenario(p *dataset.Table, profiles []web.Profile, ladder web.Ladder, rng fusion.Range, sensitive string, opts ScenarioOptions) (*Scenario, error) {
-	webOpts := opts.Web
-	webOpts.Seed = opts.Seed
-	if webOpts.Distractors == 0 {
-		webOpts.Distractors = 2 * p.NumRows()
-	}
-	corpus, err := web.BuildCorpus(profiles, webOpts)
-	if err != nil {
-		return nil, err
-	}
-	q, err := web.Gather(corpus, p.ColumnStrings(0), ladder, linkage.DefaultMatcher())
-	if err != nil {
-		return nil, err
+	var corpus *web.Corpus
+	var q *dataset.Table
+	var err error
+	if opts.DirectAux {
+		q, err = directAux(profiles, ladder)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		webOpts := opts.Web
+		webOpts.Seed = opts.Seed
+		if webOpts.Distractors == 0 {
+			webOpts.Distractors = 2 * p.NumRows()
+		}
+		corpus, err = web.BuildCorpus(profiles, webOpts)
+		if err != nil {
+			return nil, err
+		}
+		q, err = web.Gather(corpus, p.ColumnStrings(0), ladder, linkage.DefaultMatcher())
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Domain knowledge for the fuzzy sets (Figure 2): every enterprise index
 	// and the seniority score live on the public 1–10 scale; property
@@ -121,6 +140,32 @@ func finishScenario(p *dataset.Table, profiles []web.Profile, ladder web.Ladder,
 		Ladder: ladder, SensitiveRange: rng, SensitiveCol: sensitive,
 		FeatureDomains: domains,
 	}, nil
+}
+
+// directAux builds Q from ground-truth profiles in Gather's exact layout:
+// one row per roster entry in roster order, the title text in Employment,
+// its ladder score in Seniority, the property index verbatim. Rows stream
+// through the chunked builder, so a million-profile Q materializes without
+// intermediate growth copies.
+func directAux(profiles []web.Profile, ladder web.Ladder) (*dataset.Table, error) {
+	b := dataset.NewBuilder(web.QSchema())
+	row := make([]dataset.Value, 4)
+	for _, p := range profiles {
+		title := ladder.TitleFor(p.Seniority)
+		score, ok := ladder.Score(title)
+		row[0] = dataset.Str(p.Name)
+		row[1] = dataset.Str(title)
+		if ok {
+			row[2] = dataset.Num(score)
+		} else {
+			row[2] = dataset.NullValue()
+		}
+		row[3] = dataset.Num(p.Property)
+		if err := b.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return b.Table(), nil
 }
 
 // Estimator returns the scenario's default fusion system: the Figure 2
