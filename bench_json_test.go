@@ -27,6 +27,15 @@ package repro
 //     from the ground-truth profiles instead of the O(roster·pages) corpus
 //     scrape, which would dominate setup at 10⁶ rows. Q's schema and the
 //     attack path are identical either way.
+//   - The planner-vs-exhaustive pair at mondrian/10⁵/k=2..64 pins the
+//     adaptive planner's speedup: both cells carry the same explicit Tu
+//     (the k=6 utility, computed outside the timer), the exhaustive cell
+//     walks all 63 levels, the planner cell bisects the Tu crossing. The
+//     engine's level index is disabled alongside the result cache, so every
+//     planner iteration bisects from scratch instead of warm-starting off
+//     the previous one. checkBenchJSON enforces the contract on the
+//     committed numbers: planner evaluations ≤ 12 levels and ≥ 3× wall-time
+//     reduction, so a planner regression fails TestBenchJSONFresh.
 
 import (
 	"context"
@@ -36,6 +45,10 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/fusion"
+	"repro/internal/microagg"
+	"repro/internal/mondrian"
 	"repro/internal/service"
 )
 
@@ -49,32 +62,72 @@ type benchEntry struct {
 	Workers          int    `json:"workers"`
 	EffectiveWorkers int    `json:"effective_workers"`
 	GoMaxProcs       int    `json:"gomaxprocs"`
-	NsPerOp          int64  `json:"ns_per_op"`
-	AllocsPerOp      int64  `json:"allocs_per_op"`
-	BytesPerOp       int64  `json:"bytes_per_op"`
+	// Mode is "exhaustive" (the classic range walk) or "planner" (the
+	// adaptive bisection planner); LevelsEvaluated is how many levels one
+	// sweep actually computed — the planner's whole point is this being
+	// far below the requested range.
+	Mode            string `json:"mode"`
+	LevelsEvaluated int    `json:"levels_evaluated"`
+	NsPerOp         int64  `json:"ns_per_op"`
+	AllocsPerOp     int64  `json:"allocs_per_op"`
+	BytesPerOp      int64  `json:"bytes_per_op"`
 }
 
-// benchCell is one (scheme, cohort size, sweep range) point; the grid is the
-// cross product with benchWorkers. TestBenchJSONFresh checks the committed
-// BENCH_sweep.json against exactly this grid, so widening it here makes CI
-// fail until the file is regenerated.
+// benchCell is one (scheme, cohort size, sweep range, mode) point; the grid
+// is the cross product with its workers axis (benchWorkers unless the cell
+// narrows it). TestBenchJSONFresh checks the committed BENCH_sweep.json
+// against exactly this grid, so widening it here makes CI fail until the
+// file is regenerated.
 type benchCell struct {
 	scheme     string
 	rows       int
 	minK, maxK int
+	// planner switches the cell to the adaptive planner (Spec.Adaptive).
+	planner bool
+	// tuFromK, when non-zero, gives the sweep an explicit Tu threshold: the
+	// utility at this k, computed outside the timer. Bisection needs an
+	// explicit threshold to have a crossing to find.
+	tuFromK int
+	// workers narrows the cell's workers axis (nil = benchWorkers).
+	workers []int
 }
 
 var benchGrid = []benchCell{
 	{scheme: "mdav", rows: 1000, minK: 2, maxK: 16},
 	{scheme: "mdav", rows: 10000, minK: 2, maxK: 16},
 	{scheme: "mondrian", rows: 100000, minK: 2, maxK: 16},
+	{scheme: "mondrian", rows: 100000, minK: 2, maxK: 64, tuFromK: 6, workers: []int{1}},
+	{scheme: "mondrian", rows: 100000, minK: 2, maxK: 64, planner: true, tuFromK: 6, workers: []int{1}},
 	{scheme: "mondrian", rows: 1000000, minK: 2, maxK: 4},
 }
 
 var benchWorkers = []int{1, 4, 8}
 
+// plannerMaxEvaluated is the evaluation ceiling checkBenchJSON enforces on
+// planner cells: ⌈log₂ 63⌉ probes + the k=2..6 candidate band + slack.
+const plannerMaxEvaluated = 12
+
+// plannerMinSpeedup is the pinned wall-time reduction of the planner cell
+// against its exhaustive twin.
+const plannerMinSpeedup = 3
+
 func (c benchCell) op(workers int) string {
-	return fmt.Sprintf("service-fred-sweep/scheme=%s/rows=%d/workers=%d", c.scheme, c.rows, workers)
+	return fmt.Sprintf("service-fred-sweep/scheme=%s/rows=%d/k=%d-%d/workers=%d/mode=%s",
+		c.scheme, c.rows, c.minK, c.maxK, workers, c.mode())
+}
+
+func (c benchCell) mode() string {
+	if c.planner {
+		return "planner"
+	}
+	return "exhaustive"
+}
+
+func (c benchCell) workersAxis() []int {
+	if len(c.workers) > 0 {
+		return c.workers
+	}
+	return benchWorkers
 }
 
 func (c benchCell) levels() int { return c.maxK - c.minK + 1 }
@@ -87,19 +140,18 @@ func TestEmitBenchJSON(t *testing.T) {
 		t.Skip("set EMIT_BENCH=1 to run the benchmark grid and write " + benchJSONPath +
 			", or EMIT_BENCH=smoke to exercise one mid-size cell without writing")
 	}
-	grid, workersAxis := benchGrid, benchWorkers
+	grid := benchGrid
 	if mode == "smoke" {
 		// CI's perf gate: one mid-size cell proves the bench path end to end
 		// (scenario build, engine, cache-miss assertion) in well under a
 		// minute. Nothing is written — the committed file stays the full
 		// grid's.
-		grid = []benchCell{{scheme: "mdav", rows: 10000, minK: 2, maxK: 16}}
-		workersAxis = []int{1}
+		grid = []benchCell{{scheme: "mdav", rows: 10000, minK: 2, maxK: 16, workers: []int{1}}}
 	}
 
 	var entries []benchEntry
 	scenarios := map[int]*Scenario{}
-	for _, cell := range grid {
+	for ci, cell := range grid {
 		sc, ok := scenarios[cell.rows]
 		if !ok {
 			var err error
@@ -109,15 +161,19 @@ func TestEmitBenchJSON(t *testing.T) {
 			}
 			scenarios[cell.rows] = sc
 		}
-		for _, workers := range workersAxis {
-			entries = append(entries, benchOne(t, sc, cell, workers))
+		tu := benchTu(t, sc, cell)
+		for _, workers := range cell.workersAxis() {
+			entries = append(entries, benchOne(t, sc, cell, workers, tu))
 			e := entries[len(entries)-1]
-			t.Logf("%s: %d ns/op, %d allocs/op, %d B/op (effective workers %d, GOMAXPROCS %d)",
-				e.Op, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.EffectiveWorkers, e.GoMaxProcs)
+			t.Logf("%s: %d ns/op, %d allocs/op, %d B/op (evaluated %d levels, effective workers %d, GOMAXPROCS %d)",
+				e.Op, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.LevelsEvaluated, e.EffectiveWorkers, e.GoMaxProcs)
 		}
 		// The 10⁶-row table is ~a hundred MB across P, Q and per-level
-		// releases; drop it before the next cell builds its own.
-		delete(scenarios, cell.rows)
+		// releases; drop it before the next cell builds its own — unless the
+		// next cell shares it (the planner/exhaustive pair).
+		if ci+1 >= len(grid) || grid[ci+1].rows != cell.rows {
+			delete(scenarios, cell.rows)
+		}
 	}
 	if mode == "smoke" {
 		return
@@ -138,8 +194,36 @@ func TestEmitBenchJSON(t *testing.T) {
 	}
 }
 
-func benchOne(t *testing.T, sc *Scenario, cell benchCell, workers int) benchEntry {
+// benchTu computes a cell's explicit Tu threshold — the utility at
+// k=tuFromK — outside any benchmark timer. Zero (auto-calibration) when the
+// cell does not pin one.
+func benchTu(t *testing.T, sc *Scenario, cell benchCell) float64 {
 	t.Helper()
+	if cell.tuFromK == 0 {
+		return 0
+	}
+	var anon core.Anonymizer
+	switch cell.scheme {
+	case "mdav":
+		anon = microagg.New()
+	case "mondrian":
+		anon = mondrian.New()
+	default:
+		t.Fatalf("unknown bench scheme %q", cell.scheme)
+	}
+	sctx := core.NewSweepContextParallel(sc.P, core.AttackConfig{
+		Aux: sc.Q, SensitiveRange: fusion.Range{Lo: 40000, Hi: 160000},
+	}, 1)
+	lr, err := sctx.RunLevel(anon, cell.tuFromK, 0)
+	if err != nil {
+		t.Fatalf("computing Tu at k=%d: %v", cell.tuFromK, err)
+	}
+	return lr.Utility
+}
+
+func benchOne(t *testing.T, sc *Scenario, cell benchCell, workers int, tu float64) benchEntry {
+	t.Helper()
+	var evaluated int
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		store := service.NewStore()
@@ -155,10 +239,15 @@ func benchOne(t *testing.T, sc *Scenario, cell benchCell, workers int) benchEntr
 			Type: service.JobFREDSweep, Table: pInfo.ID, Aux: qInfo.ID,
 			Scheme: cell.scheme,
 			MinK:   cell.minK, MaxK: cell.maxK,
+			Tu:          tu,
+			Adaptive:    cell.planner,
 			SensitiveLo: 40000, SensitiveHi: 160000,
 		}
+		// Both caching planes are disabled: the result cache would collapse
+		// iterations 2..N into lookups, and the level index would warm-start
+		// them — either way the bench would stop measuring sweeps.
 		e := service.NewEngine(store, service.Options{
-			Workers: 1, SweepWorkers: workers, CacheSize: -1,
+			Workers: 1, SweepWorkers: workers, CacheSize: -1, LevelIndexSize: -1,
 		})
 		e.Start()
 		defer e.Shutdown(context.Background())
@@ -177,6 +266,10 @@ func benchOne(t *testing.T, sc *Scenario, cell benchCell, workers int) benchEntr
 			if st.Cached {
 				b.Fatalf("iteration %d served from the result cache; the bench must measure full sweeps", i)
 			}
+			evaluated = int(st.Summary["levels_evaluated"])
+			if warm := len(st.Levels) - evaluated; warm > 0 {
+				b.Fatalf("iteration %d warm-started %d levels; the bench must measure full sweeps", i, warm)
+			}
 		}
 	})
 	effective := workers
@@ -192,6 +285,8 @@ func benchOne(t *testing.T, sc *Scenario, cell benchCell, workers int) benchEntr
 		Workers:          workers,
 		EffectiveWorkers: effective,
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		Mode:             cell.mode(),
+		LevelsEvaluated:  evaluated,
 		NsPerOp:          r.NsPerOp(),
 		AllocsPerOp:      r.AllocsPerOp(),
 		BytesPerOp:       r.AllocedBytesPerOp(),
@@ -243,22 +338,60 @@ func checkBenchJSON() error {
 	if err := json.Unmarshal(raw, &entries); err != nil {
 		return err
 	}
-	if got, wantN := len(entries), len(benchGrid)*len(benchWorkers); got != wantN {
+	wantN := 0
+	for _, cell := range benchGrid {
+		wantN += len(cell.workersAxis())
+	}
+	if got := len(entries); got != wantN {
 		return fmt.Errorf("%d entries, grid defines %d", got, wantN)
 	}
 	i := 0
 	for _, cell := range benchGrid {
-		for _, workers := range benchWorkers {
+		for _, workers := range cell.workersAxis() {
 			e := entries[i]
 			i++
 			if e.Op != cell.op(workers) {
 				return fmt.Errorf("entry %d op %q, grid expects %q", i-1, e.Op, cell.op(workers))
 			}
-			if e.Scheme != cell.scheme || e.Rows != cell.rows || e.MinK != cell.minK || e.MaxK != cell.maxK || e.Workers != workers {
+			if e.Scheme != cell.scheme || e.Rows != cell.rows || e.MinK != cell.minK || e.MaxK != cell.maxK || e.Workers != workers || e.Mode != cell.mode() {
 				return fmt.Errorf("entry %d %+v does not match grid cell %+v workers=%d", i-1, e, cell, workers)
 			}
-			if e.NsPerOp <= 0 || e.GoMaxProcs <= 0 || e.EffectiveWorkers <= 0 {
+			if e.NsPerOp <= 0 || e.GoMaxProcs <= 0 || e.EffectiveWorkers <= 0 || e.LevelsEvaluated <= 0 {
 				return fmt.Errorf("entry %d is degenerate: %+v", i-1, e)
+			}
+			if cell.planner {
+				if e.LevelsEvaluated > plannerMaxEvaluated {
+					return fmt.Errorf("planner entry %q evaluated %d levels, contract allows ≤ %d",
+						e.Op, e.LevelsEvaluated, plannerMaxEvaluated)
+				}
+			} else if e.LevelsEvaluated != cell.levels() {
+				return fmt.Errorf("exhaustive entry %q evaluated %d levels, want the full %d",
+					e.Op, e.LevelsEvaluated, cell.levels())
+			}
+		}
+	}
+
+	// The pinned speedup: every planner entry must beat its exhaustive twin
+	// (same scheme/rows/range/workers) by the contracted factor.
+	byOp := map[string]benchEntry{}
+	for _, e := range entries {
+		byOp[e.Op] = e
+	}
+	for _, cell := range benchGrid {
+		if !cell.planner {
+			continue
+		}
+		twin := cell
+		twin.planner = false
+		for _, workers := range cell.workersAxis() {
+			p, ok := byOp[cell.op(workers)]
+			ex, ok2 := byOp[twin.op(workers)]
+			if !ok || !ok2 {
+				return fmt.Errorf("planner cell %q has no exhaustive twin %q", cell.op(workers), twin.op(workers))
+			}
+			if p.NsPerOp*plannerMinSpeedup > ex.NsPerOp {
+				return fmt.Errorf("planner %q is only %.2fx faster than exhaustive %q, contract pins ≥ %dx",
+					p.Op, float64(ex.NsPerOp)/float64(p.NsPerOp), ex.Op, plannerMinSpeedup)
 			}
 		}
 	}

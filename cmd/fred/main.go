@@ -8,6 +8,7 @@
 //	fred -p p.csv -q q.csv -lo 40000 -hi 160000 \
 //	     [-tp T] [-tu T] [-mink 2] [-maxk 16] [-scheme mdav|mondrian] \
 //	     [-workers N] [-out optimal.csv] [-literal-loop]
+//	     [-adaptive] [-kset 2,4,8] [-stride N] [-budget 30s]
 //
 // The sweep streams: levels print as a live table the moment each completes
 // (in k order, even with -workers > 1), so a long sweep on a big cohort
@@ -15,6 +16,16 @@
 // when -tp and -tu are both zero, thresholds are auto-calibrated from the
 // streamed series the way the paper set them "based on experimental
 // observations", with no second probe sweep.
+//
+// -adaptive, -kset, -stride and -budget switch to the adaptive planner
+// (internal/core/planner): with explicit thresholds it bisects the Tu
+// crossing instead of walking every level and prints which ranges it
+// skipped and why; -kset / -stride restrict the evaluated set; -budget
+// bounds wall-clock and reports the best partial release at the deadline.
+// Adaptive rows print in evaluation order (probes jump around the range)
+// and the decision uses the service's band semantics (both thresholds
+// filter candidacy, no Tu truncation), bit-identical to an exhaustive
+// adaptive run of the same spec.
 package main
 
 import (
@@ -24,11 +35,16 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/core/planner"
 	"repro/internal/dataset"
 	"repro/internal/fusion"
+	"repro/internal/metrics"
 	"repro/internal/microagg"
 	"repro/internal/mondrian"
 	"repro/internal/report"
@@ -49,6 +65,10 @@ func main() {
 	out := flag.String("out", "", "optional output CSV for the optimal release")
 	literal := flag.Bool("literal-loop", false, "use the pseudocode's literal stopping rule")
 	markdown := flag.Bool("markdown", false, "emit the run report as Markdown")
+	adaptive := flag.Bool("adaptive", false, "use the adaptive planner (bisect the Tu crossing instead of walking every level)")
+	kset := flag.String("kset", "", "comma-separated explicit level set (adaptive; overrides -mink/-maxk)")
+	stride := flag.Int("stride", 0, "evaluate every Nth level of the range (adaptive)")
+	budget := flag.Duration("budget", 0, "wall-clock budget: stop at the deadline with the best partial release (adaptive)")
 	flag.Parse()
 	if *pPath == "" || *hi <= *lo {
 		flag.Usage()
@@ -95,49 +115,62 @@ func main() {
 	// applied to the streamed levels afterwards, with no second sweep.
 	explicit := *tp != 0 || *tu != 0
 
-	fmt.Printf("sweeping k = %d..%d on %d workers\n", *minK, *maxK, nWorkers)
-	fmt.Printf("%4s  %13s  %13s  %13s  %12s\n", "k", "P∘P' (before)", "P∘P̂ (after)", "gain G", "utility U")
-	var levels []core.LevelResult
-	err = core.SweepStream(context.Background(), p, core.StreamConfig{
-		Anonymizer: anon,
-		Attack:     atk,
-		MinK:       *minK,
-		MaxK:       *maxK,
-		Workers:    nWorkers,
-		Tp:         *tp,
-	}, func(lr core.LevelResult) error {
-		levels = append(levels, lr)
-		fmt.Printf("%4d  %13.6g  %13.6g  %13.6g  %12.6g\n",
-			lr.K, lr.Before, lr.After, lr.Gain, lr.Utility)
-		if explicit && cfg.StopsAfter(lr) {
-			return core.ErrStopSweep
+	var res *core.Result
+	if *kset != "" || *stride > 1 || *budget > 0 || *adaptive {
+		if *literal {
+			log.Fatal("fred: -literal-loop applies to the classic range sweep only")
 		}
-		return nil
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println()
-
-	if !explicit {
-		cfg.Tp, cfg.Tu, err = repro.CalibrateThresholds(levels)
+		if *kset != "" && *stride > 1 {
+			log.Fatal("fred: -kset and -stride are mutually exclusive")
+		}
+		res, err = runAdaptive(p, anon, atk, &cfg, nWorkers, *kset, *stride, *budget, explicit)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("auto-calibrated thresholds: Tp = %.6g, Tu = %.6g\n", cfg.Tp, cfg.Tu)
-		// Truncate the series where Algorithm 1's stopping rule would have
-		// ended the sweep under the calibrated thresholds.
-		for i, lr := range levels {
-			if cfg.StopsAfter(lr) {
-				levels = levels[:i+1]
-				break
+	} else {
+		fmt.Printf("sweeping k = %d..%d on %d workers\n", *minK, *maxK, nWorkers)
+		fmt.Printf("%4s  %13s  %13s  %13s  %12s\n", "k", "P∘P' (before)", "P∘P̂ (after)", "gain G", "utility U")
+		var levels []core.LevelResult
+		err = core.SweepStream(context.Background(), p, core.StreamConfig{
+			Anonymizer: anon,
+			Attack:     atk,
+			MinK:       *minK,
+			MaxK:       *maxK,
+			Workers:    nWorkers,
+			Tp:         *tp,
+		}, func(lr core.LevelResult) error {
+			levels = append(levels, lr)
+			fmt.Printf("%4d  %13.6g  %13.6g  %13.6g  %12.6g\n",
+				lr.K, lr.Before, lr.After, lr.Gain, lr.Utility)
+			if explicit && cfg.StopsAfter(lr) {
+				return core.ErrStopSweep
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+
+		if !explicit {
+			cfg.Tp, cfg.Tu, err = repro.CalibrateThresholds(levels)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("auto-calibrated thresholds: Tp = %.6g, Tu = %.6g\n", cfg.Tp, cfg.Tu)
+			// Truncate the series where Algorithm 1's stopping rule would have
+			// ended the sweep under the calibrated thresholds.
+			for i, lr := range levels {
+				if cfg.StopsAfter(lr) {
+					levels = levels[:i+1]
+					break
+				}
 			}
 		}
-	}
 
-	res, err := core.Decide(levels, cfg)
-	if err != nil {
-		log.Fatal(err)
+		if res, err = core.Decide(levels, cfg); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if err := report.WriteFRED(os.Stdout, res, report.Options{Markdown: *markdown}); err != nil {
@@ -158,6 +191,79 @@ func main() {
 		}
 		fmt.Printf("wrote fusion-resilient release to %s\n", *out)
 	}
+}
+
+// runAdaptive executes the sweep through the adaptive planner and decides
+// with the band semantics (core.DecideWithin). cfg's thresholds are updated
+// in place when auto-calibrated so the report reflects the values used.
+func runAdaptive(p *dataset.Table, anon core.Anonymizer, atk core.AttackConfig, cfg *core.Config, workers int, kset string, stride int, budget time.Duration, explicit bool) (*core.Result, error) {
+	set, err := parseKSet(kset)
+	if err != nil {
+		return nil, err
+	}
+	ks, err := planner.Expand(cfg.MinK, cfg.MaxK, stride, set)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := planner.Config{
+		Anonymizer:      anon,
+		Attack:          atk,
+		Levels:          ks,
+		Tp:              cfg.Tp,
+		Tu:              cfg.Tu,
+		Workers:         workers,
+		MinParallelRows: core.MinParallelSweepRows,
+		Hooks: planner.Hooks{
+			Level: func(lr core.LevelResult, _ bool) {
+				fmt.Printf("%4d  %13.6g  %13.6g  %13.6g  %12.6g\n",
+					lr.K, lr.Before, lr.After, lr.Gain, lr.Utility)
+			},
+			Fallback: func(reason string) {
+				fmt.Printf("exhaustive fallback: %s\n", reason)
+			},
+		},
+	}
+	if budget > 0 {
+		pcfg.Deadline = time.Now().Add(budget)
+	}
+	fmt.Printf("adaptive sweep over %d requested levels on %d workers\n", len(ks), workers)
+	fmt.Printf("%4s  %13s  %13s  %13s  %12s\n", "k", "P∘P' (before)", "P∘P̂ (after)", "gain G", "utility U")
+	out, err := planner.Run(context.Background(), p, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println()
+	for _, r := range out.SkippedRanges {
+		fmt.Printf("skipped k = %d..%d (%s)\n", r.FromK, r.ToK, r.Reason)
+	}
+	if out.Partial {
+		fmt.Println("budget expired: deciding over the levels evaluated in time")
+	}
+	fmt.Printf("evaluated %d of %d requested levels\n", out.Evaluated, out.Requested)
+	if !explicit {
+		if cfg.Tp, cfg.Tu, err = repro.CalibrateThresholds(out.Levels); err != nil {
+			return nil, err
+		}
+		fmt.Printf("auto-calibrated thresholds: Tp = %.6g, Tu = %.6g\n", cfg.Tp, cfg.Tu)
+	}
+	return core.DecideWithin(out.Levels, cfg.Tp, cfg.Tu, metrics.DefaultHOptions())
+}
+
+// parseKSet parses the -kset flag: comma-separated anonymization levels.
+func parseKSet(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("fred: bad -kset entry %q", part)
+		}
+		out = append(out, k)
+	}
+	return out, nil
 }
 
 func readCSV(path string) (*dataset.Table, error) {

@@ -23,6 +23,10 @@
 // Last-Event-ID / ?after= to skip the replay, or poll its status for the
 // partial level series. Cancellation interrupts a sweep between levels, not
 // just between jobs. SIGINT/SIGTERM drain in-flight jobs before exit.
+// fred-sweep specs may carry the adaptive planner fields (k_set, stride,
+// budget_ms, adaptive); levels any earlier sweep of the same table already
+// computed are warm-started from the cross-job level index (-level-index
+// bounds how many tables it remembers).
 //
 // With -data-dir the storage plane is durable: tables persist as columnar
 // snapshots, the job log as a write-ahead log with per-level sweep
@@ -67,6 +71,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "job worker pool size (0 = NumCPU)")
 		sweepers  = flag.Int("sweep-workers", 0, "per-job sweep concurrency (0 = workers)")
 		cache     = flag.Int("cache", 64, "LRU result cache entries (negative disables)")
+		levelIdx  = flag.Int("level-index", 32, "cross-job level-index tables for sweep warm-starts (negative disables)")
 		queue     = flag.Int("queue", 256, "pending job queue depth")
 		retain    = flag.Int("retain", 512, "finished jobs kept in the job log (negative keeps all)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
@@ -116,6 +121,7 @@ func main() {
 		SweepWorkers:    *sweepers,
 		QueueDepth:      *queue,
 		CacheSize:       *cache,
+		LevelIndexSize:  *levelIdx,
 		MaxFinishedJobs: *retain,
 		Quotas:          quotas,
 		Metrics:         registry,

@@ -115,25 +115,6 @@ type LevelResult struct {
 	Elapsed time.Duration
 }
 
-// Result is the outcome of a FRED run.
-type Result struct {
-	// Levels holds every swept level in order.
-	Levels []LevelResult
-	// H holds the objective per candidate level, aligned with Candidates.
-	H []float64
-	// Candidates indexes Levels entries that passed Tp.
-	Candidates []int
-	// OptimalK is the chosen anonymization level (Figure 8's argmax).
-	OptimalK int
-	// Hmax is the objective at OptimalK.
-	Hmax float64
-	// Optimal is the fusion-resilient release P'_opt.
-	Optimal *dataset.Table
-}
-
-// ErrNoCandidate is returned when no level passes both thresholds.
-var ErrNoCandidate = errors.New("core: no anonymization level satisfies the thresholds")
-
 // Attack simulates the Web-Based Information-Fusion Attack against one
 // release: it fuses the release with the auxiliary data and reports the
 // adversary's estimate and its dissimilarity from the truth.
@@ -195,6 +176,17 @@ func NewSweepContext(p *dataset.Table, atk AttackConfig) *SweepContext {
 		sc.midVec[i] = mid
 	}
 	sc.aux = fusion.PrepareAux(atk.Aux)
+	return sc
+}
+
+// NewSweepContextParallel is NewSweepContext with a worker budget attached:
+// budgeted kernels inside RunLevel may use up to workers tokens. The
+// adaptive planner's single-level probes share one such context so
+// bisection keeps within-level parallelism even though levels are probed
+// one at a time; workers ≤ 1 attaches no budget and kernels run inline.
+func NewSweepContextParallel(p *dataset.Table, atk AttackConfig, workers int) *SweepContext {
+	sc := NewSweepContext(p, atk)
+	sc.budget = parallel.NewBudget(workers)
 	return sc
 }
 
@@ -402,17 +394,3 @@ func isTooFewRecords(err error) bool {
 // predicate Sweep and SweepParallel apply internally, exported for callers
 // that stitch sweeps together chunk by chunk.
 func EndsSweep(err error) bool { return err != nil && isTooFewRecords(err) }
-
-// CalibrateThresholds derives (Tp, Tu) from a probe sweep so the solution
-// space is an interior band of levels, mirroring the paper's Tp = 3.075e8,
-// Tu = 0.0018 which carve k = 7..14 out of k = 2..16: Tp is the post-fusion
-// dissimilarity one third into the sweep, Tu the utility five sixths in —
-// thresholds set "based on experimental observations", as the paper puts it.
-func CalibrateThresholds(levels []LevelResult) (tp, tu float64, err error) {
-	if len(levels) < 3 {
-		return 0, 0, fmt.Errorf("core: calibration needs ≥ 3 levels, got %d", len(levels))
-	}
-	tp = levels[len(levels)/3].After
-	tu = levels[len(levels)*5/6].Utility
-	return tp, tu, nil
-}

@@ -7,7 +7,6 @@ import (
 	"sync"
 
 	"repro/internal/dataset"
-	"repro/internal/metrics"
 	"repro/internal/parallel"
 )
 
@@ -33,9 +32,24 @@ type StreamConfig struct {
 	// outgrowing the table ends the series cleanly rather than erroring,
 	// because lower levels exist in the caller's seed.
 	StartK int
+	// Held generalizes StartK from a held prefix to an arbitrary held level
+	// set: levels with Held[k] == true are neither evaluated nor emitted —
+	// the caller already has them, e.g. warm-started from another job's
+	// cached sweep of the same table, or outside a k-set/stride spec's
+	// requested set. Emission stays ascending and gap-free over the levels
+	// that remain. Keys outside the (possibly StartK-resumed) range are
+	// ignored; nil holds nothing.
+	Held map[int]bool
 	// Workers bounds level concurrency; 0 means one worker per level.
 	// Whatever the worker count, levels are emitted in ascending k order.
 	Workers int
+	// MinParallelRows gates the parallel fan-out on a per-level work
+	// estimate: when > 0 and the table has fewer rows, the sweep runs
+	// sequentially (inline loop, no kernel budget) regardless of Workers —
+	// pool goroutines and budget tokens cost more than they recover on
+	// sub-millisecond levels. 0 leaves fan-out ungated (library default;
+	// the service engine passes MinParallelSweepRows).
+	MinParallelRows int
 	// Tp is the protection threshold recorded in each LevelResult's
 	// Candidate flag (0 marks every level a candidate, as in plain sweeps).
 	Tp float64
@@ -54,6 +68,8 @@ type StreamConfig struct {
 //     level in [MinK, k] was emitted or the sweep ended. A resume point
 //     (StartK) shifts the series start: emission is then gap-free over
 //     [StartK, k], the caller holding [MinK, StartK) from its checkpoints.
+//     A Held set punches holes the same way: gap-free is over the non-held
+//     levels, the caller holding the rest.
 //   - Early stop: a level above MinK failing with the "k exceeds the table"
 //     condition (EndsSweep) ends the series cleanly — emit never sees it and
 //     SweepStream returns nil. The same condition at MinK is an error.
@@ -85,14 +101,26 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	n := maxK - first + 1
+	// The evaluation list is the range minus the caller-held levels; all
+	// sizing, dispatch and reordering below runs over it.
+	evalKs := make([]int, 0, maxK-first+1)
+	for k := first; k <= maxK; k++ {
+		if cfg.Held[k] {
+			continue
+		}
+		evalKs = append(evalKs, k)
+	}
+	n := len(evalKs)
+	if n == 0 {
+		return nil
+	}
 	// The requested worker count is the sweep-wide concurrency bound, shared
 	// between level-parallelism and within-level kernel parallelism through
 	// one token budget: each in-flight level holds a token while it runs, so
 	// spare tokens — workers beyond the remaining levels, or pool slots freed
 	// at the sweep tail — are what budgeted kernels may borrow. The level
 	// pool itself never needs more goroutines than levels.
-	workers := cfg.Workers
+	workers := SweepWorkersFor(p.NumRows(), cfg.Workers, cfg.MinParallelRows)
 	if workers <= 0 {
 		workers = n
 	}
@@ -113,7 +141,7 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 	// level still parallelizes inside the level: the kernels borrow the
 	// spare tokens.)
 	if pool == 1 {
-		for k := first; k <= maxK; k++ {
+		for _, k := range evalKs {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -156,7 +184,7 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 	go func() {
 		defer wg.Done()
 		defer close(ks)
-		for k := first; k <= maxK; k++ {
+		for _, k := range evalKs {
 			select {
 			case ks <- k:
 			case <-ctx.Done():
@@ -191,7 +219,8 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 	// Reorder buffer: results arrive in completion order, levels leave in k
 	// order.
 	pending := make(map[int]slot, pool)
-	for next := first; next <= maxK; {
+	for i := 0; i < n; {
+		next := evalKs[i]
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
@@ -222,65 +251,26 @@ func SweepStream(ctx context.Context, p *dataset.Table, cfg StreamConfig, emit f
 			}
 			return err
 		}
-		next++
+		i++
 	}
 	return nil
 }
 
-// StopsAfter reports whether Algorithm 1's stopping rule ends the sweep
-// after this level: the prose rule stops once utility falls below Tu, the
-// literal pseudocode rule ("repeat … until U_level ≥ Tu") as soon as a
-// release is useful.
-func (cfg Config) StopsAfter(lr LevelResult) bool {
-	if cfg.LiteralPaperLoop {
-		return lr.Utility >= cfg.Tu
-	}
-	return lr.Utility < cfg.Tu
-}
+// MinParallelSweepRows is the per-level work gate production sweeps pass as
+// StreamConfig.MinParallelRows: below it, a level completes in well under a
+// millisecond and the parallel path's pool goroutines plus budget tokens
+// cost more wall time than they recover (mdav@10³ measured ~65% slower at
+// workers=8 than sequential on one CPU). The threshold is deliberately far
+// below the 10⁴-row cell where fan-out measurably wins.
+const MinParallelSweepRows = 4096
 
-// Decide applies Algorithm 1's selection to a swept (possibly truncated)
-// series: the Tp candidate filter, the weighted objective H over the
-// candidates, and the argmax. It records candidacy on the series in place
-// and returns the partial Result alongside ErrNoCandidate when no level
-// passes the filter. Run is SweepStream + Decide; callers that stream a
-// sweep themselves (e.g. a CLI printing levels live) reuse it to reach
-// Run's exact decision without a second sweep — provided they also apply
-// Run's Tu stopping rule (Config.StopsAfter) as truncation first. The
-// service's fred-sweep job deliberately deviates: it sweeps the full
-// requested range and filters candidacy by both thresholds instead of
-// truncating at Tu (see service.Engine's runFREDSweep).
-func Decide(levels []LevelResult, cfg Config) (*Result, error) {
-	if cfg.HOpts.W1 == 0 && cfg.HOpts.W2 == 0 {
-		cfg.HOpts = metrics.DefaultHOptions()
+// SweepWorkersFor applies the small-cohort gate to a requested sweep worker
+// count: tables with fewer than minParallelRows rows run on one worker,
+// everything else keeps the request. A non-positive gate disables it. The
+// bench grid uses this to report the workers actually in effect.
+func SweepWorkersFor(rows, workers, minParallelRows int) int {
+	if minParallelRows > 0 && rows < minParallelRows {
+		return 1
 	}
-	res := &Result{Levels: levels}
-	for i := range res.Levels {
-		res.Levels[i].Candidate = res.Levels[i].After >= cfg.Tp
-		if res.Levels[i].Candidate {
-			res.Candidates = append(res.Candidates, i)
-		}
-	}
-	if len(res.Candidates) == 0 {
-		return res, ErrNoCandidate
-	}
-	dis := make([]float64, len(res.Candidates))
-	utl := make([]float64, len(res.Candidates))
-	for i, li := range res.Candidates {
-		dis[i] = res.Levels[li].After
-		utl[i] = res.Levels[li].Utility
-	}
-	h, err := metrics.HSeries(dis, utl, cfg.HOpts)
-	if err != nil {
-		return nil, err
-	}
-	res.H = h
-	best, hmax, err := metrics.ArgMax(h)
-	if err != nil {
-		return nil, err
-	}
-	opt := res.Levels[res.Candidates[best]]
-	res.OptimalK = opt.K
-	res.Hmax = hmax
-	res.Optimal = opt.Release
-	return res, nil
+	return workers
 }

@@ -19,7 +19,22 @@
 //	                             already-delivered events after a reconnect
 //	POST   /v1/jobs/{id}/cancel  cancel a pending or running job
 //	DELETE /v1/jobs/{id}         purge a terminal job (409 while running)
-//	GET    /v1/jobs/{id}/trace   per-job trace spans (job.run, sweep.level)
+//	GET    /v1/jobs/{id}/trace   per-job trace spans (job.run, sweep.level,
+//	                             and for adaptive sweeps planner.plan,
+//	                             planner.warmstart, planner.skip,
+//	                             planner.fallback)
+//
+// fred-sweep specs accept the adaptive planner fields alongside min_k/max_k:
+// "k_set" (explicit level set), "stride" (every Nth level), "budget_ms"
+// (wall-clock budget — the job stops at the deadline with status partial and
+// the best release over the levels it managed), and "adaptive": true (force
+// the bisection planner on a plain range). Adaptive jobs' event streams
+// deliver "level" events in evaluation order — each tagged with "source":
+// "warm" when seeded from the cross-job level index — plus "skip" events
+// naming the level ranges the planner proved it could skip and why
+// (bisection, deadline, infeasible). The final decision is bit-identical to
+// the exhaustive sweep's.
+//
 //	GET    /v1/healthz           liveness probe + ops snapshot (never
 //	                             authenticated)
 //	GET    /v1/readyz            readiness probe: 503 until the engine's

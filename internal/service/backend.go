@@ -55,6 +55,14 @@ type WALKind string
 // record; a "delete" record retracts the job (explicit DELETE or retention
 // eviction). A job record without a terminal status is an interrupted job,
 // which recovery re-submits.
+// walSpecVersion is the current WAL spec vocabulary version, stamped on
+// every submission record. Version history:
+//
+//	0/1 — the pre-planner vocabulary (range sweeps, thresholds).
+//	2   — adds the adaptive planner spec fields (k_set, stride, budget_ms,
+//	      adaptive) and the level checkpoint source tag.
+const walSpecVersion = 2
+
 const (
 	WALJob    WALKind = "job"
 	WALLevel  WALKind = "level"
@@ -81,6 +89,12 @@ type WALRecord struct {
 	Seq   uint64  `json:"seq"`
 	Kind  WALKind `json:"kind"`
 	JobID string  `json:"job_id"`
+	// Ver is the spec vocabulary version the record was written under (see
+	// walSpecVersion). Zero on records from builds predating versioning —
+	// replayed fine, their vocabulary is a strict subset. Recovery refuses
+	// records from a NEWER vocabulary loudly instead of silently dropping
+	// fields a downgrade cannot honor.
+	Ver int `json:"ver,omitempty"`
 
 	// Submission fields (kind "job"). Tenant is the namespace the job runs
 	// in; an empty tenant on replay — a record written before multi-tenancy
@@ -90,10 +104,12 @@ type WALRecord struct {
 	Spec    *Spec      `json:"spec,omitempty"`
 	Created *time.Time `json:"created,omitempty"`
 
-	// Checkpoint fields (kind "level").
+	// Checkpoint fields (kind "level"). Source tags warm-started levels, as
+	// on the streamed event.
 	Level       *LevelSummary `json:"level,omitempty"`
 	Calibration *Calibration  `json:"calibration,omitempty"`
 	Progress    float64       `json:"progress,omitempty"`
+	Source      string        `json:"source,omitempty"`
 
 	// Terminal fields (kind "status").
 	Status *Status       `json:"status,omitempty"`
@@ -111,6 +127,8 @@ type ResultRecord struct {
 	Hmax       float64          `json:"hmax,omitempty"`
 	Tp         float64          `json:"tp,omitempty"`
 	Tu         float64          `json:"tu,omitempty"`
+	Evaluated  int              `json:"evaluated,omitempty"`
+	Partial    bool             `json:"partial,omitempty"`
 	Before     float64          `json:"before,omitempty"`
 	After      float64          `json:"after,omitempty"`
 	Assessment *risk.Assessment `json:"assessment,omitempty"`

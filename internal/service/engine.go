@@ -7,7 +7,6 @@ import (
 	"log/slog"
 	"runtime"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,7 +14,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fusion"
-	"repro/internal/metrics"
 	"repro/internal/microagg"
 	"repro/internal/mondrian"
 	"repro/internal/obs"
@@ -35,6 +33,11 @@ type Options struct {
 	// CacheSize is the LRU result cache capacity in entries (default: 64;
 	// negative disables caching).
 	CacheSize int
+	// LevelIndexSize is the cross-job warm-start index capacity in tables
+	// (default: 32; negative disables warm-starting). Each tracked table
+	// holds the per-level sweep numbers previous fred-sweeps computed, so
+	// overlapping re-sweeps only compute the gap.
+	LevelIndexSize int
 	// MaxFinishedJobs bounds the job log: once more than this many jobs are
 	// in a terminal state, the oldest-finished are evicted from the log
 	// (default: 512; negative keeps every job forever).
@@ -78,6 +81,9 @@ func (o Options) withDefaults() Options {
 	if o.CacheSize == 0 {
 		o.CacheSize = 64
 	}
+	if o.LevelIndexSize == 0 {
+		o.LevelIndexSize = 32
+	}
 	if o.MaxFinishedJobs == 0 {
 		o.MaxFinishedJobs = 512
 	}
@@ -103,9 +109,10 @@ var ErrAlreadyFinished = errors.New("service: job already finished")
 // Identical submissions (same table contents, same spec) are served from an
 // LRU cache without re-running the sweep.
 type Engine struct {
-	store *Store
-	opts  Options
-	cache *resultCache
+	store  *Store
+	opts   Options
+	cache  *resultCache
+	levels *levelIndex
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -147,10 +154,13 @@ type job struct {
 	spec   Spec
 	p, aux *dataset.Table
 	key    string
-	result *Result
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
+	// levelKey addresses the cross-job warm-start index entry for the job's
+	// (table, adversary, scheme, sensitive range), tenant-prefixed.
+	levelKey string
+	result   *Result
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
 	// events is the append-only per-job event log streamed by Engine.Stream;
 	// notify is closed and replaced at every append (and at finish) to wake
 	// blocked subscribers. Both guarded by mu.
@@ -253,6 +263,7 @@ func NewEngine(store *Store, opts Options) *Engine {
 		store:     store,
 		opts:      opts,
 		cache:     newResultCache(opts.CacheSize),
+		levels:    newLevelIndex(opts.LevelIndexSize),
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		queue:     make(chan *job, opts.QueueDepth),
@@ -288,7 +299,12 @@ func (e *Engine) Start() {
 				res, err := e.run(ctx, j)
 				span.End()
 				e.busyWorkers.Add(-1)
-				if err == nil {
+				// Partial (budget-truncated) results are not memoized: an
+				// identical resubmission with a fresh budget should compute
+				// the missing levels, not replay the truncation. Their
+				// computed levels still entered the level index, so the
+				// re-run warm-starts from them.
+				if err == nil && !res.Partial {
 					e.cachePut(j, res)
 				}
 				e.finalize(j, res, err)
@@ -461,6 +477,8 @@ func (e *Engine) resultRecord(j *job) *ResultRecord {
 		Hmax:       res.Hmax,
 		Tp:         res.Tp,
 		Tu:         res.Tu,
+		Evaluated:  res.Evaluated,
+		Partial:    res.Partial,
 		Before:     res.Before,
 		After:      res.After,
 		Assessment: res.Assessment,
@@ -524,7 +542,7 @@ func (e *Engine) Submit(tenant string, spec Spec) (Status, error) {
 	if err := spec.validate(); err != nil {
 		return Status{}, err
 	}
-	p, aux, key, err := e.resolveInputs(tenant, spec)
+	p, aux, key, levelKey, err := e.resolveInputs(tenant, spec)
 	if err != nil {
 		return Status{}, err
 	}
@@ -552,16 +570,17 @@ func (e *Engine) Submit(tenant string, spec Spec) (Status, error) {
 	ctx = obs.WithJobID(obs.WithTenant(ctx, tenant), id)
 	now := time.Now()
 	j := &job{
-		status: Status{ID: id, Tenant: tenant, Type: spec.Type, State: StatePending, Created: now},
-		seq:    e.seq,
-		spec:   spec,
-		p:      p,
-		aux:    aux,
-		key:    key,
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
-		notify: make(chan struct{}),
+		status:   Status{ID: id, Tenant: tenant, Type: spec.Type, State: StatePending, Created: now},
+		seq:      e.seq,
+		spec:     spec,
+		p:        p,
+		aux:      aux,
+		key:      key,
+		levelKey: levelKey,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		notify:   make(chan struct{}),
 	}
 	// Register before releasing the lock: a submission must be visible to
 	// EvictTables (which spares tables referenced by live jobs) for the
@@ -579,7 +598,7 @@ func (e *Engine) Submit(tenant string, spec Spec) (Status, error) {
 	// a crash at any later point replays as an interrupted job and is
 	// re-run — a submission is never silently lost. A WAL append failure
 	// refuses the submission outright.
-	if _, err := e.appendWAL(&WALRecord{Kind: WALJob, JobID: j.status.ID, JobSeq: j.seq, Tenant: tenant, Spec: &spec, Created: &now}); err != nil {
+	if _, err := e.appendWAL(&WALRecord{Kind: WALJob, Ver: walSpecVersion, JobID: j.status.ID, JobSeq: j.seq, Tenant: tenant, Spec: &spec, Created: &now}); err != nil {
 		unregister()
 		return Status{}, fmt.Errorf("service: append job log: %w", err)
 	}
@@ -764,20 +783,22 @@ func (e *Engine) Wait(ctx context.Context, tenant, id string) (Status, error) {
 // semantics. The tenant prefixes the key: byte-identical tables uploaded by
 // two tenants must not share cache entries — a cross-tenant hit would leak
 // that the other tenant ran the same job.
-func (e *Engine) resolveInputs(tenant string, spec Spec) (p, aux *dataset.Table, key string, err error) {
+func (e *Engine) resolveInputs(tenant string, spec Spec) (p, aux *dataset.Table, key, levelKey string, err error) {
 	p, pInfo, err := e.store.Get(tenant, spec.Table)
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, "", "", err
 	}
 	var auxHash string
 	if spec.Aux != "" {
 		var auxInfo TableInfo
 		if aux, auxInfo, err = e.store.Get(tenant, spec.Aux); err != nil {
-			return nil, nil, "", err
+			return nil, nil, "", "", err
 		}
 		auxHash = auxInfo.Hash
 	}
-	return p, aux, tenant + "|" + spec.cacheKey(pInfo.Hash, auxHash), nil
+	return p, aux,
+		tenant + "|" + spec.cacheKey(pInfo.Hash, auxHash),
+		tenant + "|" + spec.levelKey(pInfo.Hash, auxHash), nil
 }
 
 // get resolves a job ID within tenant's namespace. A job owned by another
@@ -892,125 +913,5 @@ func (e *Engine) runAssess(ctx context.Context, j *job) (*Result, error) {
 	return &Result{Table: phat, Assessment: a}, nil
 }
 
-// runFREDSweep is Algorithm 1 as a service job: the level sweep runs through
-// core.SweepStream on SweepWorkers workers, so levels arrive in k order as
-// they complete. Each completed level advances progress, is stored on the
-// running job as a partial result, and is published to Engine.Stream
-// subscribers together with the running threshold calibration over the
-// prefix. Cancellation interrupts the sweep between levels. The threshold
-// filter and the H-objective argmax then pick the fusion-resilient release.
-//
-// The selection deliberately differs from core.Run/Decide: the service
-// sweeps the full requested range (the client asked for — and receives —
-// the whole series) and filters candidacy by BOTH thresholds, where
-// Algorithm 1 truncates the sweep at the first level below Tu and filters
-// by Tp alone. On a non-monotone utility series the two can admit
-// different candidate sets.
-func (e *Engine) runFREDSweep(ctx context.Context, j *job) (*Result, error) {
-	sp := j.spec
-	total := sp.MaxK - sp.MinK + 1
-	// With explicit thresholds, per-level candidacy is decidable as levels
-	// stream; under auto-calibration it is settled only after the sweep.
-	explicit := sp.Tp != 0 || sp.Tu != 0
-	// A recovered job seeds the series with its checkpointed levels and
-	// resumes the stream at startK; the level numbers round-tripped the WAL
-	// losslessly, so the final series is bit-identical to an uninterrupted
-	// run. Seeded levels carry no Release/Phat tables — those are
-	// recomputed on demand below.
-	levels := make([]core.LevelResult, 0, total)
-	startK := 0
-	if j.resume != nil {
-		for _, ls := range j.resume.levels {
-			levels = append(levels, core.LevelResult{
-				K: ls.K, Before: ls.Before, After: ls.After,
-				Gain: ls.Gain, Utility: ls.Utility, Candidate: ls.Candidate,
-			})
-		}
-		startK = j.resume.startK
-	}
-	if startK <= sp.MaxK {
-		err := core.SweepStream(ctx, j.p, core.StreamConfig{
-			Anonymizer: anonymizerFor(sp.Scheme),
-			Attack:     sp.attackConfig(j.aux),
-			MinK:       sp.MinK,
-			MaxK:       sp.MaxK,
-			StartK:     startK,
-			Workers:    e.opts.SweepWorkers,
-		}, func(lr core.LevelResult) error {
-			levels = append(levels, lr)
-			ls := summarizeLevel(lr)
-			ls.Candidate = explicit && lr.After >= sp.Tp && lr.Utility >= sp.Tu
-			var cal *Calibration
-			if tp, tu, calErr := core.CalibrateThresholds(levels); calErr == nil {
-				cal = &Calibration{Tp: tp, Tu: tu}
-			}
-			e.recordLevel(j, ls, cal, 0.95*float64(len(levels))/float64(total))
-			// One trace span per completed level, timed where the work ran
-			// (core measures lr.Elapsed inside RunLevel), so concurrent
-			// sweeps report true per-level cost rather than emission gaps.
-			e.tracer.Record(obs.Span{
-				Job:        obs.JobID(ctx),
-				Name:       "sweep.level",
-				Start:      time.Now().Add(-lr.Elapsed),
-				DurationNS: int64(lr.Elapsed),
-				Attrs:      map[string]string{"k": strconv.Itoa(lr.K)},
-			})
-			e.logger.DebugContext(ctx, "sweep level",
-				"k", lr.K, "after", lr.After, "utility", lr.Utility, "elapsed", lr.Elapsed)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	tp, tu := sp.Tp, sp.Tu
-	if tp == 0 && tu == 0 {
-		var err error
-		if tp, tu, err = core.CalibrateThresholds(levels); err != nil {
-			return nil, err
-		}
-	}
-
-	var dis, utl []float64
-	var cand []int
-	for i := range levels {
-		levels[i].Candidate = levels[i].After >= tp && levels[i].Utility >= tu
-		if levels[i].Candidate {
-			cand = append(cand, i)
-			dis = append(dis, levels[i].After)
-			utl = append(utl, levels[i].Utility)
-		}
-	}
-	if len(cand) == 0 {
-		return nil, core.ErrNoCandidate
-	}
-	h, err := metrics.HSeries(dis, utl, metrics.DefaultHOptions())
-	if err != nil {
-		return nil, err
-	}
-	best, hmax, err := metrics.ArgMax(h)
-	if err != nil {
-		return nil, err
-	}
-	opt := levels[cand[best]]
-	relTable := opt.Release
-	if relTable == nil {
-		// The argmax landed on a seeded (checkpointed) level whose release
-		// table was not persisted. Recompute it: anonymization is
-		// deterministic, so the rebuilt release is byte-identical to the one
-		// the interrupted run would have produced.
-		var err error
-		if relTable, err = release(j.p, anonymizerFor(sp.Scheme), opt.K); err != nil {
-			return nil, err
-		}
-	}
-	return &Result{
-		Table:    relTable,
-		Levels:   summarizeLevels(levels),
-		OptimalK: opt.K,
-		Hmax:     hmax,
-		Tp:       tp,
-		Tu:       tu,
-	}, nil
-}
+// runFREDSweep lives in sweepjob.go: the classic range walk with cross-job
+// warm-starting, and the adaptive planner path behind it.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -57,6 +58,24 @@ type Spec struct {
 	// MinK and MaxK bound a fred-sweep (defaults 2 and 16).
 	MinK int `json:"min_k,omitempty"`
 	MaxK int `json:"max_k,omitempty"`
+	// KSet, when non-empty, replaces the MinK..MaxK range with an explicit
+	// level set (sorted and deduplicated; every entry ≥ 2, at least two
+	// entries). Mutually exclusive with Stride. fred-sweep only; implies the
+	// adaptive planner.
+	KSet []int `json:"k_set,omitempty"`
+	// Stride > 1 thins the MinK..MaxK range to every stride-th level.
+	// fred-sweep only; implies the adaptive planner.
+	Stride int `json:"stride,omitempty"`
+	// BudgetMS > 0 bounds the sweep's wall clock: the planner orders levels
+	// by expected information gain and stops at the deadline, finishing the
+	// job with the best series obtainable in the budget and Result.Partial
+	// set. fred-sweep only; implies the adaptive planner.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// Adaptive opts a plain range sweep into the planner: with explicit
+	// thresholds the Tu crossing is bisected instead of walking every level
+	// (the decision is bit-identical — see internal/core/planner). KSet,
+	// Stride and BudgetMS imply it.
+	Adaptive bool `json:"adaptive,omitempty"`
 	// Tp and Tu are the FRED thresholds; both zero auto-calibrates from
 	// the sweep the way the paper did from experimental observations.
 	Tp float64 `json:"tp,omitempty"`
@@ -74,6 +93,21 @@ func (sp Spec) withDefaults() Spec {
 		sp.Scheme = "mdav"
 	}
 	if sp.Type == JobFREDSweep {
+		if len(sp.KSet) > 0 {
+			// An explicit set replaces the range; canonicalize it (and let
+			// the range bounds mirror it) so equivalent submissions share a
+			// cache key.
+			set := append([]int(nil), sp.KSet...)
+			sort.Ints(set)
+			dst := set[:1]
+			for _, k := range set[1:] {
+				if k != dst[len(dst)-1] {
+					dst = append(dst, k)
+				}
+			}
+			sp.KSet = dst
+			sp.MinK, sp.MaxK = dst[0], dst[len(dst)-1]
+		}
 		if sp.MinK == 0 {
 			sp.MinK = 2
 		}
@@ -82,6 +116,12 @@ func (sp Spec) withDefaults() Spec {
 		}
 	}
 	return sp
+}
+
+// adaptive reports whether the spec routes through the planner: an explicit
+// opt-in, or any selection the classic range walk cannot express.
+func (sp Spec) adaptive() bool {
+	return sp.Adaptive || len(sp.KSet) > 0 || sp.Stride > 1 || sp.BudgetMS > 0
 }
 
 // validate checks everything that does not need the referenced tables.
@@ -111,6 +151,28 @@ func (sp Spec) validate() error {
 		if sp.MinK < 2 || sp.MaxK < sp.MinK {
 			return fmt.Errorf("service: invalid sweep range [%d, %d]", sp.MinK, sp.MaxK)
 		}
+		if len(sp.KSet) > 0 {
+			if sp.Stride > 1 {
+				return fmt.Errorf("service: k_set and stride are mutually exclusive")
+			}
+			if len(sp.KSet) < 2 {
+				return fmt.Errorf("service: k_set needs at least 2 levels, got %d", len(sp.KSet))
+			}
+			for _, k := range sp.KSet {
+				if k < 2 {
+					return fmt.Errorf("service: k_set level %d below the minimal k = 2", k)
+				}
+			}
+		}
+		if sp.Stride < 0 {
+			return fmt.Errorf("service: negative stride %d", sp.Stride)
+		}
+		if sp.BudgetMS < 0 {
+			return fmt.Errorf("service: negative budget_ms %d", sp.BudgetMS)
+		}
+	}
+	if sp.Type != JobFREDSweep && (len(sp.KSet) > 0 || sp.Stride != 0 || sp.BudgetMS != 0 || sp.Adaptive) {
+		return fmt.Errorf("service: k_set/stride/budget_ms/adaptive apply to %s jobs only", JobFREDSweep)
 	}
 	if sp.Type != JobAnonymize && sp.SensitiveHi <= sp.SensitiveLo {
 		return fmt.Errorf("service: %s job needs a sensitive range (sensitive_lo < sensitive_hi)", sp.Type)
@@ -122,9 +184,25 @@ func (sp Spec) validate() error {
 // tables. Two submissions with byte-identical tables and an equivalent spec
 // share a key — the "repeated FRED sweeps served from cache" contract.
 func (sp Spec) cacheKey(pHash, auxHash string) string {
-	return fmt.Sprintf("%s|%s|%s|%s|k%d|%d-%d|tp%g|tu%g|%g-%g",
+	key := fmt.Sprintf("%s|%s|%s|%s|k%d|%d-%d|tp%g|tu%g|%g-%g",
 		sp.Type, pHash, auxHash, sp.Scheme, sp.K, sp.MinK, sp.MaxK, sp.Tp, sp.Tu,
 		sp.SensitiveLo, sp.SensitiveHi)
+	if sp.adaptive() {
+		// Adaptive selections extend the key only when present, so every
+		// pre-existing classic spec keeps its key (and its cache entries).
+		key += fmt.Sprintf("|set%v|s%d|b%d", sp.KSet, sp.Stride, sp.BudgetMS)
+	}
+	return key
+}
+
+// levelKey identifies the per-table level series the cross-job warm-start
+// index is keyed by: everything that determines a level's numbers — the
+// table contents, the adversary's table, the scheme and the sensitive range
+// — and nothing that merely selects levels (range, set, stride, thresholds,
+// budget). Two sweeps of the same table agreeing on this key may exchange
+// computed levels verbatim.
+func (sp Spec) levelKey(pHash, auxHash string) string {
+	return fmt.Sprintf("%s|%s|%s|%g-%g", pHash, auxHash, sp.Scheme, sp.SensitiveLo, sp.SensitiveHi)
 }
 
 // Status is the externally visible state of a job. It is a value snapshot —
@@ -183,6 +261,12 @@ type Result struct {
 	// Tp and Tu echo the thresholds used (auto-calibrated when the spec
 	// left them zero).
 	Tp, Tu float64
+	// Evaluated counts the levels this job actually computed — excluding
+	// warm-started and planner-skipped levels — for fred-sweep jobs.
+	Evaluated int
+	// Partial reports a budget-bound sweep that hit its deadline: Levels is
+	// the best series obtainable in the budget, not the full request.
+	Partial bool
 	// Before and After are the pre/post-fusion dissimilarities for attack
 	// jobs.
 	Before, After float64
@@ -204,8 +288,12 @@ func (r *Result) summarize(t JobType) map[string]float64 {
 		m["optimal_k"] = float64(r.OptimalK)
 		m["h_max"] = r.Hmax
 		m["levels"] = float64(len(r.Levels))
+		m["levels_evaluated"] = float64(r.Evaluated)
 		m["tp"] = r.Tp
 		m["tu"] = r.Tu
+		if r.Partial {
+			m["partial"] = 1
+		}
 	case JobAssess:
 		m["breach10"] = r.Assessment.Breach10
 		m["breach20"] = r.Assessment.Breach20

@@ -21,6 +21,11 @@ type engineMetrics struct {
 	cacheHits      *obs.CounterVec // tenant
 	cacheMisses    *obs.CounterVec // tenant
 	cacheEvictions *obs.CounterVec // tenant
+
+	plannerEvaluated *obs.CounterVec // tenant
+	plannerWarm      *obs.CounterVec // tenant
+	plannerSkipped   *obs.CounterVec // tenant, reason
+	plannerFallbacks *obs.CounterVec // tenant
 }
 
 // newEngineMetrics registers the engine's metric families on r (nil r is a
@@ -43,6 +48,14 @@ func newEngineMetrics(r *obs.Registry, e *Engine) *engineMetrics {
 			"Result-cache misses at Submit.", "tenant"),
 		cacheEvictions: r.Counter("cache_evictions_total",
 			"Result-cache evictions (capacity or tenant share).", "tenant"),
+		plannerEvaluated: r.Counter("planner_levels_evaluated_total",
+			"Sweep levels actually computed by fred-sweep jobs.", "tenant"),
+		plannerWarm: r.Counter("planner_warmstart_levels_total",
+			"Sweep levels seeded from the cross-job level index instead of recomputed.", "tenant"),
+		plannerSkipped: r.Counter("planner_levels_skipped_total",
+			"Sweep levels the planner proved unnecessary (reason: bisection, deadline, infeasible).", "tenant", "reason"),
+		plannerFallbacks: r.Counter("planner_fallbacks_total",
+			"Adaptive sweeps that fell back to the exhaustive walk on a detected non-monotone utility series.", "tenant"),
 	}
 	if r != nil && e != nil {
 		r.GaugeFunc("queue_depth",

@@ -53,6 +53,13 @@ func (e *Engine) Recover() ([]RecoveredJob, error) {
 	var maxSeq uint64
 	var maxJobSeq int
 	err := e.opts.JobLog.ReplayWAL(func(rec WALRecord) error {
+		if rec.Ver > walSpecVersion {
+			// A log written by a newer build: its spec vocabulary may carry
+			// fields this build would silently drop, turning a resumed job
+			// into a different job. Refuse loudly.
+			return fmt.Errorf("record %d has spec version %d, this build understands ≤ %d",
+				rec.Seq, rec.Ver, walSpecVersion)
+		}
 		if rec.Seq > maxSeq {
 			maxSeq = rec.Seq
 		}
@@ -241,6 +248,8 @@ func (e *Engine) rebuildTerminal(rj *replayedJob) *job {
 			Hmax:       rj.result.Hmax,
 			Tp:         rj.result.Tp,
 			Tu:         rj.result.Tu,
+			Evaluated:  rj.result.Evaluated,
+			Partial:    rj.result.Partial,
 			Before:     rj.result.Before,
 			After:      rj.result.After,
 			Assessment: rj.result.Assessment,
@@ -276,6 +285,7 @@ func eventsFromCheckpoints(rj *replayedJob) []Event {
 			Level:       rec.Level,
 			Calibration: rec.Calibration,
 			Progress:    rec.Progress,
+			Source:      rec.Source,
 		})
 	}
 	return evs
@@ -289,7 +299,7 @@ func (e *Engine) reseedCache(j *job, res *Result) {
 	if res.Table == nil && j.status.Type != JobAssess {
 		return // incomplete rebuild (missing blob): don't serve it from cache
 	}
-	_, _, key, err := e.resolveInputs(j.status.Tenant, j.spec)
+	_, _, key, _, err := e.resolveInputs(j.status.Tenant, j.spec)
 	if err != nil {
 		return
 	}
@@ -313,7 +323,10 @@ func (e *Engine) rebuildInterrupted(rj *replayedJob) *job {
 		done:   make(chan struct{}),
 		notify: make(chan struct{}),
 	}
-	if rj.spec.Type == JobFREDSweep && len(rj.levels) > 0 {
+	// Adaptive sweeps re-plan from scratch: their checkpoints arrive in
+	// evaluation order (probes jump), which the StartK resume machinery
+	// cannot splice, and a re-run warm-starts from the level index anyway.
+	if rj.spec.Type == JobFREDSweep && len(rj.levels) > 0 && !rj.spec.adaptive() {
 		seed := make([]LevelSummary, 0, len(rj.levels))
 		for _, rec := range rj.levels {
 			if rec.Level != nil {
@@ -351,12 +364,12 @@ func (e *Engine) rebuildInterrupted(rj *replayedJob) *job {
 // job whose inputs cannot be resolved (table deleted before the crash, or
 // queue overflow) finalizes as failed instead of blocking recovery.
 func (e *Engine) resubmit(j *job) {
-	p, aux, key, err := e.resolveInputs(j.status.Tenant, j.spec)
+	p, aux, key, levelKey, err := e.resolveInputs(j.status.Tenant, j.spec)
 	if err != nil {
 		e.finalize(j, nil, fmt.Errorf("resume: %w", err))
 		return
 	}
-	j.p, j.aux, j.key = p, aux, key
+	j.p, j.aux, j.key, j.levelKey = p, aux, key, levelKey
 	select {
 	case e.queue <- j:
 	default:

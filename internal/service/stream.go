@@ -10,12 +10,27 @@ type EventType string
 // The event types. A job's stream is zero or more level events followed by
 // exactly one status event carrying the terminal snapshot.
 const (
-	// EventLevel reports one completed sweep level, in ascending k order.
+	// EventLevel reports one completed sweep level — ascending k order for
+	// classic range sweeps; evaluation order (probes jump) for adaptive
+	// jobs, each level tagged with its Source.
 	EventLevel EventType = "level"
+	// EventSkip reports a contiguous run of requested levels an adaptive
+	// sweep decided not to evaluate, with the reason (bisection, deadline,
+	// infeasible). Skip events have no durable identity (seq 0) and are
+	// always replayed.
+	EventSkip EventType = "skip"
 	// EventStatus carries the terminal status snapshot and always closes the
 	// stream.
 	EventStatus EventType = "status"
 )
+
+// Skip is the payload of an EventSkip: the inclusive level range and why the
+// planner skipped it.
+type Skip struct {
+	FromK  int    `json:"from_k"`
+	ToK    int    `json:"to_k"`
+	Reason string `json:"reason"`
+}
 
 // Calibration carries the running threshold calibration — CalibrateThresholds
 // over the levels streamed so far. It accompanies level events once at least
@@ -42,6 +57,12 @@ type Event struct {
 	// auto-calibration candidacy is decided once the sweep completes and the
 	// terminal result carries the final flags.
 	Level *LevelSummary `json:"level,omitempty"`
+	// Source distinguishes how a level event's numbers were obtained:
+	// "" (computed by this job) or "warm" (seeded from the cross-job level
+	// index).
+	Source string `json:"source,omitempty"`
+	// Skip is the skipped range, set only on skip events.
+	Skip *Skip `json:"skip,omitempty"`
 	// Calibration is the running (Tp, Tu) over the prefix, for level events
 	// with ≥ 3 levels behind them.
 	Calibration *Calibration `json:"calibration,omitempty"`
@@ -162,7 +183,7 @@ func (j *job) replayEvents() []Event {
 // the last in-flight level; the stray WAL checkpoint lands after the
 // terminal record and recovery discards it, so the rebuilt event feed
 // always agrees with Status.Levels).
-func (e *Engine) recordLevel(j *job, ls LevelSummary, cal *Calibration, progress float64) {
+func (e *Engine) recordLevel(j *job, ls LevelSummary, cal *Calibration, progress float64, source string) {
 	lev := ls
 	seq, err := e.appendWAL(&WALRecord{
 		Kind:        WALLevel,
@@ -170,6 +191,7 @@ func (e *Engine) recordLevel(j *job, ls LevelSummary, cal *Calibration, progress
 		Level:       &lev,
 		Calibration: cal,
 		Progress:    progress,
+		Source:      source,
 	})
 	if err != nil {
 		// The checkpoint never became durable, so the event must not carry
@@ -193,6 +215,26 @@ func (e *Engine) recordLevel(j *job, ls LevelSummary, cal *Calibration, progress
 		Level:       &lev,
 		Calibration: cal,
 		Progress:    progress,
+		Source:      source,
+	})
+	j.broadcastLocked()
+}
+
+// recordSkip publishes a planner skip range to subscribers. Skips are not
+// WAL-checkpointed — an adaptive job interrupted by a crash re-plans from
+// scratch anyway (its checkpoints are non-contiguous and recovery discards
+// them) — so the event carries no durable sequence number and is always
+// replayed to reconnecting subscribers.
+func (e *Engine) recordSkip(j *job, sk Skip) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State.Terminal() {
+		return
+	}
+	j.events = append(j.events, Event{
+		Type: EventSkip,
+		Job:  j.status.ID,
+		Skip: &sk,
 	})
 	j.broadcastLocked()
 }

@@ -1,0 +1,338 @@
+package service
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/planner"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// This file is the fred-sweep job executor: the classic exhaustive range
+// walk (runFREDSweep) and the adaptive planner path (runAdaptiveSweep) a
+// spec opts into with adaptive/k_set/stride/budget_ms. Both warm-start from
+// the engine's cross-job level index, publish per-level events and trace
+// spans, and end in core.DecideWithin — so their decisions are bit-identical
+// for the same series.
+//
+// The selection deliberately differs from core.Run/Decide: the service
+// sweeps the full requested selection (the client asked for — and receives
+// — the whole series) and filters candidacy by BOTH thresholds, where
+// Algorithm 1 truncates the sweep at the first level below Tu and filters
+// by Tp alone. On a non-monotone utility series the two can admit different
+// candidate sets.
+
+// sweepEmitter funnels every level entering a sweep job's series — computed,
+// warm-started or resume-seeded — through one bookkeeping path: the series,
+// the WAL checkpoint, the event stream, metrics and traces.
+type sweepEmitter struct {
+	e        *Engine
+	j        *job
+	ctx      context.Context
+	tenant   string
+	explicit bool
+	tp, tu   float64
+	total    int
+	// calibrate enables the running-calibration payload on level events;
+	// the classic path emits ascending series where the running calibration
+	// is meaningful, the adaptive path does not.
+	calibrate bool
+
+	levels []core.LevelResult
+}
+
+// emit records one level. source is "" for computed levels, "warm" for
+// level-index seeds.
+func (se *sweepEmitter) emit(lr core.LevelResult, source string) {
+	se.levels = append(se.levels, lr)
+	ls := summarizeLevel(lr)
+	ls.Candidate = se.explicit && lr.After >= se.tp && lr.Utility >= se.tu
+	var cal *Calibration
+	if se.calibrate {
+		if tp, tu, err := core.CalibrateThresholds(se.levels); err == nil {
+			cal = &Calibration{Tp: tp, Tu: tu}
+		}
+	}
+	se.e.recordLevel(se.j, ls, cal, 0.95*float64(len(se.levels))/float64(se.total), source)
+	if source == "warm" {
+		se.e.metrics.plannerWarm.With(se.tenant).Inc()
+		se.e.logger.DebugContext(se.ctx, "sweep level warm-started",
+			"k", lr.K, "after", lr.After, "utility", lr.Utility)
+		return
+	}
+	se.e.metrics.plannerEvaluated.With(se.tenant).Inc()
+	// One trace span per computed level, timed where the work ran (core
+	// measures lr.Elapsed inside RunLevel), so concurrent sweeps report true
+	// per-level cost rather than emission gaps.
+	se.e.tracer.Record(obs.Span{
+		Job:        obs.JobID(se.ctx),
+		Name:       "sweep.level",
+		Start:      time.Now().Add(-lr.Elapsed),
+		DurationNS: int64(lr.Elapsed),
+		Attrs:      map[string]string{"k": strconv.Itoa(lr.K)},
+	})
+	se.e.logger.DebugContext(se.ctx, "sweep level",
+		"k", lr.K, "after", lr.After, "utility", lr.Utility, "elapsed", lr.Elapsed)
+}
+
+// finishSweep is the shared decision tail: resolve thresholds, decide over
+// the (ascending) series with the band selection, rebuild the optimal
+// release if the argmax landed on a level without one (warm or
+// resume-seeded), and index the series for future warm starts.
+func (e *Engine) finishSweep(j *job, levels []core.LevelResult, tp, tu float64, evaluated int, partial bool) (*Result, error) {
+	if tp == 0 && tu == 0 {
+		var err error
+		if tp, tu, err = core.CalibrateThresholds(levels); err != nil {
+			return nil, err
+		}
+	}
+	res, err := core.DecideWithin(levels, tp, tu, metrics.DefaultHOptions())
+	if err != nil {
+		return nil, err
+	}
+	relTable := res.Optimal
+	if relTable == nil {
+		// The argmax landed on a level whose release table was never
+		// materialized in this run (warm-started, or seeded from a crash
+		// checkpoint). Recompute it: anonymization is deterministic, so the
+		// rebuilt release is byte-identical to the original.
+		if relTable, err = release(j.p, anonymizerFor(j.spec.Scheme), res.OptimalK); err != nil {
+			return nil, err
+		}
+	}
+	e.levels.Put(j.levelKey, levels)
+	return &Result{
+		Table:     relTable,
+		Levels:    summarizeLevels(res.Levels),
+		OptimalK:  res.OptimalK,
+		Hmax:      res.Hmax,
+		Tp:        tp,
+		Tu:        tu,
+		Evaluated: evaluated,
+		Partial:   partial,
+	}, nil
+}
+
+// runFREDSweep is Algorithm 1 as a service job: the level sweep runs through
+// core.SweepStream on SweepWorkers workers, so levels arrive in k order as
+// they complete. Each completed level advances progress, is stored on the
+// running job as a partial result, and is published to Engine.Stream
+// subscribers together with the running threshold calibration over the
+// prefix. Cancellation interrupts the sweep between levels. Levels an
+// earlier sweep of the same (table, adversary, scheme, range) already
+// computed are adopted from the level index — held out of the stream and
+// interleaved into the emission at their k position — so an overlapping
+// re-sweep computes only the gap. Specs with adaptive selections route to
+// the planner instead.
+func (e *Engine) runFREDSweep(ctx context.Context, j *job) (*Result, error) {
+	if j.spec.adaptive() {
+		return e.runAdaptiveSweep(ctx, j)
+	}
+	sp := j.spec
+	total := sp.MaxK - sp.MinK + 1
+	se := &sweepEmitter{
+		e: e, j: j, ctx: ctx, tenant: j.snapshot().Tenant,
+		// With explicit thresholds, per-level candidacy is decidable as
+		// levels stream; under auto-calibration it is settled only after
+		// the sweep.
+		explicit: sp.Tp != 0 || sp.Tu != 0, tp: sp.Tp, tu: sp.Tu,
+		total: total, calibrate: true,
+		levels: make([]core.LevelResult, 0, total),
+	}
+
+	// A recovered job seeds the series with its checkpointed levels and
+	// resumes the stream at startK; the level numbers round-tripped the WAL
+	// losslessly, so the final series is bit-identical to an uninterrupted
+	// run. Seeded levels carry no Release/Phat tables — recomputed on demand
+	// in finishSweep. Resume and warm-start are mutually exclusive: the
+	// checkpointed prefix already covers the warm levels' k range or the
+	// contiguity check would have discarded it.
+	startK := 0
+	var warm map[int]core.LevelResult
+	if j.resume != nil {
+		for _, ls := range j.resume.levels {
+			se.levels = append(se.levels, core.LevelResult{
+				K: ls.K, Before: ls.Before, After: ls.After,
+				Gain: ls.Gain, Utility: ls.Utility, Candidate: ls.Candidate,
+			})
+		}
+		startK = j.resume.startK
+	} else {
+		warm = e.levels.Get(j.levelKey, rangeKs(sp.MinK, sp.MaxK))
+	}
+	warmKs := make([]int, 0, len(warm))
+	for k := range warm {
+		warmKs = append(warmKs, k)
+	}
+	sort.Ints(warmKs)
+	held := make(map[int]bool, len(warm))
+	for k := range warm {
+		held[k] = true
+	}
+	// flushWarmBelow interleaves warm levels into the ascending emission:
+	// every warm level below k enters the series before k does. k < 0
+	// flushes the rest.
+	flushWarmBelow := func(k int) {
+		for len(warmKs) > 0 && (k < 0 || warmKs[0] < k) {
+			se.emit(warm[warmKs[0]], "warm")
+			warmKs = warmKs[1:]
+		}
+	}
+
+	evaluated := 0
+	if startK <= sp.MaxK {
+		err := core.SweepStream(ctx, j.p, core.StreamConfig{
+			Anonymizer:      anonymizerFor(sp.Scheme),
+			Attack:          sp.attackConfig(j.aux),
+			MinK:            sp.MinK,
+			MaxK:            sp.MaxK,
+			StartK:          startK,
+			Held:            held,
+			Workers:         e.opts.SweepWorkers,
+			MinParallelRows: core.MinParallelSweepRows,
+		}, func(lr core.LevelResult) error {
+			flushWarmBelow(lr.K)
+			se.emit(lr, "")
+			evaluated++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	flushWarmBelow(-1)
+
+	return e.finishSweep(j, se.levels, sp.Tp, sp.Tu, evaluated, false)
+}
+
+// rangeKs expands [lo, hi] into the explicit ascending level list the level
+// index and the planner consume.
+func rangeKs(lo, hi int) []int {
+	ks := make([]int, 0, hi-lo+1)
+	for k := lo; k <= hi; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// runAdaptiveSweep executes a fred-sweep through the planner: k-sets and
+// strides expand to an explicit level list, cached levels of the same table
+// warm-start the run, explicit thresholds enable bisection of the Tu
+// crossing, and a wall-clock budget stops evaluation at the deadline with a
+// well-defined partial result. Level events arrive in evaluation order
+// (probes jump around the range), each tagged with its source; skipped
+// ranges are published as skip events, and the plan's accounting lands in
+// the job trace ("planner.plan", "planner.warmstart", "planner.skip").
+func (e *Engine) runAdaptiveSweep(ctx context.Context, j *job) (*Result, error) {
+	sp := j.spec
+	tenant := j.snapshot().Tenant
+	ks, err := planner.Expand(sp.MinK, sp.MaxK, sp.Stride, sp.KSet)
+	if err != nil {
+		return nil, err
+	}
+	warm := e.levels.Get(j.levelKey, ks)
+	held := make(map[int]core.LevelResult, len(warm))
+	for k, lr := range warm {
+		held[k] = lr
+	}
+	se := &sweepEmitter{
+		e: e, j: j, ctx: ctx, tenant: tenant,
+		explicit: sp.Tp != 0 || sp.Tu != 0, tp: sp.Tp, tu: sp.Tu,
+		total: len(ks),
+	}
+	var warmSeen []int
+	cfg := planner.Config{
+		Anonymizer:      anonymizerFor(sp.Scheme),
+		Attack:          sp.attackConfig(j.aux),
+		Levels:          ks,
+		Tp:              sp.Tp,
+		Tu:              sp.Tu,
+		Workers:         e.opts.SweepWorkers,
+		MinParallelRows: core.MinParallelSweepRows,
+		Held:            held,
+		Hooks: planner.Hooks{
+			Level: func(lr core.LevelResult, warmLevel bool) {
+				source := ""
+				if warmLevel {
+					source = "warm"
+					warmSeen = append(warmSeen, lr.K)
+				}
+				se.emit(lr, source)
+			},
+			Fallback: func(reason string) {
+				e.metrics.plannerFallbacks.With(tenant).Inc()
+				e.logger.InfoContext(ctx, "planner fallback to exhaustive walk", "reason", reason)
+				e.tracer.Record(obs.Span{
+					Job: obs.JobID(ctx), Name: "planner.fallback", Start: time.Now(),
+					Attrs: map[string]string{"reason": reason},
+				})
+			},
+		},
+	}
+	if sp.BudgetMS > 0 {
+		cfg.Deadline = time.Now().Add(time.Duration(sp.BudgetMS) * time.Millisecond)
+	}
+	out, err := planner.Run(ctx, j.p, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Publish the plan's accounting: warm ranges, skip ranges, and the
+	// summary span GET /v1/jobs/{id}/trace surfaces.
+	for _, r := range compressKs(warmSeen) {
+		e.tracer.Record(obs.Span{
+			Job: obs.JobID(ctx), Name: "planner.warmstart", Start: time.Now(),
+			Attrs: map[string]string{"from_k": strconv.Itoa(r[0]), "to_k": strconv.Itoa(r[1])},
+		})
+	}
+	for _, r := range out.SkippedRanges {
+		e.recordSkip(j, Skip{FromK: r.FromK, ToK: r.ToK, Reason: r.Reason})
+		n := 0
+		for _, k := range ks {
+			if k >= r.FromK && k <= r.ToK {
+				n++
+			}
+		}
+		e.metrics.plannerSkipped.With(tenant, r.Reason).Add(float64(n))
+		e.tracer.Record(obs.Span{
+			Job: obs.JobID(ctx), Name: "planner.skip", Start: time.Now(),
+			Attrs: map[string]string{
+				"from_k": strconv.Itoa(r.FromK), "to_k": strconv.Itoa(r.ToK), "reason": r.Reason,
+			},
+		})
+		e.logger.DebugContext(ctx, "planner skipped levels",
+			"from_k", r.FromK, "to_k", r.ToK, "reason", r.Reason)
+	}
+	e.tracer.Record(obs.Span{
+		Job: obs.JobID(ctx), Name: "planner.plan", Start: time.Now(),
+		Attrs: map[string]string{
+			"requested":  strconv.Itoa(out.Requested),
+			"evaluated":  strconv.Itoa(out.Evaluated),
+			"warm":       strconv.Itoa(out.Warm),
+			"skipped":    strconv.Itoa(out.Skipped),
+			"infeasible": strconv.Itoa(out.Infeasible),
+			"fallback":   strconv.FormatBool(out.Fallback),
+			"partial":    strconv.FormatBool(out.Partial),
+		},
+	})
+
+	return e.finishSweep(j, out.Levels, sp.Tp, sp.Tu, out.Evaluated, out.Partial)
+}
+
+// compressKs folds an ascending level list into maximal contiguous
+// [from, to] runs.
+func compressKs(ks []int) [][2]int {
+	var out [][2]int
+	for _, k := range ks {
+		if n := len(out); n > 0 && out[n-1][1] == k-1 {
+			out[n-1][1] = k
+			continue
+		}
+		out = append(out, [2]int{k, k})
+	}
+	return out
+}
