@@ -71,6 +71,13 @@ type benchEntry struct {
 	NsPerOp         int64  `json:"ns_per_op"`
 	AllocsPerOp     int64  `json:"allocs_per_op"`
 	BytesPerOp      int64  `json:"bytes_per_op"`
+	// Per-phase compute time of the final iteration, summed across its
+	// levels: where one sweep's time goes (anonymize vs fuse vs metrics).
+	// With workers > 1 the levels overlap, so the sums may exceed ns_per_op —
+	// they are a work breakdown, not a wall-clock partition.
+	AnonymizeNS int64 `json:"anonymize_ns"`
+	FuseNS      int64 `json:"fuse_ns"`
+	MetricsNS   int64 `json:"metrics_ns"`
 }
 
 // benchCell is one (scheme, cohort size, sweep range, mode) point; the grid
@@ -224,6 +231,7 @@ func benchTu(t *testing.T, sc *Scenario, cell benchCell) float64 {
 func benchOne(t *testing.T, sc *Scenario, cell benchCell, workers int, tu float64) benchEntry {
 	t.Helper()
 	var evaluated int
+	var anonNS, fuseNS, metricsNS int64
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		store := service.NewStore()
@@ -270,6 +278,12 @@ func benchOne(t *testing.T, sc *Scenario, cell benchCell, workers int, tu float6
 			if warm := len(st.Levels) - evaluated; warm > 0 {
 				b.Fatalf("iteration %d warm-started %d levels; the bench must measure full sweeps", i, warm)
 			}
+			anonNS, fuseNS, metricsNS = 0, 0, 0
+			for _, ls := range st.Levels {
+				anonNS += ls.AnonymizeNS
+				fuseNS += ls.FuseNS
+				metricsNS += ls.MetricsNS
+			}
 		}
 	})
 	effective := workers
@@ -290,6 +304,9 @@ func benchOne(t *testing.T, sc *Scenario, cell benchCell, workers int, tu float6
 		NsPerOp:          r.NsPerOp(),
 		AllocsPerOp:      r.AllocsPerOp(),
 		BytesPerOp:       r.AllocedBytesPerOp(),
+		AnonymizeNS:      anonNS,
+		FuseNS:           fuseNS,
+		MetricsNS:        metricsNS,
 	}
 }
 
@@ -358,6 +375,9 @@ func checkBenchJSON() error {
 			}
 			if e.NsPerOp <= 0 || e.GoMaxProcs <= 0 || e.EffectiveWorkers <= 0 || e.LevelsEvaluated <= 0 {
 				return fmt.Errorf("entry %d is degenerate: %+v", i-1, e)
+			}
+			if e.AnonymizeNS <= 0 || e.FuseNS <= 0 || e.MetricsNS <= 0 {
+				return fmt.Errorf("entry %d has an empty phase breakdown: %+v", i-1, e)
 			}
 			if cell.planner {
 				if e.LevelsEvaluated > plannerMaxEvaluated {

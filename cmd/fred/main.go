@@ -9,6 +9,7 @@
 //	     [-tp T] [-tu T] [-mink 2] [-maxk 16] [-scheme mdav|mondrian] \
 //	     [-workers N] [-out optimal.csv] [-literal-loop]
 //	     [-adaptive] [-kset 2,4,8] [-stride N] [-budget 30s]
+//	     [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The sweep streams: levels print as a live table the moment each completes
 // (in k order, even with -workers > 1), so a long sweep on a big cohort
@@ -26,6 +27,11 @@
 // and the decision uses the service's band semantics (both thresholds
 // filter candidacy, no Tu truncation), bit-identical to an exhaustive
 // adaptive run of the same spec.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the heap
+// profile is taken after the sweep, post-GC) for `go tool pprof`. Profiles
+// are flushed only on successful exits — error paths leave at most a
+// truncated file.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -69,10 +76,37 @@ func main() {
 	kset := flag.String("kset", "", "comma-separated explicit level set (adaptive; overrides -mink/-maxk)")
 	stride := flag.Int("stride", 0, "evaluate every Nth level of the range (adaptive)")
 	budget := flag.Duration("budget", 0, "wall-clock budget: stop at the deadline with the best partial release (adaptive)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
 	flag.Parse()
 	if *pPath == "" || *hi <= *lo {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 
 	p, err := readCSV(*pPath)

@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fusion"
 	"repro/internal/microagg"
 	"repro/internal/mondrian"
 	"repro/internal/parallel"
@@ -125,6 +127,82 @@ func TestSweepSeriesDeterminism(t *testing.T) {
 						t.Fatalf("%s seed=%d workers=%d: level k=%d diverged from sequential bits",
 							scheme.name, seed, workers, want[i].K)
 					}
+				}
+			}
+		}
+	}
+}
+
+// legacyOnly hides an estimator's batch face: embedding only the Estimator
+// interface strips EstimateBatch, so fusion falls back to the row-at-a-time
+// path. It turns any built-in estimator into its own reference
+// implementation.
+type legacyOnly struct{ fusion.Estimator }
+
+// TestEstimatorSweepDeterminism pins the estimator axis of the batch attack
+// plane: for every built-in estimator family, a sweep through the batch
+// kernels at workers 1, 2 and 8 must be IEEE-754 bit-equal to the same sweep
+// through the legacy row-at-a-time fusion path.
+func TestEstimatorSweepDeterminism(t *testing.T) {
+	sc, err := UniversityScenario(ScenarioOptions{Seed: 13, N: 120, DirectAux: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibration for the supervised estimators: the fusion features of the
+	// un-anonymized release against Q, labelled with the true salaries — the
+	// adversary's "leaked sample" — trimmed to a small prefix so KNN stays
+	// cheap and the OLS fit stays overdetermined.
+	rel := sc.P.WithSuppressed(sc.P.Schema().IndicesOf(dataset.Sensitive)...)
+	feats, _, err := fusion.Features(rel, sc.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := sc.P.ColumnFloats(sc.P.Schema().MustLookup(sc.SensitiveCol), sc.SensitiveRange.Mid())
+	calib, calibT := feats[:40], targets[:40]
+
+	ests := map[string]func() fusion.Estimator{
+		"fuzzy": func() fusion.Estimator {
+			return &fusion.Fuzzy{Opts: fusion.FuzzyOptions{Domains: sc.FeatureDomains}}
+		},
+		"knn": func() fusion.Estimator {
+			return &fusion.KNN{K: 5, CalibFeatures: calib, CalibTargets: calibT}
+		},
+		"regression": func() fusion.Estimator {
+			return &fusion.Regression{CalibFeatures: calib, CalibTargets: calibT}
+		},
+		"ensemble": func() fusion.Estimator {
+			return &fusion.Ensemble{
+				Members: []fusion.Estimator{
+					fusion.Midpoint{},
+					fusion.Rank{},
+					&fusion.KNN{K: 3, CalibFeatures: calib, CalibTargets: calibT},
+				},
+				Weights: []float64{1, 2, 3},
+			}
+		},
+	}
+	for name, mk := range ests {
+		want, err := sc.Sweep(2, 10, nil, legacyOnly{mk()})
+		if err != nil {
+			t.Fatalf("%s: reference sweep: %v", name, err)
+		}
+		est := mk() // one estimator across worker counts, as a sweep would use it
+		for _, workers := range determinismWorkers {
+			got, err := sc.SweepParallel(2, 10, nil, est, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d levels, reference made %d", name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].K != want[i].K ||
+					math.Float64bits(got[i].Before) != math.Float64bits(want[i].Before) ||
+					math.Float64bits(got[i].After) != math.Float64bits(want[i].After) ||
+					math.Float64bits(got[i].Gain) != math.Float64bits(want[i].Gain) ||
+					math.Float64bits(got[i].Utility) != math.Float64bits(want[i].Utility) {
+					t.Fatalf("%s workers=%d: level k=%d diverged from the row-at-a-time bits",
+						name, workers, want[i].K)
 				}
 			}
 		}

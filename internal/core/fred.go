@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/dataset"
@@ -113,6 +114,12 @@ type LevelResult struct {
 	// per-level cost, not pipeline emission gaps. Purely observational — it
 	// never feeds back into the sweep numerics.
 	Elapsed time.Duration
+	// AnonymizeTime, FuseTime and MetricsTime break Elapsed into its three
+	// phases: anonymization (including the suppressed projection), the
+	// fusion attack with both dissimilarities, and the utility metric.
+	AnonymizeTime time.Duration
+	FuseTime      time.Duration
+	MetricsTime   time.Duration
 }
 
 // Attack simulates the Web-Based Information-Fusion Attack against one
@@ -136,7 +143,8 @@ func Attack(p, release *dataset.Table, atk AttackConfig) (phat *dataset.Table, b
 // build one context per sweep; each level then only pays for the work that
 // actually depends on k. A context is immutable after construction (the
 // worker budget is attached once, before the context is shared) and safe for
-// concurrent use.
+// concurrent use; per-level mutable state lives in pooled levelScratch
+// values, one checked out per level.
 type SweepContext struct {
 	p   *dataset.Table
 	atk AttackConfig
@@ -154,7 +162,31 @@ type SweepContext struct {
 	midVec []float64
 	// aux is the precomputed aux-side half of the fusion features.
 	aux *fusion.AuxFeatures
+	// scratch pools per-level working state (the fusion arena, the grouper,
+	// the comparison vectors) so a sweep's steady-state levels allocate next
+	// to nothing. Each level checks one levelScratch out for its whole
+	// duration, which keeps the context itself free of mutable shared state.
+	scratch sync.Pool
 }
+
+// levelScratch is the reusable working state of one level evaluation: the
+// fusion arena backing the feature matrix, imputation buffers and estimate
+// slices; the grouper behind the discernibility metric; and the release-side
+// comparison vectors of the dissimilarity step.
+type levelScratch struct {
+	arena   fusion.Arena
+	grouper dataset.Grouper
+	relVecs [][]float64
+}
+
+func (sc *SweepContext) getScratch() *levelScratch {
+	if ls, ok := sc.scratch.Get().(*levelScratch); ok {
+		return ls
+	}
+	return &levelScratch{}
+}
+
+func (sc *SweepContext) putScratch(ls *levelScratch) { sc.scratch.Put(ls) }
 
 // NewSweepContext prepares the per-sweep invariants of the fusion attack
 // against p.
@@ -193,6 +225,16 @@ func NewSweepContextParallel(p *dataset.Table, atk AttackConfig, workers int) *S
 // Attack runs the fusion attack of the context's adversary against one
 // release, exactly as the package-level Attack does.
 func (sc *SweepContext) Attack(release *dataset.Table) (phat *dataset.Table, before, after float64, err error) {
+	ls := sc.getScratch()
+	defer sc.putScratch(ls)
+	return sc.attack(release, ls)
+}
+
+// attack is Attack with the level's scratch checked out by the caller. All
+// transient fusion state (feature matrix, imputation buffers, estimates,
+// comparison vectors) comes out of ls.arena, which is reset here — callers
+// must not hold arena-backed slices across attack calls.
+func (sc *SweepContext) attack(release *dataset.Table, ls *levelScratch) (phat *dataset.Table, before, after float64, err error) {
 	p := sc.p
 	if p.NumRows() != release.NumRows() {
 		return nil, 0, 0, fmt.Errorf("core: private data has %d rows, release has %d", p.NumRows(), release.NumRows())
@@ -217,12 +259,17 @@ func (sc *SweepContext) Attack(release *dataset.Table) (phat *dataset.Table, bef
 	if err := fusion.CanFuse(release, sc.atk.SensitiveRange); err != nil {
 		return nil, 0, 0, fmt.Errorf("core: pre-fusion baseline: %w", err)
 	}
-	phat, err = fusion.FuseWith(release, sc.aux, sc.est, sc.atk.SensitiveRange)
+	ls.arena.Reset()
+	phat, err = fusion.FuseWithBatch(release, sc.aux, sc.est, sc.atk.SensitiveRange, sc.budget, &ls.arena)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("core: fusion attack: %w", err)
 	}
 	mid := sc.atk.SensitiveRange.Mid()
-	relVecs := make([][]float64, len(sc.cols))
+	n := p.NumRows()
+	if cap(ls.relVecs) < len(sc.cols) {
+		ls.relVecs = make([][]float64, len(sc.cols))
+	}
+	relVecs := ls.relVecs[:len(sc.cols)]
 	sensPos := -1
 	for j, idx := range relIdx {
 		if release.Schema().Column(idx).Class == dataset.Sensitive {
@@ -231,7 +278,7 @@ func (sc *SweepContext) Attack(release *dataset.Table) (phat *dataset.Table, bef
 			relVecs[j] = sc.midVec
 			sensPos = j
 		} else {
-			relVecs[j] = release.ColumnFloats(idx, mid)
+			relVecs[j] = release.AppendColumnFloats(ls.arena.Floats(n)[:0], idx, mid)
 		}
 	}
 	before, err = metrics.ColumnDissimilarity(sc.pVecs, relVecs, p.NumRows())
@@ -241,7 +288,7 @@ func (sc *SweepContext) Attack(release *dataset.Table) (phat *dataset.Table, bef
 	// P̂ shares every column with the release except the estimated sensitive
 	// one; swap just that vector for the after-fusion comparison.
 	if sensPos >= 0 {
-		relVecs[sensPos] = phat.ColumnFloats(relIdx[sensPos], mid)
+		relVecs[sensPos] = phat.AppendColumnFloats(ls.arena.Floats(n)[:0], relIdx[sensPos], mid)
 	}
 	after, err = metrics.ColumnDissimilarity(sc.pVecs, relVecs, p.NumRows())
 	if err != nil {
@@ -260,24 +307,32 @@ func (sc *SweepContext) RunLevel(anon Anonymizer, k int, tp float64) (LevelResul
 		return LevelResult{}, err
 	}
 	release := anonT.WithSuppressed(anonT.Schema().IndicesOf(dataset.Sensitive)...)
-	phat, before, after, err := sc.Attack(release)
+	anonDone := time.Now()
+	ls := sc.getScratch()
+	defer sc.putScratch(ls)
+	phat, before, after, err := sc.attack(release, ls)
 	if err != nil {
 		return LevelResult{}, err
 	}
-	util, err := metrics.Utility(release, k)
+	fuseDone := time.Now()
+	util, err := metrics.UtilityWith(release, k, &ls.grouper)
 	if err != nil {
 		return LevelResult{}, err
 	}
+	end := time.Now()
 	return LevelResult{
-		K:         k,
-		Release:   release,
-		Phat:      phat,
-		Before:    before,
-		After:     after,
-		Gain:      metrics.InformationGain(before, after),
-		Utility:   util,
-		Candidate: after >= tp,
-		Elapsed:   time.Since(start),
+		K:             k,
+		Release:       release,
+		Phat:          phat,
+		Before:        before,
+		After:         after,
+		Gain:          metrics.InformationGain(before, after),
+		Utility:       util,
+		Candidate:     after >= tp,
+		Elapsed:       end.Sub(start),
+		AnonymizeTime: anonDone.Sub(start),
+		FuseTime:      fuseDone.Sub(anonDone),
+		MetricsTime:   end.Sub(fuseDone),
 	}, nil
 }
 

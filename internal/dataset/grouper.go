@@ -1,0 +1,178 @@
+package dataset
+
+import "math"
+
+// Grouper is the reusable, allocation-free form of Table.GroupBy for hot
+// paths that only need the equivalence-class *structure* — per-row class ids
+// and per-class sizes — not group index lists in lexicographic key order.
+// The discernibility metric recomputes the partition of every release at
+// every sweep level; with GroupBy that is one rendered string key per row
+// per level (the dominant allocation of a whole sweep), while a Grouper
+// reuses its maps and buffers across calls and allocates nothing once warm.
+//
+// Classes assigns ids by refining the partition one column at a time: each
+// row's class is chained with a dense code for its cell in the next column,
+// and the (class, code) pair is renumbered densely in first-occurrence row
+// order. Two rows land in the same class exactly when all their compared
+// cells are equal under GroupBy's rendered-string equality: numeric cells
+// compare by their float bits (NaNs canonicalized, so all NaNs are one cell
+// value, matching their common "NaN" rendering), intervals by (lo, hi) bits
+// plus the interval-ness flag, text cells by dictionary id, and nulls form
+// their own cell value. The one divergence from string keys is text cells
+// containing the \x1f key separator, which could alias across columns in
+// GroupBy; the Grouper always keeps columns independent.
+//
+// Class ids run 0..len(sizes)-1 in order of first appearance. A Grouper is
+// not safe for concurrent use; the returned slices are valid until the next
+// Classes call.
+type Grouper struct {
+	ids   []int32
+	sizes []int32
+	chain map[uint64]int32 // (prev class << 32 | cell code) → refined class
+	cells map[uint64]int32 // cell bit pattern → dense per-column code
+}
+
+// canonBits returns the comparison bits of f: Float64bits with every NaN
+// collapsed to one canonical pattern, mirroring the fact that every NaN
+// renders as the same "NaN" string key.
+func canonBits(f float64) uint64 {
+	if f != f {
+		return 0x7FF8000000000001
+	}
+	return math.Float64bits(f)
+}
+
+// Classes partitions the table's rows by the given columns and returns the
+// per-row class ids plus the per-class sizes. Both slices are owned by the
+// Grouper and reused by the next call.
+func (g *Grouper) Classes(t *Table, cols []int) (ids []int32, sizes []int32) {
+	n := t.nrows
+	if cap(g.ids) < n {
+		g.ids = make([]int32, n)
+	}
+	g.ids = g.ids[:n]
+	for i := range g.ids {
+		g.ids[i] = 0
+	}
+	if g.chain == nil {
+		g.chain = make(map[uint64]int32)
+		g.cells = make(map[uint64]int32)
+	}
+	nClasses := 1
+	if n == 0 {
+		nClasses = 0
+	}
+	for _, ci := range cols {
+		c := t.cols[ci]
+		nClasses = g.refine(c, n)
+		if c.kind == Number && c.spans != nil {
+			nClasses = g.refineSpans(c, n)
+		}
+	}
+	if cap(g.sizes) < nClasses {
+		g.sizes = make([]int32, nClasses)
+	}
+	g.sizes = g.sizes[:nClasses]
+	for i := range g.sizes {
+		g.sizes[i] = 0
+	}
+	for _, id := range g.ids {
+		g.sizes[id]++
+	}
+	return g.ids, g.sizes
+}
+
+// refine chains every row's class with the main word of its cell in column c:
+// the scalar (or interval lower-bound) bits for numbers, the dictionary id
+// for text, a dedicated code for nulls. Interval upper bounds are handled by
+// a second refineSpans pass. Returns the refined class count.
+func (g *Grouper) refine(c *colData, n int) int {
+	clear(g.chain)
+	clear(g.cells)
+	var next, nextClass int32
+	nullCode := int32(-1)
+	for i := 0; i < n; i++ {
+		var code int32
+		switch {
+		case c.nulls.get(i):
+			if nullCode < 0 {
+				nullCode = next
+				next++
+			}
+			code = nullCode
+		case c.kind == Text:
+			// The dictionary id is already a dense per-string code — except
+			// that a literal "*" text cell renders exactly like a null key,
+			// which GroupBy therefore merges with suppressed cells.
+			if c.dict.strs[c.ids[i]] == "*" {
+				if nullCode < 0 {
+					nullCode = next
+					next++
+				}
+				code = nullCode
+				break
+			}
+			w := uint64(uint32(c.ids[i]))
+			cc, ok := g.cells[w]
+			if !ok {
+				cc = next
+				next++
+				g.cells[w] = cc
+			}
+			code = cc
+		default:
+			w := canonBits(c.num[i])
+			cc, ok := g.cells[w]
+			if !ok {
+				cc = next
+				next++
+				g.cells[w] = cc
+			}
+			code = cc
+		}
+		key := uint64(uint32(g.ids[i]))<<32 | uint64(uint32(code))
+		id, ok := g.chain[key]
+		if !ok {
+			id = nextClass
+			nextClass++
+			g.chain[key] = id
+		}
+		g.ids[i] = id
+	}
+	return int(nextClass)
+}
+
+// refineSpans chains interval cells with their upper-bound bits. Code 0 is
+// reserved for every non-interval row (plain numbers, nulls), so a plain
+// number a never merges with the degenerate interval [a-a] — they render as
+// different keys. Null rows count as non-interval whatever their span bit
+// says: a cell overwritten to Null keeps stale buffer bits that must not
+// split the null class.
+func (g *Grouper) refineSpans(c *colData, n int) int {
+	clear(g.chain)
+	clear(g.cells)
+	next := int32(1)
+	var nextClass int32
+	for i := 0; i < n; i++ {
+		var code int32
+		if c.spans.get(i) && !c.nulls.get(i) {
+			w := canonBits(c.hi[i])
+			cc, ok := g.cells[w]
+			if !ok {
+				cc = next
+				next++
+				g.cells[w] = cc
+			}
+			code = cc
+		}
+		key := uint64(uint32(g.ids[i]))<<32 | uint64(uint32(code))
+		id, ok := g.chain[key]
+		if !ok {
+			id = nextClass
+			nextClass++
+			g.chain[key] = id
+		}
+		g.ids[i] = id
+	}
+	return int(nextClass)
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// samePartition checks that the Grouper's (ids, sizes) describe exactly the
+// partition GroupBy computes, up to class numbering.
+func samePartition(t *testing.T, tb *Table, cols []int, ids []int32, sizes []int32) {
+	t.Helper()
+	groups := tb.GroupBy(cols)
+	if len(groups) != len(sizes) {
+		t.Fatalf("grouper found %d classes, GroupBy %d", len(sizes), len(groups))
+	}
+	// Map each GroupBy group to the grouper class of its first row and demand
+	// the mapping is a bijection consistent with every row.
+	toClass := make(map[int]int32)
+	seen := make(map[int32]bool)
+	for gi, rows := range groups {
+		c := ids[rows[0]]
+		if seen[c] {
+			t.Fatalf("grouper class %d matches two GroupBy groups", c)
+		}
+		seen[c] = true
+		toClass[gi] = c
+		if int(sizes[c]) != len(rows) {
+			t.Fatalf("class %d sized %d, GroupBy group has %d rows", c, sizes[c], len(rows))
+		}
+		for _, r := range rows {
+			if ids[r] != c {
+				t.Fatalf("row %d in class %d, groupmates in %d", r, ids[r], c)
+			}
+		}
+	}
+}
+
+func grouperSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "a", Class: QuasiIdentifier, Kind: Number},
+		Column{Name: "b", Class: QuasiIdentifier, Kind: Number},
+		Column{Name: "c", Class: QuasiIdentifier, Kind: Text},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestGrouperMatchesGroupBy drives randomized tables mixing plain numbers,
+// intervals, text, nulls and the tricky renderings (NaN, ±0, degenerate
+// intervals, literal "*" text) through both partitioners.
+func TestGrouperMatchesGroupBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var g Grouper
+	nums := []float64{0, math.Copysign(0, -1), 1, 1.5, math.NaN(), 42}
+	texts := []string{"x", "y", "*", "z"}
+	for trial := 0; trial < 60; trial++ {
+		tb := New(grouperSchema(t))
+		n := 1 + rng.Intn(120)
+		for i := 0; i < n; i++ {
+			row := make([]Value, 3)
+			for j := 0; j < 2; j++ {
+				switch rng.Intn(4) {
+				case 0:
+					row[j] = NullValue()
+				case 1:
+					lo := nums[rng.Intn(len(nums))]
+					row[j] = Span(lo, lo+float64(rng.Intn(2)))
+				default:
+					row[j] = Num(nums[rng.Intn(len(nums))])
+				}
+			}
+			if rng.Intn(5) == 0 {
+				row[2] = NullValue()
+			} else {
+				row[2] = Str(texts[rng.Intn(len(texts))])
+			}
+			if err := tb.AppendRow(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, cols := range [][]int{{0}, {2}, {0, 1}, {0, 1, 2}} {
+			ids, sizes := g.Classes(tb, cols)
+			samePartition(t, tb, cols, ids, sizes)
+		}
+	}
+}
+
+// TestGrouperSuppressedColumn covers the allNullCol storage (nil buffers).
+func TestGrouperSuppressedColumn(t *testing.T) {
+	tb := New(grouperSchema(t))
+	tb.MustAppendRow(Num(1), Num(2), Str("x"))
+	tb.MustAppendRow(Num(1), Num(3), Str("y"))
+	tb.SuppressColumn(0)
+	var g Grouper
+	ids, sizes := g.Classes(tb, []int{0})
+	if len(sizes) != 1 || sizes[0] != 2 || ids[0] != ids[1] {
+		t.Fatalf("suppressed column should form one class, got ids=%v sizes=%v", ids, sizes)
+	}
+	samePartition(t, tb, []int{0}, ids, sizes)
+}
+
+// TestGrouperReuse proves warm calls reuse the returned buffers.
+func TestGrouperReuse(t *testing.T) {
+	tb := New(grouperSchema(t))
+	for i := 0; i < 512; i++ {
+		tb.MustAppendRow(Num(float64(i%7)), Num(float64(i%3)), Str("t"))
+	}
+	var g Grouper
+	cols := []int{0, 1}
+	g.Classes(tb, cols) // warm-up
+	allocs := testing.AllocsPerRun(20, func() {
+		g.Classes(tb, cols)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Classes allocates %g times per run, want 0", allocs)
+	}
+}

@@ -226,6 +226,16 @@ func (t *Table) FloatColumn(col int) (vals []float64, present []bool) {
 	return vals, present
 }
 
+// FloatColumnInto fills vals and present (each of length NumRows) with the
+// numeric reading and presence of every cell — FloatColumn into caller-owned
+// buffers, for arena-backed feature assembly.
+func (t *Table) FloatColumnInto(col int, vals []float64, present []bool) {
+	c := t.cols[col]
+	for i := 0; i < t.nrows; i++ {
+		vals[i], present[i] = c.float(i)
+	}
+}
+
 // ColumnStrings extracts a text column; non-text cells yield "".
 func (t *Table) ColumnStrings(col int) []string {
 	out := make([]string, t.nrows)

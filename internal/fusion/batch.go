@@ -1,0 +1,331 @@
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// This file holds the BatchEstimator faces of the baseline estimators. Each
+// EstimateBatch consumes the flat row-major Matrix directly, runs its row
+// loop chunk-parallel under the sweep's worker budget, and writes the exact
+// bits its Estimate counterpart returns (the estimator-axis determinism
+// suite pins this): per-row results depend only on the row, and chunked
+// reductions are avoided entirely — so worker count can never change output.
+
+// Chunk grains: rows of heavy per-row work (a full calibration scan, a
+// Mamdani defuzzification) parallelize at the parallel.For floor; cheap
+// streaming passes use large chunks so bookkeeping stays negligible.
+const (
+	heavyRowGrain = 256
+	lightRowGrain = 8192
+)
+
+// EstimateBatch implements BatchEstimator: the no-fusion estimate for every
+// row.
+func (Midpoint) EstimateBatch(m Matrix, out Range, _ *parallel.Budget, _ *Arena, est []float64) error {
+	if !out.valid() {
+		return fmt.Errorf("fusion: empty range")
+	}
+	mid := out.Mid()
+	for i := range est {
+		est[i] = mid
+	}
+	return nil
+}
+
+// EstimateBatch implements BatchEstimator. The per-record score accumulates
+// normalized features in column order exactly as Estimate does — the batch
+// form only swaps the loop nesting (rows outer), which leaves every
+// score's addition sequence unchanged — and the final sort uses the same
+// (score, index) total order, so the permutation and the estimates are
+// bit-identical.
+func (Rank) EstimateBatch(m Matrix, out Range, b *parallel.Budget, a *Arena, est []float64) error {
+	if !out.valid() {
+		return fmt.Errorf("fusion: empty range")
+	}
+	n := m.Rows
+	if n == 0 {
+		return errors.New("fusion: rank estimator needs at least one record")
+	}
+	d := m.Stride
+	// Per-column affine parameters of stats.Normalize, computed with its
+	// comparison order. A degenerate column normalizes to all zeros; adding
+	// +0 to a score never changes its bits (scores are sums of non-negative
+	// terms, so never −0), so those columns are skipped.
+	lows := a.Floats(d)
+	highs := a.Floats(d)
+	for j := 0; j < d; j++ {
+		lo, hi := m.Flat[j], m.Flat[j]
+		for i := 1; i < n; i++ {
+			x := m.Flat[i*d+j]
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		lows[j], highs[j] = lo, hi
+	}
+	scores := a.Floats(n)
+	fd := float64(d)
+	b.For(n, lightRowGrain, func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			row := m.Flat[i*d : (i+1)*d]
+			var s float64
+			for j, x := range row {
+				if highs[j] == lows[j] {
+					continue
+				}
+				s += ((x - lows[j]) / (highs[j] - lows[j])) / fd
+			}
+			scores[i] = s
+		}
+	})
+	order := a.Ints(n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		return scores[i] < scores[j] || (scores[i] == scores[j] && i < j)
+	})
+	if n == 1 {
+		est[0] = out.Mid()
+		return nil
+	}
+	span := out.Hi - out.Lo
+	for rank, idx := range order {
+		est[idx] = out.Lo + float64(rank)/float64(n-1)*span
+	}
+	return nil
+}
+
+// EstimateBatch implements BatchEstimator: the OLS fit runs on the (small)
+// calibration set exactly as in Estimate; only the prediction pass is
+// chunk-parallel.
+func (r *Regression) EstimateBatch(m Matrix, out Range, b *parallel.Budget, _ *Arena, est []float64) error {
+	model, err := stats.FitOLS(r.CalibFeatures, r.CalibTargets)
+	if err != nil {
+		return fmt.Errorf("fusion: regression calibration: %w", err)
+	}
+	if len(model.Coef) != m.Stride {
+		return fmt.Errorf("fusion: regression model has %d features, matrix has %d", len(model.Coef), m.Stride)
+	}
+	b.For(m.Rows, lightRowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			est[i] = stats.Clamp(model.Predict(m.Row(i)), out.Lo, out.Hi)
+		}
+	})
+	return nil
+}
+
+// distIdx is a (distance, calibration-index) pair; ordering is lexicographic
+// so ties break deterministically, matching the row-slice path.
+type distIdx struct {
+	d   float64
+	idx int32
+}
+
+func diLess(a, b distIdx) bool {
+	return a.d < b.d || (a.d == b.d && a.idx < b.idx)
+}
+
+func siftUp(h []distIdx) {
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !diLess(h[p], h[i]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDown(h []distIdx) {
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			break
+		}
+		big := l
+		if r := l + 1; r < len(h) && diLess(h[l], h[r]) {
+			big = r
+		}
+		if !diLess(h[i], h[big]) {
+			break
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// sortDistIdx heap-sorts a max-heap into ascending (distance, index) order
+// in place, allocation-free.
+func sortDistIdx(h []distIdx) {
+	for end := len(h) - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		siftDown(h[:end])
+	}
+}
+
+// calibMatrix lazily flattens the calibration features row-major, once per
+// estimator. Mutating CalibFeatures after the first batch call is not
+// supported.
+func (k *KNN) calibMatrix() ([]float64, int, error) {
+	k.calibOnce.Do(func() {
+		if len(k.CalibFeatures) == 0 {
+			return // validated by the caller
+		}
+		k.calibD = len(k.CalibFeatures[0])
+		flat := make([]float64, 0, len(k.CalibFeatures)*k.calibD)
+		for c, cf := range k.CalibFeatures {
+			if len(cf) != k.calibD {
+				k.calibErr = fmt.Errorf("fusion: knn calibration row %d has %d features, row 0 has %d", c, len(cf), k.calibD)
+				return
+			}
+			flat = append(flat, cf...)
+		}
+		k.calibFlat = flat
+	})
+	return k.calibFlat, k.calibD, k.calibErr
+}
+
+// EstimateBatch implements BatchEstimator. Every query row scans the
+// flattened calibration matrix with the exact distance accumulation of the
+// row-slice path, keeps the kk nearest in a bounded max-heap ordered by
+// (distance, index) — the same total order the selection sort uses — and
+// sums their targets in ascending order, so each estimate is bit-identical
+// at any worker count.
+func (k *KNN) EstimateBatch(m Matrix, out Range, b *parallel.Budget, _ *Arena, est []float64) error {
+	if k.K < 1 {
+		return fmt.Errorf("fusion: knn needs K ≥ 1, got %d", k.K)
+	}
+	if len(k.CalibFeatures) != len(k.CalibTargets) || len(k.CalibFeatures) == 0 {
+		return errors.New("fusion: knn calibration features and targets must be non-empty and aligned")
+	}
+	calib, cd, err := k.calibMatrix()
+	if err != nil {
+		return err
+	}
+	if cd != m.Stride {
+		return fmt.Errorf("fusion: knn calibration rows have %d features, query has %d", cd, m.Stride)
+	}
+	kk := k.K
+	if kk > len(k.CalibTargets) {
+		kk = len(k.CalibTargets)
+	}
+	nc := len(k.CalibTargets)
+	fkk := float64(kk)
+	b.For(m.Rows, heavyRowGrain, func(lo, hi int) {
+		hp, _ := k.heapPool.Get().(*[]distIdx)
+		if hp == nil || cap(*hp) < kk {
+			s := make([]distIdx, 0, kk)
+			hp = &s
+		}
+		for i := lo; i < hi; i++ {
+			row := m.Flat[i*cd : (i+1)*cd]
+			h := (*hp)[:0]
+			for c := 0; c < nc; c++ {
+				cf := calib[c*cd : (c+1)*cd]
+				var dist float64
+				for j, fv := range row {
+					diff := fv - cf[j]
+					dist += diff * diff
+				}
+				cand := distIdx{dist, int32(c)}
+				if len(h) < kk {
+					h = append(h, cand)
+					siftUp(h)
+				} else if diLess(cand, h[0]) {
+					h[0] = cand
+					siftDown(h)
+				}
+			}
+			sortDistIdx(h)
+			var sum float64
+			for _, di := range h {
+				sum += k.CalibTargets[di.idx]
+			}
+			est[i] = stats.Clamp(sum/fkk, out.Lo, out.Hi)
+		}
+		k.heapPool.Put(hp)
+	})
+	return nil
+}
+
+// EstimateBatch implements BatchEstimator: members estimate in order, each
+// through its own batch face when it has one (sharing the budget and arena)
+// and through the row-slice path otherwise, and the weighted accumulation
+// runs member-outer exactly as in Estimate.
+func (e *Ensemble) EstimateBatch(m Matrix, out Range, b *parallel.Budget, a *Arena, est []float64) error {
+	if len(e.Members) == 0 {
+		return errors.New("fusion: ensemble has no members")
+	}
+	weights := e.Weights
+	if weights == nil {
+		weights = make([]float64, len(e.Members))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(e.Members) {
+		return fmt.Errorf("fusion: ensemble has %d members and %d weights", len(e.Members), len(weights))
+	}
+	var totalW float64
+	for _, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("fusion: negative ensemble weight %g", w)
+		}
+		totalW += w
+	}
+	if totalW == 0 {
+		return errors.New("fusion: ensemble weights sum to zero")
+	}
+	acc := a.Floats(m.Rows)
+	tmp := a.Floats(m.Rows)
+	var rows [][]float64 // lazy row views for members without a batch face
+	for mi, member := range e.Members {
+		sub := tmp
+		if bm, ok := member.(BatchEstimator); ok {
+			if err := bm.EstimateBatch(m, out, b, a, sub); err != nil {
+				return fmt.Errorf("fusion: ensemble member %s: %w", member.Name(), err)
+			}
+		} else {
+			if rows == nil {
+				rows = rowViews(m)
+			}
+			got, err := member.Estimate(rows, out)
+			if err != nil {
+				return fmt.Errorf("fusion: ensemble member %s: %w", member.Name(), err)
+			}
+			if len(got) != m.Rows {
+				return fmt.Errorf("fusion: ensemble member %s returned %d estimates for %d rows", member.Name(), len(got), m.Rows)
+			}
+			sub = got
+		}
+		w := weights[mi]
+		for i, v := range sub {
+			acc[i] += w * v
+		}
+	}
+	for i := range acc {
+		est[i] = stats.Clamp(acc[i]/totalW, out.Lo, out.Hi)
+	}
+	return nil
+}
+
+// Compile-time checks: every built-in estimator offers the batch face.
+var (
+	_ BatchEstimator = Midpoint{}
+	_ BatchEstimator = Rank{}
+	_ BatchEstimator = (*Regression)(nil)
+	_ BatchEstimator = (*KNN)(nil)
+	_ BatchEstimator = (*Ensemble)(nil)
+)

@@ -1,0 +1,328 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fuzzy"
+	"repro/internal/parallel"
+)
+
+// featureFixture builds a release/aux pair with nulls and intervals so both
+// imputation paths get exercised.
+func featureFixture(t *testing.T) (*dataset.Table, *dataset.Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	var relVals, auxVals []dataset.Value
+	for i := 0; i < 300; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			relVals = append(relVals, dataset.NullValue())
+		case 1:
+			lo := float64(rng.Intn(50))
+			relVals = append(relVals, dataset.Span(lo, lo+float64(rng.Intn(10))))
+		default:
+			relVals = append(relVals, dataset.Num(float64(rng.Intn(100))))
+		}
+		if rng.Intn(7) == 0 {
+			auxVals = append(auxVals, dataset.NullValue())
+		} else {
+			auxVals = append(auxVals, dataset.Num(float64(rng.Intn(1000))))
+		}
+	}
+	return releaseTable(t, relVals), auxTable(t, auxVals)
+}
+
+// randMatrix builds a random flat feature matrix plus its row-slice view.
+func randMatrix(rng *rand.Rand, n, d int) (Matrix, [][]float64) {
+	flat := make([]float64, n*d)
+	for i := range flat {
+		flat[i] = math.Round(rng.Float64()*100) / 10 // coarse grid → distance ties
+	}
+	m := Matrix{Flat: flat, Rows: n, Stride: d}
+	return m, rowViews(m)
+}
+
+func sameBits(t *testing.T, tag string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d estimates, want %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: row %d: batch %v != row-slice %v", tag, i, got[i], want[i])
+		}
+	}
+}
+
+// batchBudgets covers the worker axis: inline, and budgets of 2 and 8
+// spare tokens.
+func batchBudgets() []*parallel.Budget {
+	return []*parallel.Budget{nil, parallel.NewBudget(2), parallel.NewBudget(8)}
+}
+
+// TestEstimateBatchMatchesEstimate pins every built-in estimator's batch
+// face to its row-slice Estimate, bit for bit, across worker budgets.
+func TestEstimateBatchMatchesEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	out := Range{Lo: 40, Hi: 160}
+	const n, d = 700, 3
+	m, rows := randMatrix(rng, n, d)
+
+	calibN := 60
+	_, calibRows := randMatrix(rng, calibN, d)
+	targets := make([]float64, calibN)
+	for i := range targets {
+		targets[i] = out.Lo + rng.Float64()*(out.Hi-out.Lo)
+	}
+
+	ests := []Estimator{
+		Midpoint{},
+		Rank{},
+		&Regression{CalibFeatures: calibRows, CalibTargets: targets},
+		&KNN{K: 5, CalibFeatures: calibRows, CalibTargets: targets},
+		&Fuzzy{},
+		&Fuzzy{Opts: FuzzyOptions{Domains: []Range{{0, 10}, {0, 10}, {0, 10}}}},
+		&Ensemble{Members: []Estimator{
+			Midpoint{},
+			Rank{},
+			&KNN{K: 3, CalibFeatures: calibRows, CalibTargets: targets},
+		}, Weights: []float64{1, 2, 3}},
+	}
+	arena := &Arena{}
+	for _, est := range ests {
+		want, err := est.Estimate(rows, out)
+		if err != nil {
+			t.Fatalf("%s: Estimate: %v", est.Name(), err)
+		}
+		be := est.(BatchEstimator)
+		for bi, b := range batchBudgets() {
+			arena.Reset()
+			got := arena.Floats(n)
+			if err := be.EstimateBatch(m, out, b, arena, got); err != nil {
+				t.Fatalf("%s budget %d: EstimateBatch: %v", est.Name(), bi, err)
+			}
+			sameBits(t, est.Name(), got, want)
+		}
+	}
+}
+
+// TestFISBatchMatchesEstimate covers the hand-authored system adapter in
+// both inference modes, including no-rule-fired rows.
+func TestFISBatchMatchesEstimate(t *testing.T) {
+	build := func(sugeno bool) *FIS {
+		outVar, err := fuzzy.NewVariable("out", 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sugeno {
+			for _, s := range []struct {
+				name string
+				x    float64
+			}{{"low", 10}, {"high", 90}} {
+				if err := outVar.AddTerm(s.name, fuzzy.Singleton{X: s.x}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else if err := outVar.UniformTerms([]string{"low", "high"}); err != nil {
+			t.Fatal(err)
+		}
+		sys, err := fuzzy.NewSystem(outVar, fuzzy.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"f1", "f2"} {
+			v, err := fuzzy.NewVariable(name, 0, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := v.ThreeTerms("low", "med", "high"); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.AddInput(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, r := range []string{
+			// Sparse on purpose: mid-range rows fire nothing.
+			"IF f1 IS low AND f2 IS low THEN out IS low",
+			"IF f1 IS high AND f2 IS high THEN out IS high",
+		} {
+			if err := sys.AddRuleText(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return &FIS{System: sys, FeatureNames: []string{"f1", "f2"}, Sugeno: sugeno}
+	}
+	rng := rand.New(rand.NewSource(5))
+	const n = 400
+	m, rows := randMatrix(rng, n, 2)
+	out := Range{Lo: 0, Hi: 100}
+	arena := &Arena{}
+	for _, sugeno := range []bool{false, true} {
+		f := build(sugeno)
+		want, err := f.Estimate(rows, out)
+		if err != nil {
+			t.Fatalf("sugeno=%v: %v", sugeno, err)
+		}
+		for _, b := range batchBudgets() {
+			arena.Reset()
+			got := arena.Floats(n)
+			if err := f.EstimateBatch(m, out, b, arena, got); err != nil {
+				t.Fatalf("sugeno=%v: %v", sugeno, err)
+			}
+			sameBits(t, f.Name(), got, want)
+		}
+	}
+}
+
+// TestFeaturesMatrixMatchesFeatures pins the flat matrix to the row-slice
+// features: same columns, same imputation, same bits.
+func TestFeaturesMatrixMatchesFeatures(t *testing.T) {
+	release, aux := featureFixture(t)
+	want, wantNames, err := Features(release, aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := &Arena{}
+	for _, b := range batchBudgets() {
+		arena.Reset()
+		m, err := FeaturesMatrixWith(release, PrepareAux(aux), b, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Rows != len(want) || m.Stride != len(wantNames) {
+			t.Fatalf("matrix %dx%d, want %dx%d", m.Rows, m.Stride, len(want), len(wantNames))
+		}
+		for j, name := range wantNames {
+			if m.Names[j] != name {
+				t.Fatalf("feature %d named %q, want %q", j, m.Names[j], name)
+			}
+		}
+		for r := range want {
+			for j := range want[r] {
+				if math.Float64bits(m.Flat[r*m.Stride+j]) != math.Float64bits(want[r][j]) {
+					t.Fatalf("cell (%d,%d): %v != %v", r, j, m.Flat[r*m.Stride+j], want[r][j])
+				}
+			}
+		}
+	}
+}
+
+// TestFuseWithBatchMatchesFuseWith: the full fusion step must produce an
+// identical table on the batch path, and reusing the arena across levels
+// must not corrupt results.
+func TestFuseWithBatchMatchesFuseWith(t *testing.T) {
+	release, aux := featureFixture(t)
+	out := Range{Lo: 40000, Hi: 160000}
+	af := PrepareAux(aux)
+	arena := &Arena{}
+	b := parallel.NewBudget(4)
+	for _, est := range []Estimator{&Fuzzy{}, Rank{}, Midpoint{}} {
+		want, err := FuseWith(release, af, est, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ { // arena reuse across "levels"
+			arena.Reset()
+			got, err := FuseWithBatch(release, af, est, out, b, arena)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%s round %d: batch fusion table differs", est.Name(), round)
+			}
+		}
+	}
+}
+
+// TestArenaReuse: once warm, a fuse step on the arena path must not grow the
+// arena again (the per-level steady state the sweep relies on).
+func TestArenaReuse(t *testing.T) {
+	arena := &Arena{}
+	for round := 0; round < 4; round++ {
+		arena.Reset()
+		a := arena.Floats(100)
+		bb := arena.Bools(50)
+		c := arena.Ints(70)
+		if len(a) != 100 || len(bb) != 50 || len(c) != 70 {
+			t.Fatal("arena returned wrong lengths")
+		}
+		a[99] = 1
+		bb[49] = true
+		c[69] = 7
+	}
+	arena.Reset()
+	allocs := testing.AllocsPerRun(20, func() {
+		arena.Reset()
+		_ = arena.Floats(100)
+		_ = arena.Bools(50)
+		_ = arena.Ints(70)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm arena allocates %g times per run, want 0", allocs)
+	}
+	// Slices are zeroed on every allocation.
+	arena.Reset()
+	if f := arena.Floats(100); f[99] != 0 {
+		t.Fatal("arena floats not zeroed")
+	}
+	if bb := arena.Bools(50); bb[49] {
+		t.Fatal("arena bools not zeroed")
+	}
+	if c := arena.Ints(70); c[69] != 0 {
+		t.Fatal("arena ints not zeroed")
+	}
+}
+
+// TestKNNTieBreak: with exactly tied distances straddling the K boundary,
+// the (distance, index) order must pick the lower calibration indices on
+// both paths.
+func TestKNNTieBreak(t *testing.T) {
+	calib := [][]float64{{1, 0}, {0, 1}, {-1, 0}, {0, -1}} // all at distance 1 from origin
+	targets := []float64{10, 20, 40, 80}
+	k := &KNN{K: 2, CalibFeatures: calib, CalibTargets: targets}
+	query := [][]float64{{0, 0}}
+	want, err := k.Estimate(query, Range{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want[0] != 15 { // neighbours 0 and 1 under (d, idx) order
+		t.Fatalf("row-slice knn picked %v, want 15", want[0])
+	}
+	got := make([]float64, 1)
+	if err := k.EstimateBatch(Matrix{Flat: []float64{0, 0}, Rows: 1, Stride: 2}, Range{0, 100}, nil, nil, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want[0] {
+		t.Fatalf("batch knn %v != row-slice %v", got[0], want[0])
+	}
+}
+
+// BenchmarkFuzzyEstimateBatch is the attack-plane CI smoke benchmark: the
+// paper's estimator with fixed domains over a mid-size cohort.
+func BenchmarkFuzzyEstimateBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const n, d = 4096, 4
+	m, _ := randMatrix(rng, n, d)
+	doms := make([]Range, d)
+	for j := range doms {
+		doms[j] = Range{0, 10}
+	}
+	f := &Fuzzy{Opts: FuzzyOptions{Domains: doms}}
+	out := Range{Lo: 40, Hi: 160}
+	arena := &Arena{}
+	est := arena.Floats(n)
+	if err := f.EstimateBatch(m, out, nil, arena, est); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.EstimateBatch(m, out, nil, arena, est); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

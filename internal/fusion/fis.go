@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/fuzzy"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -84,3 +85,66 @@ func (f *FIS) Estimate(features [][]float64, out Range) ([]float64, error) {
 	}
 	return est, nil
 }
+
+// EstimateBatch implements BatchEstimator. The system is compiled per call —
+// FIS runs the system exactly as currently authored, so rules added between
+// calls must stay visible — and the rows evaluate chunk-parallel through
+// per-chunk evaluator clones, Mamdani and Sugeno alike, with the batch NaN
+// sentinel falling back to the range midpoint.
+func (f *FIS) EstimateBatch(m Matrix, out Range, b *parallel.Budget, _ *Arena, est []float64) error {
+	if f.System == nil {
+		return errors.New("fusion: FIS estimator has no system")
+	}
+	if !out.valid() {
+		return fmt.Errorf("fusion: empty range")
+	}
+	n := m.Rows
+	if n == 0 {
+		return errors.New("fusion: FIS estimator needs at least one record")
+	}
+	d := m.Stride
+	if len(f.FeatureNames) != d {
+		return fmt.Errorf("fusion: %d feature names for %d features", len(f.FeatureNames), d)
+	}
+	declared := make(map[string]bool, d)
+	for _, fn := range f.FeatureNames {
+		declared[fn] = true
+	}
+	for _, in := range f.System.Inputs() {
+		if !declared[in] {
+			return fmt.Errorf("fusion: system input %q has no feature column", in)
+		}
+	}
+	proto, err := fuzzy.NewEvaluator(f.System)
+	if err != nil {
+		return err
+	}
+	if err := proto.BindInputs(f.FeatureNames); err != nil {
+		return err
+	}
+	var firstErr batchErr
+	b.For(n, heavyRowGrain, func(lo, hi int) {
+		ev := proto.Clone()
+		var err error
+		if f.Sugeno {
+			err = ev.EvaluateBatchSugeno(m.Flat[lo*d:hi*d], d, est[lo:hi])
+		} else {
+			err = ev.EvaluateBatch(m.Flat[lo*d:hi*d], d, est[lo:hi])
+		}
+		firstErr.set(err)
+	})
+	if err := firstErr.get(); err != nil {
+		return err
+	}
+	mid := out.Mid()
+	for i, v := range est {
+		if v != v { // NaN: no rule fired on this row
+			v = mid
+		}
+		est[i] = stats.Clamp(v, out.Lo, out.Hi)
+	}
+	return nil
+}
+
+// Compile-time check.
+var _ BatchEstimator = (*FIS)(nil)

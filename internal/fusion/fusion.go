@@ -13,6 +13,7 @@ package fusion
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/stats"
@@ -385,11 +386,21 @@ func (r *Regression) Estimate(features [][]float64, out Range) ([]float64, error
 }
 
 // KNN averages the sensitive values of the K nearest calibration records in
-// feature space.
+// feature space. Ties in distance break by calibration index, so the chosen
+// neighbourhood is a deterministic function of the data alone.
 type KNN struct {
 	K             int
 	CalibFeatures [][]float64
 	CalibTargets  []float64
+
+	// Batch-path caches (see batch.go): the calibration features flattened
+	// row-major, built once, and the per-worker neighbour heaps. Do not
+	// mutate CalibFeatures after the first batch estimate.
+	calibOnce sync.Once
+	calibFlat []float64
+	calibD    int
+	calibErr  error
+	heapPool  sync.Pool
 }
 
 // Name implements Estimator.
@@ -411,6 +422,7 @@ func (k *KNN) Estimate(features [][]float64, out Range) ([]float64, error) {
 	type cand struct {
 		d float64
 		y float64
+		i int
 	}
 	for i, f := range features {
 		cands := make([]cand, len(k.CalibFeatures))
@@ -423,13 +435,17 @@ func (k *KNN) Estimate(features [][]float64, out Range) ([]float64, error) {
 				diff := f[j] - cf[j]
 				d += diff * diff
 			}
-			cands[c] = cand{d, k.CalibTargets[c]}
+			cands[c] = cand{d, k.CalibTargets[c], c}
 		}
-		// Partial selection of the kk nearest.
+		// Partial selection of the kk nearest under the (distance, index)
+		// total order — the tie-break keeps the selected set and its sum
+		// order a pure function of the data (the batch path's neighbour
+		// heap relies on this).
 		for s := 0; s < kk; s++ {
 			best := s
 			for j := s + 1; j < len(cands); j++ {
-				if cands[j].d < cands[best].d {
+				if cands[j].d < cands[best].d ||
+					(cands[j].d == cands[best].d && cands[j].i < cands[best].i) {
 					best = j
 				}
 			}

@@ -3,8 +3,10 @@ package fusion
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/fuzzy"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -36,8 +38,17 @@ type FuzzyOptions struct {
 // partition each feature's observed range and whose rule base encodes the
 // monotone domain knowledge "higher indicators → higher income", one rule
 // per (feature, term) with uniform weights.
+//
+// With fixed Domains the system no longer depends on the input data, so the
+// compiled evaluator is cached across calls and shared (via per-worker
+// clones) by concurrent estimates; Opts must then not be mutated after the
+// first call. Without Domains the system is rebuilt per call, because the
+// observed feature ranges change with every anonymization level.
 type Fuzzy struct {
 	Opts FuzzyOptions
+
+	mu       sync.Mutex
+	compiled *compiledFuzzy
 }
 
 // NewFuzzy returns the estimator with the paper's defaults (3 terms,
@@ -60,22 +71,31 @@ func termNames(n int) []string {
 	return out
 }
 
-// Estimate implements Estimator. The system is rebuilt per call because the
-// input variable domains come from the observed feature ranges (which change
-// with the anonymization level, exactly as in the paper: coarser releases
-// feed the same rule base worse inputs).
-func (f *Fuzzy) Estimate(features [][]float64, out Range) ([]float64, error) {
-	if !out.valid() {
-		return nil, fmt.Errorf("fusion: empty range")
+// compiledFuzzy is one fully built system with its compiled evaluator and a
+// pool of clones for concurrent use. The proto evaluator itself never
+// evaluates — it only seeds clones — so handing the same compiledFuzzy to
+// many goroutines is race-free.
+type compiledFuzzy struct {
+	d     int
+	out   Range
+	names []string
+	proto *fuzzy.Evaluator
+	pool  sync.Pool
+}
+
+func (cf *compiledFuzzy) get() *fuzzy.Evaluator {
+	if ev, ok := cf.pool.Get().(*fuzzy.Evaluator); ok {
+		return ev
 	}
-	n := len(features)
-	if n == 0 {
-		return nil, errors.New("fusion: fuzzy estimator needs at least one record")
-	}
-	d := len(features[0])
-	if d == 0 {
-		return nil, ErrNoFeatures
-	}
+	return cf.proto.Clone()
+}
+
+func (cf *compiledFuzzy) put(ev *fuzzy.Evaluator) { cf.pool.Put(ev) }
+
+// compile builds the system for d features: validation, variables (domains
+// from Opts.Domains or from obsRange, the observed feature ranges), the rule
+// base, and the compiled evaluator bound to the feature columns.
+func (f *Fuzzy) compile(d int, out Range, obsRange func(j int) (float64, float64)) (*compiledFuzzy, error) {
 	terms := f.Opts.Terms
 	if terms == 0 {
 		terms = 3
@@ -110,13 +130,6 @@ func (f *Fuzzy) Estimate(features [][]float64, out Range) ([]float64, error) {
 		return nil, fmt.Errorf("fusion: %d domains for %d features", len(f.Opts.Domains), d)
 	}
 	for j := 0; j < d; j++ {
-		col := make([]float64, n)
-		for i := range features {
-			if len(features[i]) != d {
-				return nil, fmt.Errorf("fusion: ragged feature row %d", i)
-			}
-			col[i] = features[i][j]
-		}
 		var lo, hi float64
 		if f.Opts.Domains != nil {
 			dom := f.Opts.Domains[j]
@@ -125,11 +138,7 @@ func (f *Fuzzy) Estimate(features [][]float64, out Range) ([]float64, error) {
 			}
 			lo, hi = dom.Lo, dom.Hi
 		} else {
-			var err error
-			lo, hi, err = stats.MinMax(col)
-			if err != nil {
-				return nil, err
-			}
+			lo, hi = obsRange(j)
 			if hi == lo {
 				// Degenerate feature (fully generalized release at high k):
 				// widen artificially so the variable stays valid; every
@@ -170,17 +179,87 @@ func (f *Fuzzy) Estimate(features [][]float64, out Range) ([]float64, error) {
 			}
 		}
 	}
-
-	// One evaluator for the whole cohort: rules compile once, the per-row
-	// buffers are reused, and the results match sys.Evaluate bit for bit.
-	ev, err := fuzzy.NewEvaluator(sys)
+	proto, err := fuzzy.NewEvaluator(sys)
 	if err != nil {
 		return nil, err
 	}
+	if err := proto.BindInputs(names); err != nil {
+		return nil, err
+	}
+	return &compiledFuzzy{d: d, out: out, names: names, proto: proto}, nil
+}
+
+// compiledFor returns the compiled system for (d, out): the cached one when
+// Opts.Domains pins the system independent of the data, a freshly built one
+// otherwise.
+func (f *Fuzzy) compiledFor(d int, out Range, obsRange func(j int) (float64, float64)) (*compiledFuzzy, error) {
+	fixed := f.Opts.Domains != nil
+	if fixed {
+		f.mu.Lock()
+		if cf := f.compiled; cf != nil && cf.d == d && cf.out == out {
+			f.mu.Unlock()
+			return cf, nil
+		}
+		f.mu.Unlock()
+	}
+	cf, err := f.compile(d, out, obsRange)
+	if err != nil {
+		return nil, err
+	}
+	if fixed {
+		f.mu.Lock()
+		// A concurrent call may have compiled the same system; keep one so
+		// the clone pool is shared.
+		if old := f.compiled; old != nil && old.d == d && old.out == out {
+			cf = old
+		} else {
+			f.compiled = cf
+		}
+		f.mu.Unlock()
+	}
+	return cf, nil
+}
+
+// Estimate implements Estimator. Without fixed domains the system is rebuilt
+// per call, because the input variable domains come from the observed
+// feature ranges (which change with the anonymization level, exactly as in
+// the paper: coarser releases feed the same rule base worse inputs).
+func (f *Fuzzy) Estimate(features [][]float64, out Range) ([]float64, error) {
+	if !out.valid() {
+		return nil, fmt.Errorf("fusion: empty range")
+	}
+	n := len(features)
+	if n == 0 {
+		return nil, errors.New("fusion: fuzzy estimator needs at least one record")
+	}
+	d := len(features[0])
+	if d == 0 {
+		return nil, ErrNoFeatures
+	}
+	for i := range features {
+		if len(features[i]) != d {
+			return nil, fmt.Errorf("fusion: ragged feature row %d", i)
+		}
+	}
+	cf, err := f.compiledFor(d, out, func(j int) (float64, float64) {
+		col := make([]float64, n)
+		for i := range features {
+			col[i] = features[i][j]
+		}
+		lo, hi, _ := stats.MinMax(col) // n ≥ 1, never empty
+		return lo, hi
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One evaluator for the whole cohort: rules compile once, the per-row
+	// buffers are reused, and the results match sys.Evaluate bit for bit.
+	ev := cf.get()
+	defer cf.put(ev)
 	est := make([]float64, n)
 	in := make(map[string]float64, d)
 	for i, row := range features {
-		for j, name := range names {
+		for j, name := range cf.names {
 			in[name] = row[j]
 		}
 		y, err := ev.Evaluate(in)
@@ -195,3 +274,63 @@ func (f *Fuzzy) Estimate(features [][]float64, out Range) ([]float64, error) {
 	}
 	return est, nil
 }
+
+// EstimateBatch implements BatchEstimator: the compiled system evaluates the
+// flat matrix chunk-parallel, one pooled evaluator clone per chunk, through
+// fuzzy.Evaluator.EvaluateBatch — no per-row input maps, no per-row
+// allocations. NaN results (the batch evaluator's no-rule-fired sentinel)
+// fall back to the range midpoint exactly as Estimate does.
+func (f *Fuzzy) EstimateBatch(m Matrix, out Range, b *parallel.Budget, _ *Arena, est []float64) error {
+	if !out.valid() {
+		return fmt.Errorf("fusion: empty range")
+	}
+	n := m.Rows
+	if n == 0 {
+		return errors.New("fusion: fuzzy estimator needs at least one record")
+	}
+	d := m.Stride
+	if d == 0 {
+		return ErrNoFeatures
+	}
+	cf, err := f.compiledFor(d, out, func(j int) (float64, float64) {
+		// stats.MinMax over the strided column: first element, then strict
+		// comparisons in row order — the same sequence as the extracted
+		// column, so the observed domain carries identical bits.
+		lo, hi := m.Flat[j], m.Flat[j]
+		for i := 1; i < n; i++ {
+			x := m.Flat[i*d+j]
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return lo, hi
+	})
+	if err != nil {
+		return err
+	}
+	var firstErr batchErr
+	b.For(n, heavyRowGrain, func(lo, hi int) {
+		ev := cf.get()
+		if err := ev.EvaluateBatch(m.Flat[lo*d:hi*d], d, est[lo:hi]); err != nil {
+			firstErr.set(err)
+		}
+		cf.put(ev)
+	})
+	if err := firstErr.get(); err != nil {
+		return err
+	}
+	mid := out.Mid()
+	for i, v := range est {
+		if v != v { // NaN: no rule fired on this row
+			v = mid
+		}
+		est[i] = stats.Clamp(v, out.Lo, out.Hi)
+	}
+	return nil
+}
+
+// Compile-time check: the paper's estimator offers the batch face.
+var _ BatchEstimator = (*Fuzzy)(nil)

@@ -30,6 +30,14 @@ type Evaluator struct {
 	rules    []compiledRule
 	outTerms []concreteMF
 	caps     []float64 // reused: max firing strength per output term
+
+	// Batch-evaluation state (see batch.go): the flat-matrix column feeding
+	// each input variable, and — for the centroid fast path — the output
+	// domain sample points with every output term's grade precomputed there.
+	varCol []int       // input variable index → feature column
+	xs     []float64   // output-domain sample points
+	otg    [][]float64 // per output term: grade at each sample point
+	surf   []float64   // reused: aggregated surface for the current row
 }
 
 // compiledRule is one rule with its lookups resolved to indices.

@@ -536,9 +536,12 @@ func TestEndToEndJobEventStream(t *testing.T) {
 func TestJobEventStreamCancelMidSweep(t *testing.T) {
 	// One worker and one sweep worker: the sweep runs serially (slow, on a
 	// big cohort) and leaves the scheduler room for the stream reads and the
-	// cancel round-trip even on a single-CPU machine.
+	// cancel round-trip even on a single-CPU machine. The cohort must be big
+	// enough that 99 MDAV levels take whole seconds — the batch attack plane
+	// made small-cohort levels so cheap that a 400-row sweep could finish
+	// before an immediate cancel landed.
 	ts, _, engine := newTestServerEngine(t, false, service.Options{Workers: 1, SweepWorkers: 1})
-	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 400})
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 2000, DirectAux: true})
 	if err != nil {
 		t.Fatal(err)
 	}

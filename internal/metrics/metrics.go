@@ -167,7 +167,21 @@ func columnIndices(t *dataset.Table, cols []string) ([]int, error) {
 // where E ranges over the equivalence classes induced on the table by the
 // quasi-identifier columns. Classes smaller than k (suppressed or
 // non-conforming rows) pay the severe |D|·|E| penalty.
+//
+// The classes are computed with a dataset.Grouper rather than Table.GroupBy;
+// the class *order* differs (first occurrence vs lexicographic key), but
+// every C_DM term is an integer below 2⁵³ — |E|² ≤ n² and |D|·|E| ≤ n², with
+// the total bounded by 2n² — so the float64 sum is exact and order-
+// independent: the result is bit-identical to the GroupBy formulation
+// (TestDiscernibilityMatchesGroupBy pins this).
 func Discernibility(t *dataset.Table, k int) (float64, error) {
+	return DiscernibilityWith(t, k, nil)
+}
+
+// DiscernibilityWith is Discernibility with caller-owned grouping scratch: a
+// warm Grouper makes the per-level utility computation of a sweep
+// allocation-free. A nil Grouper uses a temporary one.
+func DiscernibilityWith(t *dataset.Table, k int, g *dataset.Grouper) (float64, error) {
 	if k < 1 {
 		return 0, fmt.Errorf("metrics: discernibility needs k ≥ 1, got %d", k)
 	}
@@ -175,11 +189,16 @@ func Discernibility(t *dataset.Table, k int) (float64, error) {
 	if len(qis) == 0 {
 		return 0, errors.New("metrics: table has no quasi-identifier columns")
 	}
+	if g == nil {
+		g = new(dataset.Grouper)
+	}
+	_, sizes := g.Classes(t, qis)
 	n := float64(t.NumRows())
+	k32 := int32(k)
 	var cdm float64
-	for _, e := range t.GroupBy(qis) {
-		size := float64(len(e))
-		if len(e) >= k {
+	for _, s := range sizes {
+		size := float64(s)
+		if s >= k32 {
 			cdm += size * size
 		} else {
 			cdm += n * size
@@ -191,10 +210,16 @@ func Discernibility(t *dataset.Table, k int) (float64, error) {
 // Utility computes U_k = 1 / C_DM(k) as in Section 6.C. An empty table has
 // zero utility.
 func Utility(t *dataset.Table, k int) (float64, error) {
+	return UtilityWith(t, k, nil)
+}
+
+// UtilityWith is Utility with caller-owned grouping scratch (see
+// DiscernibilityWith).
+func UtilityWith(t *dataset.Table, k int, g *dataset.Grouper) (float64, error) {
 	if t.NumRows() == 0 {
 		return 0, nil
 	}
-	cdm, err := Discernibility(t, k)
+	cdm, err := DiscernibilityWith(t, k, g)
 	if err != nil {
 		return 0, err
 	}
@@ -212,19 +237,24 @@ func PerRecordUtility(t *dataset.Table, k int) ([]float64, error) {
 	if len(qis) == 0 {
 		return nil, errors.New("metrics: table has no quasi-identifier columns")
 	}
+	var g dataset.Grouper
+	ids, sizes := g.Classes(t, qis)
 	n := float64(t.NumRows())
-	out := make([]float64, t.NumRows())
-	for _, e := range t.GroupBy(qis) {
-		size := float64(len(e))
-		var cost float64
-		if len(e) >= k {
-			cost = size * size
+	k32 := int32(k)
+	// 1/cost per class, then a gather: per-row values depend only on the
+	// row's own class, never on class order.
+	inv := make([]float64, len(sizes))
+	for c, s := range sizes {
+		size := float64(s)
+		if s >= k32 {
+			inv[c] = 1 / (size * size)
 		} else {
-			cost = n * size
+			inv[c] = 1 / (n * size)
 		}
-		for _, i := range e {
-			out[i] = 1 / cost
-		}
+	}
+	out := make([]float64, t.NumRows())
+	for i, id := range ids {
+		out[i] = inv[id]
 	}
 	return out, nil
 }

@@ -245,6 +245,13 @@ type LevelSummary struct {
 	Gain      float64 `json:"gain"`
 	Utility   float64 `json:"utility"`
 	Candidate bool    `json:"candidate"`
+	// Phase breakdown of the level's compute time, in nanoseconds:
+	// anonymization, fusion attack, utility metric. Observational only;
+	// omitted on warm-started levels replayed from the index (their compute
+	// happened in an earlier job).
+	AnonymizeNS int64 `json:"anonymize_ns,omitempty"`
+	FuseNS      int64 `json:"fuse_ns,omitempty"`
+	MetricsNS   int64 `json:"metrics_ns,omitempty"`
 }
 
 // Result is a finished job's payload. Table is the downloadable artifact
@@ -308,6 +315,9 @@ func summarizeLevel(lr core.LevelResult) LevelSummary {
 	return LevelSummary{
 		K: lr.K, Before: lr.Before, After: lr.After,
 		Gain: lr.Gain, Utility: lr.Utility, Candidate: lr.Candidate,
+		AnonymizeNS: int64(lr.AnonymizeTime),
+		FuseNS:      int64(lr.FuseTime),
+		MetricsNS:   int64(lr.MetricsTime),
 	}
 }
 

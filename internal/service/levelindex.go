@@ -68,7 +68,10 @@ func (x *levelIndex) Put(key string, levels []core.LevelResult) {
 	ent := el.Value.(*levelEntry)
 	for _, lr := range levels {
 		lr.Release, lr.Phat = nil, nil
+		// Warm replays cost the borrowing job nothing — drop the timings so
+		// they are not misattributed to it.
 		lr.Elapsed = 0
+		lr.AnonymizeTime, lr.FuseTime, lr.MetricsTime = 0, 0, 0
 		ent.levels[lr.K] = lr
 	}
 }

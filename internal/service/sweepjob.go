@@ -158,6 +158,9 @@ func (e *Engine) runFREDSweep(ctx context.Context, j *job) (*Result, error) {
 			se.levels = append(se.levels, core.LevelResult{
 				K: ls.K, Before: ls.Before, After: ls.After,
 				Gain: ls.Gain, Utility: ls.Utility, Candidate: ls.Candidate,
+				AnonymizeTime: time.Duration(ls.AnonymizeNS),
+				FuseTime:      time.Duration(ls.FuseNS),
+				MetricsTime:   time.Duration(ls.MetricsNS),
 			})
 		}
 		startK = j.resume.startK
