@@ -1,0 +1,360 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/service"
+)
+
+// Config drives one load run: the target server, the tenants (key → tenant
+// pairs; an empty Keys list runs unauthenticated as the default tenant),
+// and the offered load shape.
+type Config struct {
+	// Addr is the server base URL, e.g. http://127.0.0.1:8080.
+	Addr string
+	// Tenants lists the identities to drive. Empty = one unauthenticated
+	// tenant.
+	Tenants []TenantKey
+	// WorkersPerTenant is the submit loops each tenant runs concurrently.
+	WorkersPerTenant int
+	// Duration bounds the run.
+	Duration time.Duration
+	// Rows sizes each tenant's generated scenario tables.
+	Rows int
+	// Seed makes the generated tables and the job mix reproducible.
+	Seed int64
+	// AttackFraction is the share of submissions that are attack jobs; the
+	// rest are fred-sweeps. Sweeps are the heavy workload, attacks the
+	// cheap one, so the mix exercises both queue residency profiles.
+	AttackFraction float64
+	// PollInterval is the status poll cadence (default 25ms).
+	PollInterval time.Duration
+}
+
+// TenantKey names one identity: the API key presented and the tenant it
+// should resolve to (informational; the server decides).
+type TenantKey struct {
+	Tenant string
+	Key    string
+}
+
+// Report is one run's outcome: counts, completion-latency percentiles and
+// the shed rate (429 responses over submit attempts).
+type Report struct {
+	Tenants   int           `json:"tenants"`
+	Submitted int           `json:"submitted"`
+	Completed int           `json:"completed"`
+	Failed    int           `json:"failed"`
+	Shed      int           `json:"shed"`
+	ShedRate  float64       `json:"shed_rate"`
+	P50       time.Duration `json:"p50"`
+	P95       time.Duration `json:"p95"`
+	P99       time.Duration `json:"p99"`
+	Elapsed   time.Duration `json:"elapsed"`
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"tenants=%d submitted=%d completed=%d failed=%d shed=%d shed_rate=%.3f p50=%s p95=%s p99=%s elapsed=%s",
+		r.Tenants, r.Submitted, r.Completed, r.Failed, r.Shed, r.ShedRate,
+		r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond),
+		r.P99.Round(time.Millisecond), r.Elapsed.Round(time.Millisecond))
+}
+
+// collector accumulates worker outcomes under one mutex; the contention is
+// negligible next to the HTTP round trips.
+type collector struct {
+	mu        sync.Mutex
+	submitted int
+	completed int
+	failed    int
+	shed      int
+	latencies []time.Duration
+}
+
+// run executes one load generation pass and reports what happened. It is
+// the whole harness behind the CLI so tests can drive it against an
+// in-process httptest server.
+func run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.WorkersPerTenant <= 0 {
+		cfg.WorkersPerTenant = 2
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Rows <= 0 {
+		cfg.Rows = 30
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 25 * time.Millisecond
+	}
+	if cfg.AttackFraction < 0 || cfg.AttackFraction > 1 {
+		return nil, fmt.Errorf("loadgen: attack fraction %v outside [0,1]", cfg.AttackFraction)
+	}
+	tenants := cfg.Tenants
+	if len(tenants) == 0 {
+		tenants = []TenantKey{{Tenant: service.DefaultTenant}}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	deadline, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// Setup phase: each tenant uploads its own P and Q tables. Distinct
+	// seeds per tenant keep the tables (and thus result-cache keys)
+	// distinct across tenants.
+	type tenantTables struct {
+		key  string
+		pID  string
+		qID  string
+		seed int64
+	}
+	prepared := make([]tenantTables, 0, len(tenants))
+	for i, tk := range tenants {
+		seed := cfg.Seed + int64(i)
+		sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: seed, N: cfg.Rows})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: generate scenario for %s: %w", tk.Tenant, err)
+		}
+		pID, err := uploadTable(ctx, client, cfg.Addr, tk.Key, "loadgen-P", sc.P)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: upload P for %s: %w", tk.Tenant, err)
+		}
+		qID, err := uploadTable(ctx, client, cfg.Addr, tk.Key, "loadgen-Q", sc.Q)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: upload Q for %s: %w", tk.Tenant, err)
+		}
+		prepared = append(prepared, tenantTables{key: tk.Key, pID: pID, qID: qID, seed: seed})
+	}
+
+	col := &collector{}
+	var wg sync.WaitGroup
+	for ti := range prepared {
+		tt := prepared[ti]
+		for w := 0; w < cfg.WorkersPerTenant; w++ {
+			wg.Add(1)
+			go func(workerSeed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(workerSeed))
+				for deadline.Err() == nil {
+					spec := mixedSpec(rng, tt.pID, tt.qID, cfg.AttackFraction)
+					driveJob(deadline, client, cfg, tt.key, spec, col)
+				}
+			}(tt.seed*1000 + int64(w))
+		}
+	}
+	wg.Wait()
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	rep := &Report{
+		Tenants:   len(prepared),
+		Submitted: col.submitted,
+		Completed: col.completed,
+		Failed:    col.failed,
+		Shed:      col.shed,
+		Elapsed:   time.Since(start),
+	}
+	if attempts := col.submitted + col.shed; attempts > 0 {
+		rep.ShedRate = float64(col.shed) / float64(attempts)
+	}
+	rep.P50 = percentile(col.latencies, 0.50)
+	rep.P95 = percentile(col.latencies, 0.95)
+	rep.P99 = percentile(col.latencies, 0.99)
+	return rep, nil
+}
+
+// mixedSpec picks the next job: a cheap attack or a heavier fred-sweep.
+// Parameters are jittered so the server's result cache sees a realistic
+// mix of hits and misses rather than one endlessly-cached spec.
+func mixedSpec(rng *rand.Rand, pID, qID string, attackFraction float64) service.Spec {
+	if rng.Float64() < attackFraction {
+		return service.Spec{
+			Type: service.JobAttack, Table: pID, Aux: qID,
+			K:           2 + rng.Intn(4),
+			SensitiveLo: 40000, SensitiveHi: 160000,
+		}
+	}
+	return service.Spec{
+		Type: service.JobFREDSweep, Table: pID, Aux: qID,
+		MinK: 2, MaxK: 4 + rng.Intn(5),
+		SensitiveLo: 40000, SensitiveHi: 160000,
+	}
+}
+
+// driveJob submits one job and follows it to a terminal state, recording
+// the submit-to-terminal latency. A 429 — admission shed or rate limit —
+// counts as shed and honors the server's Retry-After before the worker
+// offers again.
+func driveJob(ctx context.Context, client *http.Client, cfg Config, key string, spec service.Spec, col *collector) {
+	submitAt := time.Now()
+	st, code, retryAfter, err := submitJob(ctx, client, cfg.Addr, key, spec)
+	switch {
+	case err != nil:
+		if ctx.Err() == nil {
+			col.mu.Lock()
+			col.failed++
+			col.mu.Unlock()
+		}
+		return
+	case code == http.StatusTooManyRequests:
+		col.mu.Lock()
+		col.shed++
+		col.mu.Unlock()
+		wait := retryAfter
+		if wait <= 0 {
+			wait = time.Second
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+		}
+		return
+	case code != http.StatusAccepted:
+		col.mu.Lock()
+		col.failed++
+		col.mu.Unlock()
+		return
+	}
+	col.mu.Lock()
+	col.submitted++
+	col.mu.Unlock()
+
+	// Poll to terminal. The deadline context stops new submissions, but a
+	// job already admitted is followed on the background context so its
+	// latency is observed — matching how the server drains real clients.
+	for {
+		st2, err := pollJob(context.Background(), client, cfg.Addr, key, st.ID)
+		if err != nil {
+			col.mu.Lock()
+			col.failed++
+			col.mu.Unlock()
+			return
+		}
+		if st2.State.Terminal() {
+			col.mu.Lock()
+			if st2.State == service.StateDone {
+				col.completed++
+				col.latencies = append(col.latencies, time.Since(submitAt))
+			} else {
+				col.failed++
+			}
+			col.mu.Unlock()
+			return
+		}
+		time.Sleep(cfg.PollInterval)
+	}
+}
+
+// --- HTTP plumbing ----------------------------------------------------------
+
+func authed(req *http.Request, key string) {
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+}
+
+func uploadTable(ctx context.Context, client *http.Client, addr, key, name string, t *dataset.Table) (string, error) {
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, t); err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/tables?name="+name, &buf)
+	if err != nil {
+		return "", err
+	}
+	authed(req, key)
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", fmt.Errorf("upload %s: status %d: %s", name, resp.StatusCode, body)
+	}
+	var info service.TableInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return "", err
+	}
+	return info.ID, nil
+}
+
+func submitJob(ctx context.Context, client *http.Client, addr, key string, spec service.Spec) (st service.Status, code int, retryAfter time.Duration, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return st, 0, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return st, 0, 0, err
+	}
+	authed(req, key)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return st, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		err = json.NewDecoder(resp.Body).Decode(&st)
+	} else {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512)) //nolint:errcheck // draining for keep-alive
+	}
+	return st, resp.StatusCode, retryAfter, err
+}
+
+func pollJob(ctx context.Context, client *http.Client, addr, key, id string) (service.Status, error) {
+	var st service.Status
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return st, err
+	}
+	authed(req, key)
+	resp, err := client.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return st, fmt.Errorf("poll %s: status %d: %s", id, resp.StatusCode, body)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// percentile returns the q-quantile of latencies (nearest-rank); zero when
+// nothing completed.
+func percentile(latencies []time.Duration, q float64) time.Duration {
+	if len(latencies) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(latencies))
+	copy(sorted, latencies)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i] < sorted[k] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

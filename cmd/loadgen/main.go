@@ -1,0 +1,112 @@
+// Command loadgen drives a running served instance with concurrent tenant
+// traffic and reports what the service did under pressure: completion
+// latency percentiles (p50/p95/p99) and the shed rate — the fraction of
+// submissions the server refused with 429 under admission control or key
+// rate limits.
+//
+//	loadgen -addr http://127.0.0.1:8080 -duration 30s -workers 4
+//	loadgen -addr http://127.0.0.1:8080 -keys-file /etc/served/keys -attack-frac 0.5
+//
+// With -keys-file (same format served reads: `tenant key [...]` per line)
+// every tenant in the file is driven concurrently with its own key and its
+// own generated tables; without it the run targets an open single-tenant
+// server. Each worker loops: submit a job (fred-sweep or attack, mixed by
+// -attack-frac), poll it to a terminal state, repeat. 429 responses count
+// as shed and honor the server's Retry-After before the worker offers
+// again — the client-side half of the admission-control contract.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		keysFile   = flag.String("keys-file", "", "API key file naming the tenants to drive (empty = open server, one tenant)")
+		workers    = flag.Int("workers", 2, "concurrent submit loops per tenant")
+		duration   = flag.Duration("duration", 10*time.Second, "how long to offer load")
+		rows       = flag.Int("rows", 30, "rows per generated tenant table")
+		seed       = flag.Int64("seed", 1, "base RNG seed (tables and job mix)")
+		attackFrac = flag.Float64("attack-frac", 0.3, "fraction of submissions that are attack jobs (rest are sweeps)")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON instead of one summary line")
+	)
+	flag.Parse()
+
+	cfg := Config{
+		Addr:             strings.TrimRight(*addr, "/"),
+		WorkersPerTenant: *workers,
+		Duration:         *duration,
+		Rows:             *rows,
+		Seed:             *seed,
+		AttackFraction:   *attackFrac,
+	}
+	if *keysFile != "" {
+		tenants, err := loadTenantKeys(*keysFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Tenants = tenants
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep) //nolint:errcheck // stdout
+		return
+	}
+	fmt.Println(rep)
+}
+
+// loadTenantKeys reads the served keys-file format, keeping one key per
+// tenant (the first listed) — loadgen drives tenants, not individual keys.
+func loadTenantKeys(path string) ([]TenantKey, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: open keys file: %w", err)
+	}
+	defer f.Close()
+	seen := make(map[string]bool)
+	var tenants []TenantKey
+	sc := bufio.NewScanner(f)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("loadgen: keys file line %d: want `tenant key [...]`", lineNo)
+		}
+		if seen[fields[0]] {
+			continue
+		}
+		seen[fields[0]] = true
+		tenants = append(tenants, TenantKey{Tenant: fields[0], Key: fields[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: read keys file: %w", err)
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("loadgen: keys file %s names no tenants", path)
+	}
+	return tenants, nil
+}

@@ -8,12 +8,24 @@
 //	served -addr :8080 -pprof-addr 127.0.0.1:6060 -log-level debug
 //
 // With -keys-file the API is multi-tenant: each line of the file maps an
-// API key to a tenant (`tenant key [tables=N] [jobs=N] [cache=N]`), every
-// request must present its key (Authorization: Bearer, or X-API-Key), and
-// each tenant sees only its own tables, jobs and event streams. The
-// -quota-* flags set the default per-tenant quotas; the optional key-file
-// fields override them per tenant. Without -keys-file the API is open and
-// single-namespace, as before.
+// API key to a tenant (`tenant key [tables=N] [jobs=N] [cache=N] [rate=R]
+// [burst=N]`), every request must present its key (Authorization: Bearer,
+// or X-API-Key), and each tenant sees only its own tables, jobs and event
+// streams. The -quota-* flags set the default per-tenant quotas; the
+// optional key-file fields override them per tenant, and rate=/burst=
+// attach a token-bucket request limit to that key (refusals are 429 with
+// Retry-After). SIGHUP reloads the keys file in place — keys, rate limits
+// and quota overrides — without dropping in-flight requests; a file that
+// fails to parse leaves the previous configuration in force. Without
+// -keys-file the API is open and single-namespace, as before.
+//
+// The daemon applies admission control to job submissions: -max-pending
+// bounds each tenant's queued-but-unstarted jobs and -queue the global
+// backlog; submissions past either bound are shed with 429 Too Many
+// Requests and a load-derived Retry-After rather than queued without bound.
+// -retain-events truncates terminal jobs' event buffers to a bounded tail
+// once their result is durable (reconnecting streams past the truncation
+// replay from the result instead).
 //
 // Upload tables as two-header CSV, submit anonymize / attack / fred-sweep /
 // assess jobs, poll, download results (see the repository README for curl
@@ -35,7 +47,11 @@
 // interrupted fred-sweeps with a resume point, so they continue from their
 // last checkpointed level and finish byte-identical to an uninterrupted
 // run. -table-ttl evicts tables unreferenced by live jobs after the given
-// age.
+// age. The WAL is segmented: -wal-rotate-bytes / -wal-rotate-age roll the
+// active segment, -wal-compact periodically rewrites the whole log down to
+// its live image online, and -blob-gc sweeps result blobs no live job,
+// cached result or table still references (-blob-gc-dry-run reports what
+// would be reclaimed without deleting).
 //
 // The daemon is fully observable: GET /metrics serves a Prometheus text
 // exposition covering the HTTP layer, the job engine, the result cache and
@@ -72,11 +88,18 @@ func main() {
 		sweepers  = flag.Int("sweep-workers", 0, "per-job sweep concurrency (0 = workers)")
 		cache     = flag.Int("cache", 64, "LRU result cache entries (negative disables)")
 		levelIdx  = flag.Int("level-index", 32, "cross-job level-index tables for sweep warm-starts (negative disables)")
-		queue     = flag.Int("queue", 256, "pending job queue depth")
+		queue     = flag.Int("queue", 256, "pending job queue depth (global admission bound)")
+		maxPend   = flag.Int("max-pending", 64, "per-tenant pending job bound (0 = unlimited)")
 		retain    = flag.Int("retain", 512, "finished jobs kept in the job log (negative keeps all)")
+		retainEvs = flag.Int("retain-events", 256, "per-job event tail kept after the result is durable (negative keeps all)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		dataDir   = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 		tableTTL  = flag.Duration("table-ttl", 0, "evict tables unreferenced by live jobs after this age (0 disables)")
+		walRotB   = flag.Int64("wal-rotate-bytes", 4<<20, "roll the WAL segment past this size (0 disables the size trigger)")
+		walRotAge = flag.Duration("wal-rotate-age", 0, "roll the WAL segment past this age (0 disables the age trigger)")
+		walComp   = flag.Duration("wal-compact", 0, "rewrite the WAL to its live image at this interval (0 disables)")
+		blobGC    = flag.Duration("blob-gc", 0, "sweep unreferenced result blobs at this interval (0 disables)")
+		blobGCDry = flag.Bool("blob-gc-dry-run", false, "report reclaimable blobs without deleting them")
 		keysFile  = flag.String("keys-file", "", "API key file enabling multi-tenant auth (empty = open, single namespace)")
 		qTables   = flag.Int("quota-tables", 0, "default per-tenant max resident tables (0 = unlimited)")
 		qJobs     = flag.Int("quota-jobs", 0, "default per-tenant max concurrent jobs (0 = unlimited)")
@@ -117,22 +140,27 @@ func main() {
 	}
 
 	opts := service.Options{
-		Workers:         *workers,
-		SweepWorkers:    *sweepers,
-		QueueDepth:      *queue,
-		CacheSize:       *cache,
-		LevelIndexSize:  *levelIdx,
-		MaxFinishedJobs: *retain,
-		Quotas:          quotas,
-		Metrics:         registry,
-		Tracer:          tracer,
-		Logger:          logger,
+		Workers:             *workers,
+		SweepWorkers:        *sweepers,
+		QueueDepth:          *queue,
+		MaxPendingPerTenant: *maxPend,
+		MaxJobEvents:        *retainEvs,
+		CacheSize:           *cache,
+		LevelIndexSize:      *levelIdx,
+		MaxFinishedJobs:     *retain,
+		Quotas:              quotas,
+		Metrics:             registry,
+		Tracer:              tracer,
+		Logger:              logger,
 	}
 	var store *service.Store
 	var ds *diskstore.Store
 	if *dataDir != "" {
 		var err error
-		if ds, err = diskstore.Open(*dataDir, diskstore.WithMetrics(registry)); err != nil {
+		ds, err = diskstore.Open(*dataDir,
+			diskstore.WithMetrics(registry),
+			diskstore.WithWALRotation(*walRotB, *walRotAge))
+		if err != nil {
 			fatalf("open data dir: %v", err)
 		}
 		store = service.NewStoreWith(ds)
@@ -172,8 +200,80 @@ func main() {
 	}
 	engine.Start()
 
+	api := httpapi.New(store, engine, logger, serverOpts...)
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *keysFile != "" {
+		// SIGHUP reloads the keys file in place: new keys, rate limits and
+		// quota overrides apply to the next request, in-flight requests
+		// finish under the configuration they started with. A file that no
+		// longer parses keeps the previous configuration — a reload must
+		// never fail open.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for {
+				select {
+				case <-hup:
+					cfg, err := httpapi.LoadKeysFile(*keysFile)
+					if err != nil {
+						logger.Error("keys reload failed, keeping previous keys", "error", err)
+						continue
+					}
+					api.SetAuth(cfg.Auth)
+					quotas.SetPerTenant(cfg.Quotas)
+					logger.Info("reloaded keys file",
+						"path", *keysFile, "quota_overrides", len(cfg.Quotas))
+				case <-ctx.Done():
+					signal.Stop(hup)
+					return
+				}
+			}
+		}()
+	}
+
+	if *walComp > 0 && ds != nil {
+		go func() {
+			tick := time.NewTicker(*walComp)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := engine.CompactLog(); err != nil {
+						logger.Error("wal compaction", "error", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	if *blobGC > 0 && ds != nil {
+		go func() {
+			tick := time.NewTicker(*blobGC)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					rep, err := engine.GCBlobs(*blobGCDry)
+					if err != nil {
+						logger.Error("blob gc", "error", err)
+						continue
+					}
+					if rep.Reclaimed > 0 || rep.DryRun && len(rep.Unreferenced) > 0 {
+						logger.Info("blob gc swept",
+							"scanned", rep.Scanned, "reclaimed", rep.Reclaimed,
+							"bytes", rep.BytesReclaimed, "dry_run", rep.DryRun)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 
 	if *tableTTL > 0 {
 		interval := *tableTTL / 4
@@ -215,7 +315,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(store, engine, logger, serverOpts...),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

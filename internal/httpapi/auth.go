@@ -7,10 +7,13 @@ import (
 	"crypto/subtle"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -37,6 +40,8 @@ func tenantFrom(r *http.Request) string {
 // Keys are held only as SHA-256 digests: the presented key is hashed and
 // the digests compared with crypto/subtle's constant-time comparison, so
 // neither a memory disclosure nor a timing oracle reveals key material.
+// Keys may additionally carry a token-bucket request rate limit; Admit
+// enforces it at authentication time.
 type Auth struct {
 	// keys maps sha256(key) → tenant. Lookup iterates every entry with a
 	// constant-time compare rather than indexing, so the comparison cost
@@ -47,23 +52,90 @@ type Auth struct {
 type authKey struct {
 	digest [sha256.Size]byte
 	tenant string
+	bucket *tokenBucket // nil = unlimited
 }
 
-// NewAuth builds an authenticator from a key → tenant map. Tenant names
-// must satisfy service.ValidateTenant.
+// tokenBucket is a classic leaky-refill rate limiter: capacity burst,
+// refilled at rate tokens/second, one token per admitted request. It is
+// per-key state, so a SIGHUP reload that swaps the Auth also resets the
+// buckets — acceptable: the reload is rare and the refill catches up within
+// a second.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// take consumes one token if available. When the bucket is empty it reports
+// how long until the next token accrues — the Retry-After the caller should
+// surface.
+func (b *tokenBucket) take(now time.Time) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	} else {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// KeyConfig declares one API key: its tenant, the key material, and an
+// optional request rate limit (RatePerSec ≤ 0 means unlimited; Burst
+// defaults to max(1, ceil(rate)) when unset).
+type KeyConfig struct {
+	Tenant     string
+	Key        string
+	RatePerSec float64
+	Burst      int
+}
+
+// NewAuth builds an authenticator from a key → tenant map with no rate
+// limits. Tenant names must satisfy service.ValidateTenant.
 func NewAuth(keyTenants map[string]string) (*Auth, error) {
-	if len(keyTenants) == 0 {
+	cfgs := make([]KeyConfig, 0, len(keyTenants))
+	for key, tenant := range keyTenants {
+		cfgs = append(cfgs, KeyConfig{Tenant: tenant, Key: key})
+	}
+	return NewAuthConfig(cfgs)
+}
+
+// NewAuthConfig builds an authenticator from explicit key configs,
+// including per-key rate limits.
+func NewAuthConfig(cfgs []KeyConfig) (*Auth, error) {
+	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("httpapi: no API keys configured")
 	}
 	a := &Auth{}
-	for key, tenant := range keyTenants {
-		if err := service.ValidateTenant(tenant); err != nil {
+	for _, c := range cfgs {
+		if err := service.ValidateTenant(c.Tenant); err != nil {
 			return nil, fmt.Errorf("httpapi: %w", err)
 		}
-		if len(key) < 8 {
-			return nil, fmt.Errorf("httpapi: API key for tenant %q is shorter than 8 characters", tenant)
+		if len(c.Key) < 8 {
+			return nil, fmt.Errorf("httpapi: API key for tenant %q is shorter than 8 characters", c.Tenant)
 		}
-		a.keys = append(a.keys, authKey{digest: sha256.Sum256([]byte(key)), tenant: tenant})
+		k := authKey{digest: sha256.Sum256([]byte(c.Key)), tenant: c.Tenant}
+		if c.RatePerSec > 0 {
+			burst := float64(c.Burst)
+			if burst < 1 {
+				burst = math.Ceil(c.RatePerSec)
+				if burst < 1 {
+					burst = 1
+				}
+			}
+			k.bucket = &tokenBucket{rate: c.RatePerSec, burst: burst, tokens: burst}
+		}
+		a.keys = append(a.keys, k)
 	}
 	return a, nil
 }
@@ -71,14 +143,32 @@ func NewAuth(keyTenants map[string]string) (*Auth, error) {
 // Authenticate resolves a presented key to its tenant. The scan always
 // visits every configured key with a constant-time digest comparison.
 func (a *Auth) Authenticate(key string) (string, bool) {
+	tenant, _, found := a.lookup(key)
+	return tenant, found
+}
+
+// Admit authenticates the key AND charges its rate limit: found reports
+// whether the key exists, limited whether the key's bucket refused this
+// request (with the wait until it would admit one). An unlimited key is
+// never limited.
+func (a *Auth) Admit(key string, now time.Time) (tenant string, found, limited bool, retryAfter time.Duration) {
+	tenant, idx, found := a.lookup(key)
+	if !found || a.keys[idx].bucket == nil {
+		return tenant, found, false, 0
+	}
+	ok, wait := a.keys[idx].bucket.take(now)
+	return tenant, true, !ok, wait
+}
+
+func (a *Auth) lookup(key string) (tenant string, idx int, found bool) {
 	digest := sha256.Sum256([]byte(key))
-	tenant, found := "", false
+	idx = -1
 	for i := range a.keys {
 		if subtle.ConstantTimeCompare(digest[:], a.keys[i].digest[:]) == 1 {
-			tenant, found = a.keys[i].tenant, true
+			tenant, idx, found = a.keys[i].tenant, i, true
 		}
 	}
-	return tenant, found
+	return tenant, idx, found
 }
 
 // KeysConfig is a parsed key file: the authenticator plus any per-tenant
@@ -91,13 +181,16 @@ type KeysConfig struct {
 // ParseKeys reads the API key file format:
 //
 //	# comment
-//	<tenant> <key> [tables=N] [jobs=N] [cache=N]
+//	<tenant> <key> [tables=N] [jobs=N] [cache=N] [rate=R] [burst=N]
 //
 // One key per line, whitespace separated; a tenant may own several keys.
-// The optional k=v fields override that tenant's quota (last line wins).
+// The optional tables/jobs/cache fields override that tenant's quota (last
+// line wins); rate (requests per second, fractional allowed) and burst
+// attach a token-bucket request limit to THAT key.
 func ParseKeys(r io.Reader) (*KeysConfig, error) {
 	cfg := &KeysConfig{Quotas: make(map[string]service.Quota)}
 	keyTenants := make(map[string]string)
+	var keyCfgs []KeyConfig
 	sc := bufio.NewScanner(r)
 	for lineNo := 1; sc.Scan(); lineNo++ {
 		line := strings.TrimSpace(sc.Text())
@@ -106,7 +199,7 @@ func ParseKeys(r io.Reader) (*KeysConfig, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("httpapi: keys file line %d: want `tenant key [tables=N] [jobs=N] [cache=N]`", lineNo)
+			return nil, fmt.Errorf("httpapi: keys file line %d: want `tenant key [tables=N] [jobs=N] [cache=N] [rate=R] [burst=N]`", lineNo)
 		}
 		tenant, key := fields[0], fields[1]
 		if err := service.ValidateTenant(tenant); err != nil {
@@ -116,32 +209,53 @@ func ParseKeys(r io.Reader) (*KeysConfig, error) {
 			return nil, fmt.Errorf("httpapi: keys file line %d: key already assigned to tenant %q", lineNo, other)
 		}
 		keyTenants[key] = tenant
+		kc := KeyConfig{Tenant: tenant, Key: key}
 		if len(fields) > 2 {
 			q := cfg.Quotas[tenant]
+			touchedQuota := false
 			for _, f := range fields[2:] {
 				name, val, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fmt.Errorf("httpapi: keys file line %d: bad field %q", lineNo, f)
+				}
+				if name == "rate" {
+					rate, err := strconv.ParseFloat(val, 64)
+					if err != nil || rate <= 0 {
+						return nil, fmt.Errorf("httpapi: keys file line %d: bad rate %q (want requests/second > 0)", lineNo, f)
+					}
+					kc.RatePerSec = rate
+					continue
+				}
 				n, err := strconv.Atoi(val)
-				if !ok || err != nil {
-					return nil, fmt.Errorf("httpapi: keys file line %d: bad quota field %q", lineNo, f)
+				if err != nil {
+					return nil, fmt.Errorf("httpapi: keys file line %d: bad field %q", lineNo, f)
 				}
 				switch name {
 				case "tables":
-					q.MaxTables = n
+					q.MaxTables, touchedQuota = n, true
 				case "jobs":
-					q.MaxJobs = n
+					q.MaxJobs, touchedQuota = n, true
 				case "cache":
-					q.CacheShare = n
+					q.CacheShare, touchedQuota = n, true
+				case "burst":
+					kc.Burst = n
 				default:
-					return nil, fmt.Errorf("httpapi: keys file line %d: unknown quota %q (want tables, jobs or cache)", lineNo, name)
+					return nil, fmt.Errorf("httpapi: keys file line %d: unknown field %q (want tables, jobs, cache, rate or burst)", lineNo, name)
 				}
 			}
-			cfg.Quotas[tenant] = q
+			if touchedQuota {
+				cfg.Quotas[tenant] = q
+			}
+			if kc.Burst > 0 && kc.RatePerSec <= 0 {
+				return nil, fmt.Errorf("httpapi: keys file line %d: burst without rate", lineNo)
+			}
 		}
+		keyCfgs = append(keyCfgs, kc)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("httpapi: read keys file: %w", err)
 	}
-	auth, err := NewAuth(keyTenants)
+	auth, err := NewAuthConfig(keyCfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -192,20 +306,29 @@ func authExempt(path string) bool {
 
 // withAuth resolves the request's tenant before any handler runs. Without
 // an authenticator every request is the default tenant; with one, a missing
-// or malformed credential is 401 and an unknown key 403, both as JSON.
+// or malformed credential is 401, an unknown key 403, and a known key past
+// its request rate 429 with a Retry-After — all as JSON. The authenticator
+// is loaded through an atomic pointer so a SIGHUP keys-file reload swaps it
+// without quiescing in-flight requests.
 func (s *Server) withAuth(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		tenant := service.DefaultTenant
-		if s.auth != nil && !authExempt(r.URL.Path) {
+		if auth := s.auth.Load(); auth != nil && !authExempt(r.URL.Path) {
 			key, ok := bearerKey(r)
 			if !ok {
 				w.Header().Set("WWW-Authenticate", `Bearer realm="repro"`)
 				writeError(w, http.StatusUnauthorized, "missing API key: send Authorization: Bearer <key>")
 				return
 			}
-			t, found := s.auth.Authenticate(key)
+			t, found, limited, wait := auth.Admit(key, time.Now())
 			if !found {
 				writeError(w, http.StatusForbidden, "unknown API key")
+				return
+			}
+			if limited {
+				s.metrics.rateLimited.With(t).Inc()
+				setRetryAfter(w, wait)
+				writeError(w, http.StatusTooManyRequests, "API key request rate exceeded")
 				return
 			}
 			tenant = t

@@ -325,6 +325,9 @@ func TestTenantQuotasOverHTTP(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-quota upload status %d, want 429", resp.StatusCode)
 	}
+	if got := retryAfterSecs(t, resp); got < 1 {
+		t.Fatalf("over-quota upload Retry-After %d, want >= 1s", got)
+	}
 	errorBody(t, resp)
 	// globex still has its own table budget.
 	globex.upload("P", sc.Q)
@@ -336,6 +339,9 @@ func TestTenantQuotasOverHTTP(t *testing.T) {
 	defer resp2.Body.Close()
 	if resp2.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-quota submit status %d, want 429", resp2.StatusCode)
+	}
+	if got := retryAfterSecs(t, resp2); got < 1 {
+		t.Fatalf("over-quota submit Retry-After %d, want >= 1s", got)
 	}
 	errorBody(t, resp2)
 	// globex has its own job budget.
@@ -351,12 +357,13 @@ func TestTenantQuotasOverHTTP(t *testing.T) {
 }
 
 // TestParseKeys covers the key-file format: comments, quota overrides,
-// malformed lines, duplicate keys across tenants, bad tenant names.
+// per-key rate limits, malformed lines, duplicate keys across tenants, bad
+// tenant names.
 func TestParseKeys(t *testing.T) {
 	cfg, err := httpapi.ParseKeys(strings.NewReader(`
 # fleet tenants
 acme     sk-acme-12345   tables=8 jobs=2 cache=4
-globex   sk-globex-12345
+globex   sk-globex-12345 rate=1 burst=1
 globex   sk-globex-backup
 `))
 	if err != nil {
@@ -378,7 +385,23 @@ globex   sk-globex-backup
 		t.Fatalf("acme quota %+v", q)
 	}
 	if _, ok := cfg.Quotas["globex"]; ok {
-		t.Fatal("globex has no overrides, none expected")
+		t.Fatal("globex has no quota overrides, none expected")
+	}
+
+	// The rate-limited key admits its burst, then refuses with a positive
+	// retry hint; the unlimited keys never limit.
+	now := time.Now()
+	if _, _, limited, _ := cfg.Auth.Admit("sk-globex-12345", now); limited {
+		t.Fatal("first request within burst was limited")
+	}
+	_, found, limited, wait := cfg.Auth.Admit("sk-globex-12345", now)
+	if !found || !limited || wait <= 0 {
+		t.Fatalf("second immediate request: found=%v limited=%v wait=%v, want limited with a wait", found, limited, wait)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, limited, _ := cfg.Auth.Admit("sk-acme-12345", now); limited {
+			t.Fatal("key without rate= must never be limited")
+		}
 	}
 
 	for name, file := range map[string]string{
@@ -389,6 +412,10 @@ globex   sk-globex-backup
 		"duplicate key":   "acme sk-key-123456\nglobex sk-key-123456\n",
 		"short key":       "acme short\n",
 		"empty file":      "# nothing\n",
+		"bad rate":        "acme sk-key-123456 rate=fast\n",
+		"zero rate":       "acme sk-key-123456 rate=0\n",
+		"bad burst":       "acme sk-key-123456 rate=1 burst=none\n",
+		"burst w/o rate":  "acme sk-key-123456 burst=3\n",
 	} {
 		if _, err := httpapi.ParseKeys(strings.NewReader(file)); err == nil {
 			t.Errorf("%s: ParseKeys accepted %q", name, file)

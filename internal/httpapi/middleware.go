@@ -14,9 +14,10 @@ import (
 // registered mux patterns ("GET /v1/jobs/{id}"), never raw URLs, and status
 // is the class — both cardinality rules from internal/obs/DESIGN.md.
 type httpMetrics struct {
-	requests *obs.CounterVec   // route, method, status, tenant
-	duration *obs.HistogramVec // route, tenant
-	inFlight *obs.GaugeVec     // route (tenant is unresolved while in flight)
+	requests    *obs.CounterVec   // route, method, status, tenant
+	duration    *obs.HistogramVec // route, tenant
+	inFlight    *obs.GaugeVec     // route (tenant is unresolved while in flight)
+	rateLimited *obs.CounterVec   // tenant
 }
 
 func newHTTPMetrics(r *obs.Registry) *httpMetrics {
@@ -28,6 +29,8 @@ func newHTTPMetrics(r *obs.Registry) *httpMetrics {
 			"HTTP request latency, by registered route.", nil, "route", "tenant"),
 		inFlight: r.Gauge("http_in_flight_requests",
 			"Requests currently being served, by registered route.", "route"),
+		rateLimited: r.Counter("http_rate_limited_total",
+			"Requests refused by a key's token-bucket rate limit.", "tenant"),
 	}
 }
 

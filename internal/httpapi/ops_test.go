@@ -1,0 +1,259 @@
+package httpapi_test
+
+// Ops-plane HTTP tests: admission-control 429s carry Retry-After, per-key
+// rate limits refuse over-rate traffic the same way, and a SIGHUP-style
+// auth reload (SetAuth) races concurrent requests without ever producing a
+// wrong status.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/httpapi"
+	"repro/internal/service"
+)
+
+// retryAfterSecs parses the Retry-After header as delay-seconds, failing the
+// test when it is absent or malformed — every 429 this service emits must
+// tell the client when to come back.
+func retryAfterSecs(t *testing.T, resp *http.Response) int {
+	t.Helper()
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		t.Fatal("429 response carries no Retry-After header")
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not delay-seconds: %v", v, err)
+	}
+	return secs
+}
+
+// TestOverloadShedsWith429RetryAfter: a full admission queue turns a submit
+// into 429 + Retry-After, and the job that made it in still completes once
+// workers start — shedding refuses new work, never abandons accepted work.
+func TestOverloadShedsWith429RetryAfter(t *testing.T) {
+	checkGoroutineLeaks(t)
+	store := service.NewStore()
+	// Workers parked: the first job provably occupies the tenant's single
+	// pending slot when the second submit lands.
+	engine := service.NewEngine(store, service.Options{
+		Workers: 1, QueueDepth: 16, MaxPendingPerTenant: 1,
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+	})
+	ts := httptest.NewServer(httpapi.New(store, engine, nil))
+	t.Cleanup(ts.Close)
+	c := &tenantClient{t: t, baseURL: ts.URL}
+
+	sc, err := repro.UniversityScenario(repro.ScenarioOptions{Seed: 42, N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, sc.P); err != nil {
+		t.Fatal(err)
+	}
+	var info service.TableInfo
+	c.expect(http.MethodPost, "/v1/tables?name=P", buf.Bytes(), http.StatusCreated, &info)
+
+	st := c.submit(service.Spec{Type: service.JobAnonymize, Table: info.ID, K: 2})
+	body, _ := json.Marshal(service.Spec{Type: service.JobAnonymize, Table: info.ID, K: 3})
+	resp := c.do(http.MethodPost, "/v1/jobs", body, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded submit status %d, want 429", resp.StatusCode)
+	}
+	if secs := retryAfterSecs(t, resp); secs < 1 || secs > 60 {
+		t.Fatalf("overload Retry-After %ds outside [1, 60]", secs)
+	}
+	errorBody(t, resp)
+
+	// The accepted job was shed-adjacent, not shed: it finishes normally.
+	engine.Start()
+	if got := c.poll(st.ID); got.State != service.StateDone {
+		t.Fatalf("in-flight job ended %s after overload shed, want done", got.State)
+	}
+}
+
+// TestKeyRateLimit429: a key configured with rate=/burst= is refused with
+// 429 + Retry-After once its bucket drains, while an unlimited key on the
+// same server sails through.
+func TestKeyRateLimit429(t *testing.T) {
+	checkGoroutineLeaks(t)
+	auth, err := httpapi.NewAuthConfig([]httpapi.KeyConfig{
+		{Tenant: "acme", Key: "sk-acme-limited-1", RatePerSec: 0.01, Burst: 1},
+		{Tenant: "globex", Key: "sk-globex-open-1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := service.NewStore()
+	engine := service.NewEngine(store, service.Options{Workers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+	})
+	ts := httptest.NewServer(httpapi.New(store, engine, nil, httpapi.WithAuth(auth)))
+	t.Cleanup(ts.Close)
+	limited := &tenantClient{t: t, baseURL: ts.URL, key: "sk-acme-limited-1"}
+	open := &tenantClient{t: t, baseURL: ts.URL, key: "sk-globex-open-1"}
+
+	limited.expect(http.MethodGet, "/v1/tables", nil, http.StatusOK, nil)
+	resp := limited.do(http.MethodGet, "/v1/tables", nil, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate request status %d, want 429", resp.StatusCode)
+	}
+	if secs := retryAfterSecs(t, resp); secs < 1 {
+		t.Fatalf("rate-limit Retry-After %ds, want >= 1", secs)
+	}
+	errorBody(t, resp)
+	for i := 0; i < 5; i++ {
+		open.expect(http.MethodGet, "/v1/tables", nil, http.StatusOK, nil)
+	}
+}
+
+// TestAuthReloadRacesRequests is the SIGHUP half of satellite 4: SetAuth
+// swaps the key set while clients hammer the API. Every response must be a
+// coherent verdict from one key set or the other — 200 or 403, never a
+// half-applied state (5xx, 401) — and after the dust settles the final key
+// set is authoritative in both directions.
+func TestAuthReloadRacesRequests(t *testing.T) {
+	checkGoroutineLeaks(t)
+	oldAuth, err := httpapi.NewAuth(map[string]string{"sk-old-key-111": "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newAuth, err := httpapi.NewAuth(map[string]string{"sk-new-key-222": "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := service.NewStore()
+	engine := service.NewEngine(store, service.Options{Workers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+	})
+	api := httpapi.New(store, engine, nil, httpapi.WithAuth(oldAuth))
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, key := range []string{"sk-old-key-111", "sk-new-key-222"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			c := &tenantClient{t: t, baseURL: ts.URL, key: key}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp := c.do(http.MethodGet, "/v1/tables", nil, nil)
+				code := resp.StatusCode
+				resp.Body.Close()
+				if code != http.StatusOK && code != http.StatusForbidden {
+					t.Errorf("key %s observed status %d during reload, want 200 or 403", key, code)
+					return
+				}
+			}
+		}(key)
+	}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			api.SetAuth(newAuth)
+		} else {
+			api.SetAuth(oldAuth)
+		}
+	}
+	api.SetAuth(newAuth)
+	close(stop)
+	wg.Wait()
+
+	// Post-reload, the new key set is authoritative both ways.
+	fresh := &tenantClient{t: t, baseURL: ts.URL, key: "sk-new-key-222"}
+	fresh.expect(http.MethodGet, "/v1/tables", nil, http.StatusOK, nil)
+	stale := &tenantClient{t: t, baseURL: ts.URL, key: "sk-old-key-111"}
+	resp := stale.do(http.MethodGet, "/v1/tables", nil, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("revoked key status %d after reload, want 403", resp.StatusCode)
+	}
+}
+
+// TestHealthzSurfacesRecoveryErrors: a recovery that had to fail a job
+// degrades healthz and lists the error, still at HTTP 200 — probes keep the
+// process alive, operators see the loss.
+func TestHealthzSurfacesRecoveryErrors(t *testing.T) {
+	checkGoroutineLeaks(t)
+	store := service.NewStore()
+	created := time.Now().UTC()
+	log := &replayOnlyLog{records: []service.WALRecord{{
+		Seq: 1, Kind: service.WALJob, JobID: "job-lost", JobSeq: 1,
+		Tenant: service.DefaultTenant,
+		Spec: &service.Spec{
+			Type: service.JobFREDSweep, Table: "tbl-gone",
+			MinK: 2, MaxK: 6, SensitiveLo: 40000, SensitiveHi: 160000,
+		},
+		Created: &created,
+	}}}
+	engine := service.NewEngine(store, service.Options{Workers: 1, JobLog: log})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+	})
+	if _, err := engine.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	engine.Start()
+	ts := httptest.NewServer(httpapi.New(store, engine, nil))
+	t.Cleanup(ts.Close)
+
+	c := &tenantClient{t: t, baseURL: ts.URL}
+	var health struct {
+		Status         string   `json:"status"`
+		RecoveryErrors []string `json:"recovery_errors"`
+	}
+	c.expect(http.MethodGet, "/v1/healthz", nil, http.StatusOK, &health)
+	if health.Status != "degraded" {
+		t.Fatalf("healthz status %q with a recovery loss, want degraded", health.Status)
+	}
+	if len(health.RecoveryErrors) != 1 {
+		t.Fatalf("healthz recovery_errors %v, want one entry", health.RecoveryErrors)
+	}
+}
+
+// replayOnlyLog feeds canned records to Recover and swallows appends.
+type replayOnlyLog struct {
+	records []service.WALRecord
+}
+
+func (f *replayOnlyLog) AppendWAL(*service.WALRecord) error    { return nil }
+func (f *replayOnlyLog) CompactWAL([]*service.WALRecord) error { return nil }
+func (f *replayOnlyLog) SyncWAL() error                        { return nil }
+func (f *replayOnlyLog) ReplayWAL(fn func(service.WALRecord) error) error {
+	for _, rec := range f.records {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -66,6 +66,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
@@ -78,10 +80,12 @@ const maxUploadBytes = 64 << 20
 
 // Server routes the v1 API onto a store and an engine.
 type Server struct {
-	store    *service.Store
-	engine   *service.Engine
-	logger   *slog.Logger
-	auth     *Auth
+	store  *service.Store
+	engine *service.Engine
+	logger *slog.Logger
+	// auth is swappable at runtime (SetAuth, the SIGHUP keys-file reload);
+	// a nil pointer leaves the server open on the default tenant.
+	auth     atomic.Pointer[Auth]
 	mux      *http.ServeMux
 	registry *obs.Registry
 	metrics  *httpMetrics
@@ -96,8 +100,15 @@ type Option func(*Server)
 // presenting key's tenant. A nil auth leaves the server open on the
 // default tenant.
 func WithAuth(a *Auth) Option {
-	return func(s *Server) { s.auth = a }
+	return func(s *Server) { s.auth.Store(a) }
 }
+
+// SetAuth atomically replaces the authenticator — the SIGHUP keys-file
+// reload path. In-flight requests finish under whichever authenticator they
+// loaded; new requests see the new key set (and fresh rate-limit buckets)
+// immediately. Swapping in nil disables authentication, so reload paths
+// should keep the old Auth on a parse error instead.
+func (s *Server) SetAuth(a *Auth) { s.auth.Store(a) }
 
 // WithMetrics serves r at GET /metrics and records the HTTP request metrics
 // into it. Share the same registry with the engine and diskstore so one
@@ -161,25 +172,36 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // accepting work yet?) is readyz's question, not this one's.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	stats := s.engine.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": int64(time.Since(s.started).Seconds()),
 		"durable":        s.store.Durable(),
 		"wal_seq":        stats.WALSeq,
 		"jobs_finished":  stats.JobsFinished,
 		"jobs_live":      stats.JobsLive,
+		"jobs_pending":   stats.JobsPending,
+		"jobs_shed":      stats.JobsShed,
 		"tenants":        s.tenantCount(),
-	})
+	}
+	// Jobs that could not be resubmitted during recovery are degraded state
+	// an operator must see: the process is alive (still 200) but some work
+	// recorded as running before the restart is NOT running now.
+	if len(stats.RecoveryErrors) > 0 {
+		body["status"] = "degraded"
+		body["recovery_errors"] = stats.RecoveryErrors
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // tenantCount reports how many tenants this deployment serves: the distinct
 // tenants in the key file, or one (the default tenant) on an open server.
 func (s *Server) tenantCount() int {
-	if s.auth == nil {
+	auth := s.auth.Load()
+	if auth == nil {
 		return 1
 	}
 	seen := make(map[string]struct{})
-	for _, k := range s.auth.keys {
+	for _, k := range auth.keys {
 		seen[k.tenant] = struct{}{}
 	}
 	return len(seen)
@@ -278,9 +300,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.engine.Submit(tenantFrom(r), spec)
 	if err != nil {
+		var ov *service.OverloadError
 		switch {
+		case errors.As(err, &ov):
+			writeServiceError(w, err)
 		case errors.Is(err, service.ErrQueueFull):
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			// Untyped queue-full (no admission metadata): still shed as 429
+			// so clients use one retry path for all backpressure.
+			setRetryAfter(w, time.Second)
+			writeError(w, http.StatusTooManyRequests, err.Error())
 		default:
 			writeServiceError(w, err)
 		}
@@ -373,20 +401,41 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 // writeServiceError maps service-layer errors onto status codes: unknown
-// (or foreign-tenant) IDs are 404, exceeded tenant quotas 429, everything
-// else a 400-class client error.
+// (or foreign-tenant) IDs are 404; exceeded tenant quotas and shed
+// (overloaded) submissions 429 with a Retry-After; everything else a
+// 400-class client error.
 func writeServiceError(w http.ResponseWriter, err error) {
 	var nf *service.ErrNotFound
 	if errors.As(err, &nf) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
+	var ov *service.OverloadError
+	if errors.As(err, &ov) {
+		setRetryAfter(w, ov.RetryAfter)
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
 	var qe *service.QuotaError
 	if errors.As(err, &qe) {
+		// Quota headroom frees when a job finishes or a table is dropped —
+		// not on a predictable schedule. One second is the poll floor.
+		setRetryAfter(w, time.Second)
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
 	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// setRetryAfter stamps a Retry-After header: whole seconds, rounded up,
+// never below 1 — the smallest honest delay HTTP's delta-seconds form can
+// express.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 func writeCSV(w http.ResponseWriter, name string, t *dataset.Table) {

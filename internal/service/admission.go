@@ -1,0 +1,105 @@
+package service
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file implements admission control on the engine's worker pool. The
+// pending queue is bounded twice: globally by Options.QueueDepth (the channel
+// capacity, as before) and per tenant by Options.MaxPendingPerTenant, so one
+// tenant's submission storm cannot occupy the whole queue and starve everyone
+// else. Overflow on either bound is shed immediately with an OverloadError —
+// the HTTP layer maps it to 429 + Retry-After — instead of queueing
+// unboundedly or making the caller block.
+
+// OverloadError reports a submission shed by admission control: the pending
+// queue (tenant share or global) was full. It carries a Retry-After hint
+// estimated from the observed job service rate. errors.Is matches it against
+// ErrQueueFull, so pre-admission-control callers keep working.
+type OverloadError struct {
+	// Tenant is the shedding tenant.
+	Tenant string
+	// Scope is "tenant" when the tenant's own pending share was exhausted,
+	// "global" when the engine-wide queue was full.
+	Scope string
+	// Limit is the bound that was hit.
+	Limit int
+	// RetryAfter estimates when a slot is likely to free: roughly the time
+	// the pool needs to drain the current backlog, clamped to [1s, 60s].
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	if e.Scope == "tenant" {
+		return fmt.Sprintf("service: tenant %q has %d jobs pending, the per-tenant limit; retry in %s",
+			e.Tenant, e.Limit, e.RetryAfter)
+	}
+	return fmt.Sprintf("service: job queue is full (%d pending); retry in %s", e.Limit, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrQueueFull) true for every OverloadError, so the
+// typed error is a refinement of the original sentinel, not a new failure
+// mode callers must learn about.
+func (e *OverloadError) Is(target error) bool { return target == ErrQueueFull }
+
+// admitLocked checks the per-tenant pending bound for one more submission
+// from tenant; refused reports true with the limit that was hit. Callers
+// hold e.mu (the OverloadError itself is built by shed, outside the lock).
+func (e *Engine) admitLocked(tenant string) (limit int, refused bool) {
+	if lim := e.opts.MaxPendingPerTenant; lim > 0 && e.pending[tenant] >= lim {
+		return lim, true
+	}
+	return 0, false
+}
+
+// enqueuedLocked accounts a job handed to the queue. Callers hold e.mu and
+// have already performed the channel send.
+func (e *Engine) enqueuedLocked(tenant string) {
+	e.pending[tenant]++
+	e.pendingTotal++
+}
+
+// dequeued accounts a job a worker popped from the queue. It runs for every
+// popped job — including ones canceled while pending — so the pending
+// counters can never leak.
+func (e *Engine) dequeued(j *job) {
+	tenant := j.snapshot().Tenant
+	e.mu.Lock()
+	if e.pending[tenant]--; e.pending[tenant] <= 0 {
+		delete(e.pending, tenant)
+	}
+	e.pendingTotal--
+	e.mu.Unlock()
+}
+
+// shed records a shed submission and builds its OverloadError. Callers must
+// not hold e.mu (retryAfter reads it).
+func (e *Engine) shed(tenant, scope string, limit int) *OverloadError {
+	e.metrics.shed.With(tenant, scope).Inc()
+	e.jobsShed.Add(1)
+	return &OverloadError{Tenant: tenant, Scope: scope, Limit: limit, RetryAfter: e.retryAfter()}
+}
+
+// retryAfter estimates how long until a queue slot frees: the mean observed
+// job execution time scaled by the backlog per worker. With no execution
+// history yet it answers 1s — optimistic, but the client will simply be shed
+// again with a better estimate once jobs complete.
+func (e *Engine) retryAfter() time.Duration {
+	n := e.execCount.Load()
+	if n == 0 {
+		return time.Second
+	}
+	mean := time.Duration(e.execNanos.Load() / n)
+	e.mu.RLock()
+	backlog := e.pendingTotal + 1
+	e.mu.RUnlock()
+	est := mean * time.Duration((backlog+e.opts.Workers-1)/e.opts.Workers)
+	if est < time.Second {
+		return time.Second
+	}
+	if est > time.Minute {
+		return time.Minute
+	}
+	return est
+}

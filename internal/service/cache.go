@@ -116,6 +116,17 @@ func (c *resultCache) removeLocked(el *list.Element) {
 	}
 }
 
+// Each calls fn for every cached result, most recently used first. fn runs
+// under the cache lock and must not re-enter the cache; blob GC uses it to
+// collect its cache roots.
+func (c *resultCache) Each(fn func(*Result)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		fn(el.Value.(*cacheEntry).res)
+	}
+}
+
 // Len reports the number of cached results.
 func (c *resultCache) Len() int {
 	c.mu.Lock()

@@ -18,20 +18,33 @@
 //	tables.json            versioned table metadata: {"version": 2,
 //	                       "tables": [service.TableInfo…]}, rewritten
 //	                       atomically (tmp + rename) on every change
-//	jobs.wal               the job WAL: one JSON service.WALRecord per line
-//	                       (job records carry the owning tenant), appended
-//	                       flushed (kill -9 safe), fsynced on terminal
-//	                       records, compacted by Engine.Recover
+//	jobs-<seq>.wal         the job WAL, as numbered segments: one JSON
+//	                       service.WALRecord per line (job records carry the
+//	                       owning tenant), appended flushed (kill -9 safe),
+//	                       fsynced on terminal records. Appends go to the
+//	                       highest-numbered segment; WithWALRotation rolls to
+//	                       a fresh segment on size/age. A compaction (boot's
+//	                       Engine.Recover, or Engine.CompactLog online) writes
+//	                       the live image into a NEW segment led by a
+//	                       compaction-marker line and unlinks everything
+//	                       older; replay starts at the newest marker-led
+//	                       segment and spans the rest in order.
 //
 // A pre-tenancy data directory — a bare-array tables.json and snapshots
 // directly under tables/ — is migrated on Open: every table is adopted into
 // service.DefaultTenant, its snapshot moved under tables/default/, and the
 // metadata rewritten in the versioned format. WAL job records without a
 // tenant field are adopted by Engine.Recover the same way, so a v1
-// directory recovers byte-identical under the default tenant.
+// directory recovers byte-identical under the default tenant. A
+// pre-segmentation single-file jobs.wal is likewise adopted on Open as the
+// oldest segment.
 //
-// A torn final WAL line — the signature of a crash mid-append — is ignored
-// on replay; corruption anywhere earlier fails recovery loudly.
+// A torn final WAL line in the ACTIVE (last) segment — the signature of a
+// crash mid-append — is ignored on replay; rotated-away segments are
+// immutable and synced, so corruption anywhere else fails recovery loudly.
+// A crash between a compaction's rename and its unlinking of superseded
+// segments leaves stale older segments behind; Open detects the newer
+// marker-led segment and removes them.
 package diskstore
 
 import (
@@ -69,6 +82,17 @@ type Store struct {
 	walMu sync.Mutex
 	wal   *os.File
 	lock  *os.File
+	// walSeq is the active segment number (appends go to jobs-<walSeq>.wal);
+	// segBytes/segBorn track its size and creation time for rotation. All
+	// guarded by walMu.
+	walSeq   int
+	segBytes int64
+	segBorn  time.Time
+
+	// rotateBytes/rotateAge are the segment-roll thresholds (WithWALRotation;
+	// zero disables that trigger). Set before serving, read-only after.
+	rotateBytes int64
+	rotateAge   time.Duration
 
 	// metrics instruments the WAL and snapshot paths; its zero value (no
 	// WithMetrics option) records nothing.
@@ -113,18 +137,85 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		return nil, err
 	}
 	s.sweepOrphans()
-	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
+	if err := s.openWAL(); err != nil {
 		unlockDir(lock)
-		return nil, fmt.Errorf("diskstore: open wal: %w", err)
-	}
-	s.wal = wal
-	// Seed the WAL length gauge from the existing file; appends and
-	// compactions keep it current from here.
-	if fi, err := wal.Stat(); err == nil {
-		s.metrics.walBytes.Store(fi.Size())
+		return nil, err
 	}
 	return s, nil
+}
+
+// openWAL adopts any legacy single-file WAL, removes segments a crashed
+// compaction left superseded, opens the newest segment for appending and
+// seeds the size accounting.
+func (s *Store) openWAL() error {
+	// Pre-segmentation layout: adopt jobs.wal as the oldest segment. Segment
+	// 0 is reserved for the (never-observed-in-practice) case of a legacy
+	// file coexisting with numbered segments: it sorts before all of them,
+	// which is where an older history belongs.
+	if _, err := os.Stat(s.legacyWALPath()); err == nil {
+		segs, err := s.listSegments()
+		if err != nil {
+			return err
+		}
+		target := 1
+		if len(segs) > 0 {
+			target = 0
+		}
+		if err := os.Rename(s.legacyWALPath(), s.segPath(target)); err != nil {
+			return fmt.Errorf("diskstore: adopt legacy wal: %w", err)
+		}
+	}
+	segs, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	// A compacted segment supersedes everything older. Normally CompactWAL
+	// unlinks the stale segments itself; a crash between its rename and the
+	// unlinks leaves them behind, and this is where they are cleaned up.
+	newestCompact := -1
+	for _, seq := range segs {
+		if ok, err := s.segHasMarker(s.segPath(seq)); err == nil && ok {
+			newestCompact = seq
+		}
+	}
+	if newestCompact >= 0 {
+		kept := segs[:0]
+		for _, seq := range segs {
+			if seq < newestCompact {
+				os.Remove(s.segPath(seq)) //nolint:errcheck
+				continue
+			}
+			kept = append(kept, seq)
+		}
+		segs = kept
+	}
+	active := 1
+	if len(segs) > 0 {
+		active = segs[len(segs)-1]
+	}
+	wal, err := os.OpenFile(s.segPath(active), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskstore: open wal: %w", err)
+	}
+	s.wal = wal
+	s.walSeq = active
+	s.segBorn = time.Now()
+	// Seed the size accounting from the files; appends, rotations and
+	// compactions keep it current from here.
+	var total int64
+	for _, seq := range segs {
+		if fi, err := os.Stat(s.segPath(seq)); err == nil {
+			total += fi.Size()
+		}
+	}
+	if fi, err := wal.Stat(); err == nil {
+		s.segBytes = fi.Size()
+		if len(segs) == 0 {
+			total = fi.Size()
+		}
+	}
+	s.metrics.walBytes.Store(total)
+	return nil
 }
 
 // sweepOrphans removes crash debris at boot (best-effort, under the
@@ -183,8 +274,58 @@ func (s *Store) Close() error {
 	return err
 }
 
-func (s *Store) walPath() string  { return filepath.Join(s.dir, "jobs.wal") }
-func (s *Store) metaPath() string { return filepath.Join(s.dir, "tables.json") }
+func (s *Store) legacyWALPath() string { return filepath.Join(s.dir, "jobs.wal") }
+func (s *Store) metaPath() string      { return filepath.Join(s.dir, "tables.json") }
+func (s *Store) segPath(seq int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("jobs-%08d.wal", seq))
+}
+
+// listSegments returns the on-disk WAL segment numbers, ascending.
+func (s *Store) listSegments() ([]int, error) {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "jobs-*.wal"))
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: list wal segments: %w", err)
+	}
+	seqs := make([]int, 0, len(matches))
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "jobs-%d.wal", &n); err == nil {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// segMarker is the control line opening every compacted segment. It is not a
+// service.WALRecord: replay recognizes it by the field and skips it, and its
+// presence is what tells Open (and replay) that every older segment is
+// superseded.
+type segMarker struct {
+	CompactBase bool `json:"wal_compact_base"`
+}
+
+var segMarkerLine = []byte("{\"wal_compact_base\":true}\n")
+
+// segHasMarker reports whether the segment's first line is the compaction
+// marker.
+func (s *Store) segHasMarker(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	line, err := bufio.NewReaderSize(f, 4096).ReadBytes('\n')
+	if err != nil && !errors.Is(err, io.EOF) {
+		return false, err
+	}
+	return isSegMarker(line), nil
+}
+
+func isSegMarker(line []byte) bool {
+	var m segMarker
+	return json.Unmarshal(line, &m) == nil && m.CompactBase
+}
 func (s *Store) tablePath(tenant, hash string) string {
 	return filepath.Join(s.dir, "tables", tenant, hash+".snap")
 }
@@ -286,6 +427,41 @@ func (s *Store) GetBlob(hash string) (*dataset.Table, error) {
 		return nil, &service.ErrNotFound{Kind: "blob", ID: hash}
 	}
 	return t, err
+}
+
+// ListBlobs enumerates the content-addressed result blobs on disk — the
+// service.BlobGC walk behind Engine.GCBlobs.
+func (s *Store) ListBlobs() ([]service.BlobInfo, error) {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "results", "*.snap"))
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: list blobs: %w", err)
+	}
+	blobs := make([]service.BlobInfo, 0, len(matches))
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue // raced a concurrent delete
+		}
+		blobs = append(blobs, service.BlobInfo{
+			Hash:  strings.TrimSuffix(filepath.Base(m), ".snap"),
+			Bytes: fi.Size(),
+		})
+	}
+	return blobs, nil
+}
+
+// DeleteBlob removes one result blob; an absent blob is a no-op (GC races a
+// re-put benignly — content addressing makes the re-put recreate identical
+// bytes).
+func (s *Store) DeleteBlob(hash string) error {
+	err := os.Remove(s.blobPath(hash))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("diskstore: delete blob: %w", err)
+	}
+	if err == nil {
+		s.metrics.blobsDeleted.Inc()
+	}
+	return nil
 }
 
 // Durable reports that this backend outlives the process.
@@ -460,6 +636,44 @@ func (s *Store) AppendWAL(rec *service.WALRecord) error {
 	// actually experiences when appends contend.
 	s.metrics.walAppend.Observe(time.Since(start).Seconds())
 	s.metrics.walBytes.Add(int64(len(raw)))
+	s.segBytes += int64(len(raw))
+	// Rotation is best-effort: the record above IS durable in the old
+	// segment either way, so a failed roll (e.g. disk full creating the next
+	// file) must not report the append as lost — it just retries on the
+	// next append.
+	s.maybeRotateLocked() //nolint:errcheck
+	return nil
+}
+
+// maybeRotateLocked rolls to a fresh segment once the active one crosses the
+// size or age threshold. Callers hold walMu.
+func (s *Store) maybeRotateLocked() error {
+	if s.segBytes == 0 {
+		return nil
+	}
+	bySize := s.rotateBytes > 0 && s.segBytes >= s.rotateBytes
+	byAge := s.rotateAge > 0 && time.Since(s.segBorn) >= s.rotateAge
+	if !bySize && !byAge {
+		return nil
+	}
+	return s.rotateLocked()
+}
+
+// rotateLocked closes the active segment (synced: a rotated-away segment is
+// immutable from here on) and opens the next-numbered one. The new segment
+// is opened first, so failure leaves the old one active. Callers hold walMu.
+func (s *Store) rotateLocked() error {
+	next, err := os.OpenFile(s.segPath(s.walSeq+1), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskstore: rotate wal: %w", err)
+	}
+	s.wal.Sync()  //nolint:errcheck // best-effort, matching SyncWAL cadence
+	s.wal.Close() //nolint:errcheck
+	s.wal = next
+	s.walSeq++
+	s.segBytes = 0
+	s.segBorn = time.Now()
+	s.metrics.walRotations.Inc()
 	return nil
 }
 
@@ -474,40 +688,72 @@ func (s *Store) SyncWAL() error {
 	return s.wal.Sync()
 }
 
-// ReplayWAL streams every WAL record to fn in append order. Only an
-// UNTERMINATED final line is forgiven: AppendWAL writes each record in one
-// buffer whose last byte is the newline, so a crash mid-append can persist
-// any prefix of a record but never its trailing newline — a
-// newline-terminated line that fails to parse is genuine corruption (bit
-// rot, sector damage) and fails recovery loudly, wherever it sits.
+// ReplayWAL streams every WAL record to fn in append order, spanning
+// segments oldest to newest — starting at the newest compaction-marker-led
+// segment, since everything older is superseded history. Only an
+// UNTERMINATED final line of the LAST segment is forgiven: AppendWAL writes
+// each record in one buffer whose last byte is the newline, so a crash
+// mid-append can persist any prefix of a record but never its trailing
+// newline — a newline-terminated line that fails to parse, or any short
+// line in a rotated-away (immutable) segment, is genuine corruption (bit
+// rot, sector damage) and fails recovery loudly.
 func (s *Store) ReplayWAL(fn func(service.WALRecord) error) error {
-	f, err := os.Open(s.walPath())
+	segs, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return nil
+	}
+	defer func(start time.Time) {
+		s.metrics.walReplay.Observe(time.Since(start).Seconds())
+	}(time.Now())
+	start := 0
+	for i, seq := range segs {
+		if ok, err := s.segHasMarker(s.segPath(seq)); err == nil && ok {
+			start = i
+		}
+	}
+	for i := start; i < len(segs); i++ {
+		if err := s.replaySegment(s.segPath(segs[i]), i == len(segs)-1, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment streams one segment's records to fn; last marks the active
+// segment, the only one whose torn tail is a crash artifact.
+func (s *Store) replaySegment(path string, last bool, fn func(service.WALRecord) error) error {
+	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
-		return fmt.Errorf("diskstore: open wal: %w", err)
+		return fmt.Errorf("diskstore: open wal segment: %w", err)
 	}
 	defer f.Close()
-	defer func(start time.Time) {
-		s.metrics.walReplay.Observe(time.Since(start).Seconds())
-	}(time.Now())
 	r := bufio.NewReaderSize(f, 1<<20)
 	for lineNo := 1; ; lineNo++ {
 		line, err := r.ReadBytes('\n')
-		torn := errors.Is(err, io.EOF) && len(line) > 0
+		torn := last && errors.Is(err, io.EOF) && len(line) > 0
 		if len(bytes.TrimSpace(line)) > 0 {
-			var rec service.WALRecord
-			if uerr := json.Unmarshal(line, &rec); uerr != nil {
-				if torn {
-					// The unterminated final line is the crash's torn
-					// append. Everything before it stands.
-					return nil
+			switch {
+			case lineNo == 1 && isSegMarker(line):
+				// Compacted-segment control line; not a record.
+			default:
+				var rec service.WALRecord
+				if uerr := json.Unmarshal(line, &rec); uerr != nil {
+					if torn {
+						// The unterminated final line is the crash's torn
+						// append. Everything before it stands.
+						return nil
+					}
+					return fmt.Errorf("diskstore: wal line %d corrupt: %w", lineNo, uerr)
 				}
-				return fmt.Errorf("diskstore: wal line %d corrupt: %w", lineNo, uerr)
-			}
-			if ferr := fn(rec); ferr != nil {
-				return ferr
+				if ferr := fn(rec); ferr != nil {
+					return ferr
+				}
 			}
 		}
 		if err != nil {
@@ -519,10 +765,16 @@ func (s *Store) ReplayWAL(fn func(service.WALRecord) error) error {
 	}
 }
 
-// CompactWAL atomically replaces the WAL with recs — the live image
-// Engine.Recover computes — and reopens the append handle on the new file.
+// CompactWAL rewrites the WAL to recs — the live image Engine.Recover or
+// Engine.CompactLog computes. The image lands in a FRESH marker-led segment
+// (tmp + fsync + rename, so a crash leaves either the old segments or the
+// complete new one), the append handle moves onto it, and every older
+// segment is unlinked. A crash between the rename and the unlinks is safe:
+// Open and ReplayWAL treat the newest marker-led segment as the replay base
+// and discard everything older.
 func (s *Store) CompactWAL(recs []*service.WALRecord) error {
 	var buf bytes.Buffer
+	buf.Write(segMarkerLine)
 	enc := json.NewEncoder(&buf)
 	for _, rec := range recs {
 		if err := enc.Encode(rec); err != nil {
@@ -531,18 +783,30 @@ func (s *Store) CompactWAL(recs []*service.WALRecord) error {
 	}
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
-	if err := atomicWrite(s.walPath(), buf.Bytes()); err != nil {
+	next := s.walSeq + 1
+	if err := atomicWrite(s.segPath(next), buf.Bytes()); err != nil {
 		return err
 	}
-	s.metrics.walBytes.Store(int64(buf.Len()))
 	if s.wal != nil {
-		s.wal.Close() //nolint:errcheck // superseded handle, contents already renamed over
+		s.wal.Close() //nolint:errcheck // superseded handle
 	}
-	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := os.OpenFile(s.segPath(next), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		s.wal = nil
 		return fmt.Errorf("diskstore: reopen wal: %w", err)
 	}
 	s.wal = wal
+	s.walSeq = next
+	s.segBytes = int64(buf.Len())
+	s.segBorn = time.Now()
+	if segs, err := s.listSegments(); err == nil {
+		for _, seq := range segs {
+			if seq < next {
+				os.Remove(s.segPath(seq)) //nolint:errcheck // Open re-sweeps stale segments
+			}
+		}
+	}
+	s.metrics.walBytes.Store(int64(buf.Len()))
+	s.metrics.walCompactions.Inc()
 	return nil
 }

@@ -61,7 +61,7 @@ func TestDiskWALTornMidFieldVariants(t *testing.T) {
 			if err := ds.Close(); err != nil {
 				t.Fatal(err)
 			}
-			f, err := os.OpenFile(filepath.Join(dir, "jobs.wal"), os.O_WRONLY|os.O_APPEND, 0o644)
+			f, err := os.OpenFile(activeWALPath(t, dir), os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -111,7 +111,7 @@ func TestDiskWALCorruptionInsideFailsLoudly(t *testing.T) {
 	if err := ds.Close(); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, "jobs.wal"), os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(activeWALPath(t, dir), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
@@ -15,6 +16,30 @@ import (
 	"repro/internal/service"
 	"repro/internal/service/diskstore"
 )
+
+// walSegments returns dir's WAL segment files in sequence order. Names are
+// zero-padded (jobs-00000001.wal), so a string sort is the numeric order.
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "jobs-*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(segs)
+	return segs
+}
+
+// activeWALPath returns dir's newest WAL segment — the file AppendWAL is
+// writing. Tests forging crash images must target it, not the legacy
+// jobs.wal name.
+func activeWALPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs := walSegments(t, dir)
+	if len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s", dir)
+	}
+	return segs[len(segs)-1]
+}
 
 // openPlane opens a full disk-backed storage plane on dir: disk store,
 // table store (loaded), engine (not yet recovered or started).
@@ -190,7 +215,7 @@ func TestDiskWALReplayToleratesTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tear the tail: a partial record without its newline.
-	f, err := os.OpenFile(filepath.Join(dir, "jobs.wal"), os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(activeWALPath(t, dir), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,12 +288,12 @@ func TestRecoverRestoresTerminalJobsDisk(t *testing.T) {
 	}
 }
 
-// truncateWAL rewrites dir's jobs.wal keeping the submission record and the
-// first keepLevels checkpoints of jobID — the exact on-disk image a SIGKILL
-// between the keepLevels'th and the next checkpoint leaves behind.
+// truncateWAL rewrites dir's active WAL segment keeping the submission record
+// and the first keepLevels checkpoints of jobID — the exact on-disk image a
+// SIGKILL between the keepLevels'th and the next checkpoint leaves behind.
 func truncateWAL(t *testing.T, dir, jobID string, keepLevels int) {
 	t.Helper()
-	path := filepath.Join(dir, "jobs.wal")
+	path := activeWALPath(t, dir)
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

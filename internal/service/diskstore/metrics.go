@@ -2,12 +2,26 @@ package diskstore
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
 
 // Option configures a Store at Open.
 type Option func(*Store)
+
+// WithWALRotation enables WAL segment rolling: the active segment is closed
+// and a fresh jobs-<seq+1>.wal opened once it reaches maxBytes (0 disables
+// the size trigger) or maxAge since it was opened (0 disables the age
+// trigger). Rotation bounds how much history a single file accumulates
+// between compactions and keeps the torn-tail crash window confined to the
+// newest segment.
+func WithWALRotation(maxBytes int64, maxAge time.Duration) Option {
+	return func(s *Store) {
+		s.rotateBytes = maxBytes
+		s.rotateAge = maxAge
+	}
+}
 
 // WithMetrics registers the storage plane's instrumentation on r: WAL append
 // latency and fsync count, the live WAL byte length, replay duration, and
@@ -21,11 +35,14 @@ func WithMetrics(r *obs.Registry) Option {
 // storeMetrics is the Store's instrument set. The zero value (no registry
 // wired) records nothing: every obs instrument is nil-safe.
 type storeMetrics struct {
-	walAppend obs.Histogram // append latency, write-to-OS only
-	walFsync  obs.Counter
-	walReplay obs.Histogram
-	snapRead  obs.Histogram
-	snapWrite obs.Histogram
+	walAppend      obs.Histogram // append latency, write-to-OS only
+	walFsync       obs.Counter
+	walReplay      obs.Histogram
+	walRotations   obs.Counter
+	walCompactions obs.Counter
+	snapRead       obs.Histogram
+	snapWrite      obs.Histogram
+	blobsDeleted   obs.Counter
 	// walBytes tracks the live WAL length: seeded from a stat at Open,
 	// advanced by appends, reset by CompactWAL. Exposed as a gauge func so
 	// scrapes never touch the filesystem.
@@ -39,6 +56,12 @@ func (m *storeMetrics) wire(r *obs.Registry, s *Store) {
 		"Job WAL fsyncs (terminal records and shutdown).").With()
 	m.walReplay = r.Histogram("wal_replay_seconds",
 		"Full job WAL replay duration (crash recovery).", nil).With()
+	m.walRotations = r.Counter("wal_segments_rotated_total",
+		"WAL segments rolled by size/age rotation.").With()
+	m.walCompactions = r.Counter("wal_compactions_total",
+		"WAL compactions (boot recovery and online).").With()
+	m.blobsDeleted = r.Counter("blobs_deleted_total",
+		"Result blobs removed by DeleteBlob (blob GC).").With()
 	m.snapRead = r.Histogram("snapshot_read_seconds",
 		"Columnar table snapshot read latency.", nil).With()
 	m.snapWrite = r.Histogram("snapshot_write_seconds",

@@ -61,31 +61,44 @@ func downgradeToV1(t *testing.T, dir string) {
 		t.Fatal(err)
 	}
 
-	// WAL: drop the tenant field from job records and from the embedded
-	// terminal status snapshots.
-	walRaw, err := os.ReadFile(filepath.Join(dir, "jobs.wal"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	// WAL: concatenate the segment files back into a single legacy jobs.wal
+	// (pre-tenancy builds predate segmentation too), dropping compaction
+	// markers, the tenant field on job records, and the tenant inside the
+	// embedded terminal status snapshots.
 	var out bytes.Buffer
-	for _, line := range bytes.Split(walRaw, []byte("\n")) {
-		if len(bytes.TrimSpace(line)) == 0 {
-			continue
-		}
-		var rec map[string]any
-		if err := json.Unmarshal(line, &rec); err != nil {
-			t.Fatal(err)
-		}
-		delete(rec, "tenant")
-		if st, ok := rec["status"].(map[string]any); ok {
-			delete(st, "tenant")
-		}
-		v1line, err := json.Marshal(rec)
+	for _, seg := range walSegments(t, dir) {
+		walRaw, err := os.ReadFile(seg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out.Write(v1line)
-		out.WriteByte('\n')
+		for _, line := range bytes.Split(walRaw, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var rec map[string]any
+			if err := json.Unmarshal(line, &rec); err != nil {
+				t.Fatal(err)
+			}
+			if _, marker := rec["wal_compact_base"]; marker {
+				continue
+			}
+			delete(rec, "tenant")
+			if st, ok := rec["status"].(map[string]any); ok {
+				delete(st, "tenant")
+			}
+			v1line, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out.Write(v1line)
+			out.WriteByte('\n')
+		}
+		if err := os.Remove(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.Len() == 0 {
+		t.Fatal("fixture dir has no WAL records to downgrade")
 	}
 	if err := os.WriteFile(filepath.Join(dir, "jobs.wal"), out.Bytes(), 0o644); err != nil {
 		t.Fatal(err)

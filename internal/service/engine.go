@@ -27,9 +27,22 @@ type Options struct {
 	// SweepWorkers bounds the intra-job concurrency of a fred-sweep's
 	// core.SweepStream executor (default: Workers).
 	SweepWorkers int
-	// QueueDepth bounds the pending-job queue; submissions beyond it fail
-	// fast with ErrQueueFull (default: 256).
+	// QueueDepth bounds the pending-job queue; submissions beyond it are
+	// shed with an OverloadError (which errors.Is-matches ErrQueueFull)
+	// rather than queued unboundedly (default: 256).
 	QueueDepth int
+	// MaxPendingPerTenant bounds one tenant's share of the pending queue:
+	// submissions beyond it are shed with a tenant-scoped OverloadError even
+	// while the global queue has room, so a single tenant's storm cannot
+	// starve everyone else (default: 0 = no per-tenant bound).
+	MaxPendingPerTenant int
+	// MaxJobEvents bounds the in-memory replay buffer kept per terminal job:
+	// once a job finishes and its result is durably recorded, the event log
+	// is truncated to this many trailing events. Subscribers resuming from a
+	// cursor inside the retained tail replay as before; earlier cursors fall
+	// back to a synthesized replay from the result, exactly like cache hits
+	// (default: 256; negative keeps every event).
+	MaxJobEvents int
 	// CacheSize is the LRU result cache capacity in entries (default: 64;
 	// negative disables caching).
 	CacheSize int
@@ -87,6 +100,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxFinishedJobs == 0 {
 		o.MaxFinishedJobs = 512
 	}
+	if o.MaxJobEvents == 0 {
+		o.MaxJobEvents = 256
+	}
 	if o.Logger == nil {
 		o.Logger = obs.NopLogger()
 	}
@@ -130,6 +146,15 @@ type Engine struct {
 	jobs     map[string]*job
 	finished []*job // terminal jobs in finish order, for retention eviction
 	closed   bool
+	// pending counts enqueued-not-yet-popped jobs per tenant; pendingTotal is
+	// their sum. Both guarded by mu and maintained by enqueuedLocked/dequeued
+	// (admission.go).
+	pending      map[string]int
+	pendingTotal int
+	// recoveryErrs records jobs Recover re-submitted that immediately failed
+	// (missing table, queue overflow) so healthz can surface them instead of
+	// burying them in logs. Guarded by mu.
+	recoveryErrs []string
 
 	metrics *engineMetrics
 	tracer  *obs.Tracer
@@ -142,6 +167,12 @@ type Engine struct {
 	// doneJobs counts terminal transitions since process start, cumulative
 	// across retention eviction and Delete (unlike len(finished)).
 	doneJobs atomic.Uint64
+	// jobsShed counts submissions refused by admission control.
+	jobsShed atomic.Uint64
+	// execCount/execNanos accumulate executed-job wall time, feeding the
+	// Retry-After estimate on shed submissions.
+	execCount atomic.Int64
+	execNanos atomic.Int64
 }
 
 // job is the engine-internal job record. status is guarded by mu; the input
@@ -161,11 +192,16 @@ type job struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	done     chan struct{}
-	// events is the append-only per-job event log streamed by Engine.Stream;
-	// notify is closed and replaced at every append (and at finish) to wake
-	// blocked subscribers. Both guarded by mu.
-	events []Event
-	notify chan struct{}
+	// events is the per-job event log streamed by Engine.Stream; notify is
+	// closed and replaced at every append (and at finish) to wake blocked
+	// subscribers. Once the job is terminal and its result is durable the
+	// log may be truncated to a bounded tail: eventsBase counts the events
+	// dropped from the front (so absolute stream indices stay stable) and
+	// droppedSeq is the highest sequence number among them. All guarded by mu.
+	events     []Event
+	eventsBase int
+	droppedSeq uint64
+	notify     chan struct{}
 	// termSeq is the event sequence number of the terminal status record,
 	// assigned by logTerminal (best-effort: a subscriber racing the WAL
 	// append may observe it as zero). Guarded by mu.
@@ -173,6 +209,17 @@ type job struct {
 	// resume seeds a recovered fred-sweep with its checkpointed levels so
 	// the sweep restarts at startK instead of MinK. Set only by Recover.
 	resume *resumeSeed
+	// resultRec is the durable projection logTerminal wrote (nil for jobs
+	// that failed, were canceled, or ran on an ephemeral store). Online log
+	// compaction re-emits it instead of re-hashing the result table, and
+	// blob GC reads its TableHash as a liveness root. Guarded by mu.
+	resultRec *ResultRecord
+	// cancelRequested marks a journaled cancellation whose terminal record
+	// has not landed yet; online compaction must preserve the WALCancel
+	// record (at cancelSeq) or a crash would re-run the canceled job.
+	// Guarded by mu.
+	cancelRequested bool
+	cancelSeq       uint64
 }
 
 // resumeSeed carries a recovered sweep's checkpointed prefix.
@@ -268,6 +315,7 @@ func NewEngine(store *Store, opts Options) *Engine {
 		cancelAll: cancel,
 		queue:     make(chan *job, opts.QueueDepth),
 		jobs:      make(map[string]*job),
+		pending:   make(map[string]int),
 		tracer:    opts.Tracer,
 		logger:    opts.Logger,
 	}
@@ -287,6 +335,7 @@ func (e *Engine) Start() {
 		go func() {
 			defer e.wg.Done()
 			for j := range e.queue {
+				e.dequeued(j)
 				if j.ctx.Err() != nil || !j.start() {
 					e.finalize(j, nil, context.Canceled)
 					continue
@@ -330,6 +379,14 @@ type EngineStats struct {
 	JobsFinished uint64 `json:"jobs_finished"`
 	// JobsLive counts pending plus running jobs.
 	JobsLive int `json:"jobs_live"`
+	// JobsPending counts jobs enqueued but not yet picked up by a worker.
+	JobsPending int `json:"jobs_pending"`
+	// JobsShed counts submissions refused by admission control since start.
+	JobsShed uint64 `json:"jobs_shed"`
+	// RecoveryErrors lists jobs the last Recover re-submitted that
+	// immediately failed (for example on a table deleted before the crash).
+	// Empty on a clean recovery.
+	RecoveryErrors []string `json:"recovery_errors,omitempty"`
 }
 
 // Stats returns the engine's operational snapshot.
@@ -344,12 +401,17 @@ func (e *Engine) Stats() EngineStats {
 			live++
 		}
 	}
+	pending := e.pendingTotal
+	recoveryErrs := append([]string(nil), e.recoveryErrs...)
 	e.mu.RUnlock()
 	return EngineStats{
-		Ready:        e.Ready(),
-		WALSeq:       seq,
-		JobsFinished: e.doneJobs.Load(),
-		JobsLive:     live,
+		Ready:          e.Ready(),
+		WALSeq:         seq,
+		JobsFinished:   e.doneJobs.Load(),
+		JobsLive:       live,
+		JobsPending:    pending,
+		JobsShed:       e.jobsShed.Load(),
+		RecoveryErrors: recoveryErrs,
 	}
 }
 
@@ -370,6 +432,10 @@ func (e *Engine) finalize(j *job, res *Result, err error) bool {
 	}
 	e.observeTerminal(j)
 	e.logTerminal(j)
+	// The terminal record (and result blob, when durable) is on disk now, so
+	// the full in-memory event log is redundant with the result: keep only a
+	// bounded tail for resuming subscribers.
+	e.truncateEvents(j)
 	e.mu.Lock()
 	evicted := e.retireLocked(j)
 	e.mu.Unlock()
@@ -388,6 +454,8 @@ func (e *Engine) observeTerminal(j *job) {
 	if st.Started != nil && st.Finished != nil {
 		d := st.Finished.Sub(*st.Started)
 		e.metrics.duration.With(st.Tenant, string(st.Type)).Observe(d.Seconds())
+		e.execCount.Add(1)
+		e.execNanos.Add(d.Nanoseconds())
 		attrs = append(attrs, "duration", d)
 	}
 	if st.Error != "" {
@@ -458,6 +526,7 @@ func (e *Engine) logTerminal(j *job) {
 	}
 	j.mu.Lock()
 	j.termSeq = seq
+	j.resultRec = rec.Result
 	j.mu.Unlock()
 }
 
@@ -629,12 +698,20 @@ func (e *Engine) Submit(tenant string, spec Spec) (Status, error) {
 		return j.snapshot(), nil
 	}
 	e.metrics.cacheMisses.With(tenant).Inc()
+	// Admission control: the tenant's pending share is checked first, then
+	// the global queue bound (the channel capacity). Either refusal is an
+	// OverloadError the HTTP layer turns into 429 + Retry-After.
+	if limit, refused := e.admitLocked(tenant); refused {
+		e.mu.Unlock()
+		return retract(e.shed(tenant, "tenant", limit))
+	}
 	select {
 	case e.queue <- j:
+		e.enqueuedLocked(tenant)
 		e.mu.Unlock()
 	default:
 		e.mu.Unlock()
-		return retract(ErrQueueFull)
+		return retract(e.shed(tenant, "global", e.opts.QueueDepth))
 	}
 	e.logger.InfoContext(ctx, "job submitted", "type", string(spec.Type), "cached", false)
 	return j.snapshot(), nil
@@ -720,8 +797,16 @@ func (e *Engine) Cancel(tenant, id string) error {
 	}
 	// The cancellation is journaled before anything else: a crash after
 	// Cancel returns but before the worker unwinds and writes the terminal
-	// status must not replay the job as interrupted and re-run it.
-	e.appendWAL(&WALRecord{Kind: WALCancel, JobID: id}) //nolint:errcheck
+	// status must not replay the job as interrupted and re-run it. The
+	// journaled seq is remembered so online log compaction re-emits the
+	// cancel record for jobs still unwinding.
+	seq, cancelErr := e.appendWAL(&WALRecord{Kind: WALCancel, JobID: id})
+	j.mu.Lock()
+	if cancelErr == nil {
+		j.cancelRequested = true
+		j.cancelSeq = seq
+	}
+	j.mu.Unlock()
 	e.metrics.canceled.With(tenant).Inc()
 	e.logger.InfoContext(e.jobCtx(j.snapshot()), "job canceled", "was", string(state))
 	j.cancel()

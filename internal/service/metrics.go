@@ -26,6 +26,12 @@ type engineMetrics struct {
 	plannerWarm      *obs.CounterVec // tenant
 	plannerSkipped   *obs.CounterVec // tenant, reason
 	plannerFallbacks *obs.CounterVec // tenant
+
+	shed *obs.CounterVec // tenant, scope
+
+	gcRuns      *obs.CounterVec // (no labels)
+	gcReclaimed *obs.CounterVec // (no labels)
+	gcBytes     *obs.CounterVec // (no labels)
 }
 
 // newEngineMetrics registers the engine's metric families on r (nil r is a
@@ -56,6 +62,14 @@ func newEngineMetrics(r *obs.Registry, e *Engine) *engineMetrics {
 			"Sweep levels the planner proved unnecessary (reason: bisection, deadline, infeasible).", "tenant", "reason"),
 		plannerFallbacks: r.Counter("planner_fallbacks_total",
 			"Adaptive sweeps that fell back to the exhaustive walk on a detected non-monotone utility series.", "tenant"),
+		shed: r.Counter("admission_shed_total",
+			"Submissions refused by admission control (scope: tenant, global).", "tenant", "scope"),
+		gcRuns: r.Counter("blob_gc_runs_total",
+			"Blob garbage-collection passes completed (dry runs included)."),
+		gcReclaimed: r.Counter("blob_gc_reclaimed_total",
+			"Unreferenced result blobs deleted by GC."),
+		gcBytes: r.Counter("blob_gc_bytes_reclaimed_total",
+			"Bytes of unreferenced result blobs deleted by GC."),
 	}
 	if r != nil && e != nil {
 		r.GaugeFunc("queue_depth",

@@ -241,6 +241,17 @@ func (e *Engine) rebuildTerminal(rj *replayedJob) *job {
 	}
 	close(j.done)
 	j.events = eventsFromCheckpoints(rj)
+	if n := len(rj.status.Levels) - len(j.events); n > 0 && len(j.events) > 0 {
+		// The durable log carries only a truncated tail of the level series
+		// (online compaction ran after event truncation): restore the base
+		// offset so resuming subscribers keep getting the same synthesized
+		// result replay they would have gotten before the restart.
+		j.eventsBase = n
+		if s := j.events[0].Seq; s > 0 {
+			j.droppedSeq = s - 1
+		}
+	}
+	j.resultRec = rj.result
 	if rj.status.State == StateDone && rj.result != nil {
 		res := &Result{
 			Levels:     rj.result.Levels,
@@ -262,6 +273,8 @@ func (e *Engine) rebuildTerminal(rj *replayedJob) *job {
 		j.result = res
 		e.reseedCache(j, res)
 	}
+	// Recovered terminal jobs obey the same replay-buffer bound as live ones.
+	e.truncateEvents(j)
 	e.mu.Lock()
 	e.jobs[j.status.ID] = j
 	e.finished = append(e.finished, j)
@@ -362,19 +375,35 @@ func (e *Engine) rebuildInterrupted(rj *replayedJob) *job {
 
 // resubmit resolves a rebuilt interrupted job's tables and enqueues it. A
 // job whose inputs cannot be resolved (table deleted before the crash, or
-// queue overflow) finalizes as failed instead of blocking recovery.
+// queue overflow) finalizes as failed instead of blocking recovery, and the
+// failure is recorded for healthz (readiness alone would hide it: the pool
+// comes up fine, the job just failed instantly).
 func (e *Engine) resubmit(j *job) {
 	p, aux, key, levelKey, err := e.resolveInputs(j.status.Tenant, j.spec)
 	if err != nil {
+		e.noteRecoveryError(j.status.ID, err)
 		e.finalize(j, nil, fmt.Errorf("resume: %w", err))
 		return
 	}
 	j.p, j.aux, j.key, j.levelKey = p, aux, key, levelKey
+	e.mu.Lock()
 	select {
 	case e.queue <- j:
+		e.enqueuedLocked(j.status.Tenant)
+		e.mu.Unlock()
 	default:
+		e.mu.Unlock()
+		e.noteRecoveryError(j.status.ID, ErrQueueFull)
 		e.finalize(j, nil, fmt.Errorf("resume: %w", ErrQueueFull))
 	}
+}
+
+// noteRecoveryError records a job recovery tried to re-submit but couldn't,
+// for EngineStats.RecoveryErrors / healthz.
+func (e *Engine) noteRecoveryError(id string, err error) {
+	e.mu.Lock()
+	e.recoveryErrs = append(e.recoveryErrs, fmt.Sprintf("%s: %v", id, err))
+	e.mu.Unlock()
 }
 
 // sortFinished restores the finished log's finish order after recovery, so

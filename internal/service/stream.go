@@ -101,10 +101,42 @@ func (e *Engine) StreamAfter(ctx context.Context, tenant, id string, after uint6
 	out := make(chan Event, 8)
 	go func() {
 		defer close(out)
-		i := 0
+		i := 0           // absolute index into the job's full event history
+		lastSeq := after // highest durable seq this subscriber has consumed
+		levelsSeen := 0  // level events delivered, for gap-free synthesis
+		send := func(ev Event) bool {
+			select {
+			case out <- ev:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
 		for {
-			evs, notify, terminal := j.eventsSince(i)
-			if terminal && i == 0 && len(evs) == 0 {
+			w := j.eventWindow(i)
+			if i < w.base {
+				// Events this subscriber has not consumed were truncated away
+				// (terminal jobs only — see truncateEvents). If everything
+				// unseen is still in the retained tail, skip ahead and let the
+				// cursor filter below do its usual work; otherwise synthesize
+				// the level series from the result — the same replay the
+				// cache-hit path uses — skipping levels already delivered.
+				if lastSeq > 0 && lastSeq >= w.droppedSeq {
+					i = w.base
+					continue
+				}
+				synth := j.replayEvents()
+				for _, ev := range synth[min(levelsSeen, len(synth)):] {
+					if !send(ev) {
+						return
+					}
+				}
+				levelsSeen = len(synth)
+				i = w.total
+				continue
+			}
+			evs := w.evs
+			if w.terminal && i == 0 && len(evs) == 0 {
 				// Terminal with nothing recorded (a cache hit, or a job that
 				// finished before event recording existed): synthesize the
 				// level series from the result so the stream stays useful.
@@ -112,28 +144,29 @@ func (e *Engine) StreamAfter(ctx context.Context, tenant, id string, after uint6
 			}
 			for _, ev := range evs {
 				i++
+				if ev.Seq > lastSeq {
+					lastSeq = ev.Seq
+				}
+				if ev.Type == EventLevel {
+					levelsSeen++
+				}
 				if after > 0 && ev.Seq != 0 && ev.Seq <= after {
 					continue
 				}
-				select {
-				case out <- ev:
-				case <-ctx.Done():
+				if !send(ev) {
 					return
 				}
 			}
-			if terminal {
+			if w.terminal {
 				st := j.snapshot()
 				j.mu.Lock()
 				seq := j.termSeq
 				j.mu.Unlock()
-				select {
-				case out <- Event{Type: EventStatus, Seq: seq, Job: st.ID, Progress: st.Progress, Status: &st}:
-				case <-ctx.Done():
-				}
+				send(Event{Type: EventStatus, Seq: seq, Job: st.ID, Progress: st.Progress, Status: &st})
 				return
 			}
 			select {
-			case <-notify:
+			case <-w.notify:
 			case <-ctx.Done():
 				return
 			}
@@ -142,28 +175,89 @@ func (e *Engine) StreamAfter(ctx context.Context, tenant, id string, after uint6
 	return out, nil
 }
 
-// eventsSince returns the events recorded at index i and beyond, the channel
-// closed at the next broadcast, and whether the job is terminal. Recorded
-// events are append-only and immutable, so the returned slice is safe to
-// read without the lock.
-func (j *job) eventsSince(i int) ([]Event, <-chan struct{}, bool) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.events[i:], j.notify, j.status.State.Terminal()
+// eventWindow is one consistent snapshot of a job's event log as seen from
+// absolute index i: the retained events at i and beyond, the absolute index
+// range the in-memory log covers, and the truncation high-water mark.
+type eventWindow struct {
+	evs        []Event // retained events from index max(i, base)
+	base       int     // absolute index of the first retained event
+	total      int     // absolute index just past the last recorded event
+	droppedSeq uint64  // highest seq among truncated events (0 if none)
+	terminal   bool
+	notify     <-chan struct{}
 }
 
-// replayEvents synthesizes level events from a terminal job's result, for
-// subscribers to jobs whose levels were never streamed (cache hits).
+// eventWindow snapshots the log for a subscriber at absolute index i.
+// Retained events are immutable and truncation replaces the backing slice,
+// so the returned slice is safe to read without the lock.
+func (j *job) eventWindow(i int) eventWindow {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	w := eventWindow{
+		base:       j.eventsBase,
+		total:      j.eventsBase + len(j.events),
+		droppedSeq: j.droppedSeq,
+		terminal:   j.status.State.Terminal(),
+		notify:     j.notify,
+	}
+	if i >= j.eventsBase {
+		w.evs = j.events[i-j.eventsBase:]
+	}
+	return w
+}
+
+// truncateEvents drops a terminal job's event-log prefix beyond the
+// Options.MaxJobEvents retention bound. It runs only after the terminal WAL
+// record (and result blob, on durable stores) landed, so nothing is lost:
+// subscribers behind the truncation point fall back to the synthesized
+// result replay, which the cache-hit path already exercises.
+func (e *Engine) truncateEvents(j *job) {
+	keep := e.opts.MaxJobEvents
+	if keep < 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.status.State.Terminal() {
+		return
+	}
+	drop := len(j.events) - keep
+	if drop <= 0 {
+		return
+	}
+	for _, ev := range j.events[:drop] {
+		if ev.Seq > j.droppedSeq {
+			j.droppedSeq = ev.Seq
+		}
+	}
+	tail := make([]Event, keep)
+	copy(tail, j.events[drop:])
+	j.events = tail
+	j.eventsBase += drop
+	// Wake parked subscribers so stragglers switch to the synthesized replay
+	// immediately instead of at the next broadcast.
+	j.broadcastLocked()
+}
+
+// replayEvents synthesizes level events from a terminal job's result — or,
+// for result-less terminal jobs (canceled, failed), from the status's level
+// prefix — for subscribers whose position in the log was never recorded
+// (cache hits) or was truncated away.
 func (j *job) replayEvents() []Event {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.result == nil || len(j.result.Levels) == 0 {
+	levels := j.status.Levels
+	var cal *Calibration
+	if j.result != nil && len(j.result.Levels) > 0 {
+		levels = j.result.Levels
+		cal = &Calibration{Tp: j.result.Tp, Tu: j.result.Tu}
+	}
+	if len(levels) == 0 {
 		return nil
 	}
-	cal := &Calibration{Tp: j.result.Tp, Tu: j.result.Tu}
-	evs := make([]Event, len(j.result.Levels))
-	for i := range j.result.Levels {
-		lev := j.result.Levels[i]
+	evs := make([]Event, len(levels))
+	for i := range levels {
+		lev := levels[i]
 		evs[i] = Event{
 			Type:        EventLevel,
 			Job:         j.status.ID,

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sync"
 )
 
 // This file defines the tenant dimension of the service: every table lives
@@ -67,9 +68,27 @@ type Quota struct {
 
 // Quotas maps tenants to their quotas: PerTenant overrides win field by
 // field, everything else gets Default. A nil *Quotas is entirely unlimited.
+// Quotas is shared by pointer (engine, store, HTTP layer all hold the same
+// one); SetPerTenant swaps the override table at runtime — the SIGHUP
+// keys-file reload path — while For keeps reading consistently. Default is
+// fixed at construction. Do not mutate PerTenant after sharing the value;
+// replace it through SetPerTenant.
 type Quotas struct {
 	Default   Quota
 	PerTenant map[string]Quota
+
+	mu sync.RWMutex
+}
+
+// SetPerTenant atomically replaces the per-tenant override table. The map is
+// adopted, not copied — callers must not mutate it afterwards.
+func (q *Quotas) SetPerTenant(overrides map[string]Quota) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.PerTenant = overrides
+	q.mu.Unlock()
 }
 
 // For returns the quota in force for a tenant. Overrides are PARTIAL: a
@@ -81,7 +100,9 @@ func (q *Quotas) For(tenant string) Quota {
 	if q == nil {
 		return Quota{}
 	}
+	q.mu.RLock()
 	qt, ok := q.PerTenant[tenant]
+	q.mu.RUnlock()
 	if !ok {
 		return q.Default
 	}
